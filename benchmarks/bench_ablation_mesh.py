@@ -1,0 +1,67 @@
+"""Ablation — torus wrap-around links vs a plain 3D mesh.
+
+Real Blue Gene/L partitions smaller than a midplane are meshes (the wrap
+links only close on full midplanes); the paper's §IV-C1 model explicitly
+covers "mesh and torus based networks".  This ablation re-runs the
+synthetic study on a mesh with the same shape as the BG/L 256 partition:
+distances grow without the wrap links, so both strategies pay more
+hop-bytes, and the diffusion strategy's locality advantage persists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import summarize_improvement
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext, run_both_strategies
+from repro.topology import FoldedMapping, MachineSpec, Mesh3D, Torus3D
+from repro.util.tables import format_table
+
+
+def _machine(kind: str) -> MachineSpec:
+    dims = (8, 8, 4)
+    topo = Torus3D(dims) if kind == "torus" else Mesh3D(dims)
+    return MachineSpec(
+        name=f"BG/L 256 ({kind})",
+        ncores=256,
+        grid=(16, 16),
+        topology=topo,
+        mapping=FoldedMapping(topo, 16, 16),
+        network_kind="torus",
+        description=f"8x8x4 {kind} partition",
+    )
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for kind in ("torus", "mesh"):
+        ctx = ExperimentContext(_machine(kind))
+        s_hb, d_hb, imps = [], [], []
+        for seed in (0, 1, 2):
+            wl = synthetic_workload(seed=seed, n_steps=40)
+            s, d = run_both_strategies(wl, ctx)
+            s_hb.extend(m.hop_bytes_avg for m in s.metrics if m.n_retained)
+            d_hb.extend(m.hop_bytes_avg for m in d.metrics if m.n_retained)
+            imps.append(summarize_improvement(s.metrics, d.metrics))
+        out[kind] = (float(np.mean(s_hb)), float(np.mean(d_hb)), float(np.mean(imps)))
+    return out
+
+
+def test_mesh_ablation(benchmark, report_sink, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = [
+        (k, f"{v[0]:.2f}", f"{v[1]:.2f}", f"{v[2]:.1f}%") for k, v in sweep.items()
+    ]
+    text = format_table(
+        ["Partition", "scratch hop-bytes", "diffusion hop-bytes", "improvement"],
+        rows,
+        title="Ablation — torus vs mesh partition (256 cores, 8x8x4)",
+    )
+    # mesh distances dominate torus distances for both strategies
+    assert sweep["mesh"][0] >= sweep["torus"][0]
+    assert sweep["mesh"][1] >= sweep["torus"][1]
+    # the diffusion advantage survives the missing wrap links
+    assert sweep["mesh"][1] < sweep["mesh"][0]
+    assert sweep["mesh"][2] > 0
+    report_sink("ablation_mesh", text)

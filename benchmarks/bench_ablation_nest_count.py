@@ -1,0 +1,47 @@
+"""Ablation — improvement as a function of nest population and churn rate.
+
+The paper's synthetic study fixes 2–9 nests with roughly one change per
+adaptation point.  This ablation sweeps both knobs: diffusion's advantage
+should persist across populations, and heavy churn (many nests replaced per
+step) erodes it — with everything replaced there is nothing to overlap.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import summarize_improvement
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext, run_both_strategies
+from repro.topology import MACHINES
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    ctx = ExperimentContext(MACHINES["bgl-1024"])
+    out = {}
+    for label, kwargs in (
+        ("2-4 nests", dict(n_range=(2, 4))),
+        ("2-9 nests (paper)", dict(n_range=(2, 9))),
+        ("6-9 nests", dict(n_range=(6, 9))),
+        ("heavy churn", dict(n_range=(2, 9), delete_prob=0.95, insert_prob=0.95)),
+    ):
+        imps = []
+        for seed in (0, 1, 2):
+            wl = synthetic_workload(seed=seed, n_steps=40, **kwargs)
+            s, d = run_both_strategies(wl, ctx)
+            imps.append(summarize_improvement(s.metrics, d.metrics))
+        out[label] = float(np.mean(imps))
+    return out
+
+
+def test_nest_count_ablation(benchmark, report_sink, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = [(label, f"{imp:.1f}%") for label, imp in sweep.items()]
+    text = format_table(
+        ["Workload", "redistribution improvement"],
+        rows,
+        title="Ablation — nest population / churn rate on BG/L 1024",
+    )
+    assert sweep["2-9 nests (paper)"] > 0.0
+    report_sink("ablation_nest_count", text)

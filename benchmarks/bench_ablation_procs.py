@@ -1,0 +1,52 @@
+"""Ablation — scaling with total processor count.
+
+§IV-B argues: "the maximum number of hops between old and new set of
+processors is likely to increase for the scratch method with larger total
+processor count", while tree reorganisation cost depends only on the nest
+count.  The ablation reports absolute redistribution times and hop
+distances across BG/L partition sizes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import summarize_improvement
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext, run_both_strategies
+from repro.topology import MACHINES
+from repro.util.tables import format_table
+
+
+@pytest.fixture(scope="module")
+def sweep():
+    out = {}
+    for key in ("bgl-256", "bgl-512", "bgl-1024"):
+        ctx = ExperimentContext(MACHINES[key])
+        s_hb, d_hb, imps = [], [], []
+        for seed in (0, 1, 2):
+            wl = synthetic_workload(seed=seed, n_steps=40)
+            s, d = run_both_strategies(wl, ctx)
+            s_hb.extend(m.hop_bytes_avg for m in s.metrics if m.n_retained)
+            d_hb.extend(m.hop_bytes_avg for m in d.metrics if m.n_retained)
+            imps.append(summarize_improvement(s.metrics, d.metrics))
+        out[key] = (float(np.mean(s_hb)), float(np.mean(d_hb)), float(np.mean(imps)))
+    return out
+
+
+def test_procs_ablation(benchmark, report_sink, sweep):
+    benchmark.pedantic(lambda: sweep, rounds=1, iterations=1)
+    rows = [
+        (MACHINES[k].name, f"{v[0]:.2f}", f"{v[1]:.2f}", f"{v[2]:.1f}%")
+        for k, v in sweep.items()
+    ]
+    text = format_table(
+        ["Machine", "scratch hop-bytes", "diffusion hop-bytes", "improvement"],
+        rows,
+        title="Ablation — scaling with processor count (synthetic churn)",
+    )
+    # scratch's average hop distance grows with the partition, §IV-B's claim
+    assert sweep["bgl-1024"][0] > sweep["bgl-256"][0]
+    # diffusion stays below scratch at every size
+    for k, (s_hb, d_hb, _) in sweep.items():
+        assert d_hb < s_hb, k
+    report_sink("ablation_procs", text)

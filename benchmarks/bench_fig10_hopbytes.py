@@ -1,0 +1,51 @@
+"""Fig. 10 — average hop-bytes per synthetic case on 1024 BG/L cores.
+
+Published means over 70 cases: partition from scratch 5.25, tree-based
+hierarchical diffusion 2.44 (53 % less).  The reproduction prints the same
+two per-case series and asserts the paper's shape: diffusion's mean
+hop-bytes is far below scratch's, in the published ballpark.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import fig10_fig11_report
+from repro.util.tables import format_series
+
+
+@pytest.fixture(scope="module")
+def report():
+    return fig10_fig11_report(seed=0, n_cases=70, machine_key="bgl-1024")
+
+
+def test_fig10(benchmark, report_sink, report):
+    benchmark.pedantic(
+        fig10_fig11_report,
+        kwargs=dict(seed=1, n_cases=20, machine_key="bgl-1024"),
+        rounds=1,
+        iterations=1,
+    )
+    s_mean = report.scratch_hop_bytes_mean
+    d_mean = report.diffusion_hop_bytes_mean
+    assert d_mean < s_mean, "diffusion must reduce hop-bytes"
+    reduction = 100.0 * (s_mean - d_mean) / s_mean
+    assert reduction > 25.0, f"hop-bytes reduction too small: {reduction:.0f}%"
+    # ballpark of the published means
+    assert 3.0 < s_mean < 8.0
+    assert 1.0 < d_mean < 4.5
+
+    series = "\n\n".join(
+        [
+            report.text,
+            f"hop-bytes reduction: {reduction:.0f}%  (paper: 53%)",
+            format_series(
+                "Fig 10 scratch", report.cases, report.scratch_hop_bytes,
+                x_label="case", y_label="avg hop-bytes",
+            ),
+            format_series(
+                "Fig 10 diffusion", report.cases, report.diffusion_hop_bytes,
+                x_label="case", y_label="avg hop-bytes",
+            ),
+        ]
+    )
+    report_sink("fig10", series)

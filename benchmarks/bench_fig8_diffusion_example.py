@@ -1,0 +1,37 @@
+"""Figs. 2/4/8 — the tree-based hierarchical diffusion worked example.
+
+Delete nests {1, 2, 4}, retain {3, 5} (weights 0.27 / 0.42), insert 6
+(0.31).  Published behaviour: node 6 is inserted at the freed slot whose
+sibling is nest 3 (|0.31 - 0.27| < |0.42 - 0.31|); the resulting partition
+keeps "considerable overlap between the old and new set of processors for
+nests 3 and 5, as compared to no overlap in the partition from scratch
+approach".  The benchmark times one diffusion edit + layout.
+"""
+
+from repro.experiments import fig8_report
+from repro.experiments.report import PAPER_CHURN_NEW, PAPER_CHURN_RETAINED, PAPER_WEIGHTS
+from repro.grid import ProcessorGrid
+from repro.tree import build_huffman, diffusion_edit, layout_tree
+
+
+def test_fig8(benchmark, report_sink):
+    grid = ProcessorGrid.square_like(1024)
+    old_tree = build_huffman(PAPER_WEIGHTS)
+
+    def edit_and_layout():
+        t = diffusion_edit(old_tree, [1, 2, 4], PAPER_CHURN_RETAINED, PAPER_CHURN_NEW)
+        return layout_tree(t, grid.full_rect)
+
+    benchmark(edit_and_layout)
+
+    report = fig8_report()
+    # tree shape of Fig 8(c): nest 6 sits beside nest 3, nest 5 at top level
+    tree = report.diffusion_allocation.tree
+    assert tree is not None
+    leaf6 = tree.find_leaf(6)
+    assert leaf6.sibling is not None and leaf6.sibling.nest_id == 3
+    # overlap story
+    for nid in (3, 5):
+        assert report.diffusion_overlap[nid] > 0.5
+        assert report.scratch_overlap[nid] == 0.0
+    report_sink("fig8", report.text)

@@ -1,0 +1,113 @@
+"""Library kernel microbenchmarks.
+
+Not a paper experiment — these time the hot kernels of the library itself
+(the classic pytest-benchmark use), so performance regressions in the
+interval algebra, tree operations, routing or field synthesis are caught.
+All kernels run at the paper's production scale (1024 cores, 300x300-class
+nests, 552x324 parent domain).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import DiffusionStrategy, ScratchStrategy, plan_redistribution
+from repro.grid import BlockDecomposition, ProcessorGrid, Rect, transfer_matrix
+from repro.mpisim import CostModel, NetworkSimulator, messages_from_transfer, predict_alltoallv_time
+from repro.topology import FoldedMapping, Torus3D, blue_gene_l
+from repro.tree import build_huffman, diffusion_edit, layout_tree
+from repro.wrf.clouds import random_system
+from repro.wrf.fields import olr_field, qcloud_field
+
+GRID = ProcessorGrid(32, 32)
+WEIGHTS = {i: w for i, w in enumerate((0.08, 0.1, 0.12, 0.15, 0.15, 0.18, 0.22))}
+
+
+@pytest.fixture(scope="module")
+def machine():
+    return blue_gene_l(1024)
+
+
+@pytest.fixture(scope="module")
+def cost(machine):
+    return CostModel.for_machine(machine)
+
+
+@pytest.fixture(scope="module")
+def transfer():
+    old = BlockDecomposition(300, 300, Rect(0, 0, 13, 16))
+    new = BlockDecomposition(300, 300, Rect(5, 3, 19, 15))
+    return transfer_matrix(old, new, GRID.px)
+
+
+def test_kernel_huffman_build(benchmark):
+    tree = benchmark(build_huffman, WEIGHTS)
+    assert tree is not None
+
+
+def test_kernel_layout(benchmark):
+    tree = build_huffman(WEIGHTS)
+    rects = benchmark(layout_tree, tree, GRID.full_rect)
+    assert len(rects) == len(WEIGHTS)
+
+
+def test_kernel_diffusion_edit(benchmark):
+    tree = build_huffman(WEIGHTS)
+    retained = {i: 0.2 for i in (1, 3, 5)}
+    out = benchmark(diffusion_edit, tree, [0, 2, 4, 6], retained, {10: 0.4})
+    assert out is not None
+
+
+def test_kernel_transfer_matrix(benchmark):
+    old = BlockDecomposition(300, 300, Rect(0, 0, 13, 16))
+    new = BlockDecomposition(300, 300, Rect(5, 3, 19, 15))
+    t = benchmark(transfer_matrix, old, new, GRID.px)
+    assert int(t.points.sum()) == 300 * 300
+
+
+def test_kernel_alltoallv_predict(benchmark, machine, cost, transfer):
+    msgs = messages_from_transfer(transfer, cost.bytes_per_point)
+    out = benchmark(predict_alltoallv_time, msgs, machine, cost)
+    assert out > 0
+
+
+def test_kernel_netsim_bottleneck(benchmark, machine, cost, transfer):
+    sim = NetworkSimulator(machine.mapping, cost)
+    msgs = messages_from_transfer(transfer, cost.bytes_per_point)
+    out = benchmark(sim.bottleneck_time, msgs)
+    assert out > 0
+
+
+def test_kernel_folded_mapping(benchmark):
+    torus = Torus3D((8, 8, 16))
+    mapping = benchmark(FoldedMapping, torus, 32, 32)
+    assert mapping.nranks == 1024
+
+
+def test_kernel_field_synthesis(benchmark):
+    rng = np.random.default_rng(0)
+    systems = [random_system(rng, i, 552, 324) for i in range(8)]
+    q = benchmark(qcloud_field, 552, 324, systems)
+    assert q.shape == (324, 552)
+
+
+def test_kernel_olr(benchmark):
+    rng = np.random.default_rng(0)
+    systems = [random_system(rng, i, 552, 324) for i in range(8)]
+    q = qcloud_field(552, 324, systems)
+    o = benchmark(olr_field, q)
+    assert o.shape == q.shape
+
+
+def test_kernel_full_reallocation_step(benchmark, machine, cost):
+    """One complete adaptation point: strategy + layout + plan."""
+    diff = DiffusionStrategy()
+    old = diff.reallocate(None, WEIGHTS, GRID)
+    new_weights = {1: 0.2, 3: 0.25, 5: 0.25, 10: 0.3}
+    sizes = {i: (300, 300) for i in list(WEIGHTS) + [10]}
+
+    def one_step():
+        new = DiffusionStrategy().reallocate(old, new_weights, GRID)
+        return plan_redistribution(old, new, sizes, machine, cost)
+
+    plan = benchmark(one_step)
+    assert plan.moves

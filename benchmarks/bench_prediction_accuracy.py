@@ -1,0 +1,27 @@
+"""§V-F — execution-time prediction accuracy.
+
+Published: "our prediction method yielded Pearson's correlation coefficient
+of 0.9" between predicted and actual execution times.  The reproduction
+correlates the Delaunay + linear-in-P predictor against the noisy
+ground-truth oracle over the allocations of a synthetic run.
+"""
+
+import pytest
+
+from repro.experiments import prediction_accuracy_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return prediction_accuracy_report(seed=5, n_steps=40, machine_key="bgl-1024")
+
+
+def test_prediction_accuracy(benchmark, report_sink, report):
+    benchmark.pedantic(
+        prediction_accuracy_report,
+        kwargs=dict(seed=6, n_steps=10, machine_key="bgl-1024"),
+        rounds=1,
+        iterations=1,
+    )
+    assert report.pearson_r > 0.8, f"Pearson r too low: {report.pearson_r:.3f}"
+    report_sink("prediction_accuracy", report.text)

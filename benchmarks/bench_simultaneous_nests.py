@@ -1,0 +1,83 @@
+"""Premise check — simultaneous nest execution beats sequential.
+
+The entire reallocation problem exists because "significant performance
+improvements can be achieved by executing the nests simultaneously on
+different subsets of the total number of processors" (paper §IV, citing
+Malakar et al. SC'12).  WRF's stock behaviour runs nests one after another,
+each on all P processors; the partitioned mode runs them concurrently on
+disjoint rectangles sized by predicted load.
+
+This benchmark reproduces that premise on the execution oracle: for the
+paper's worked example and random nest sets, the Huffman-partitioned
+simultaneous execution must beat the sequential baseline, with the gain
+growing with the number of nests (small nests waste a 1024-core allocation).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation
+from repro.grid import ProcessorGrid
+from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+from repro.tree import build_huffman
+from repro.util.rng import make_rng
+from repro.util.tables import format_table
+
+GRID = ProcessorGrid(32, 32)
+ORACLE = ExecutionOracle(noise_sigma=0.0)
+
+
+def sequential_time(nests: dict[int, tuple[int, int]]) -> float:
+    """Each nest in turn on the full 32x32 grid."""
+    return sum(ORACLE.mean_time(nx, ny, GRID.px, GRID.py) for nx, ny in nests.values())
+
+
+def simultaneous_time(
+    nests: dict[int, tuple[int, int]], predictor: ExecTimePredictor
+) -> float:
+    """All nests concurrently on Huffman-partitioned rectangles."""
+    weights = predictor.weights(nests, GRID.nprocs)
+    alloc = Allocation.from_tree(build_huffman(weights), GRID, weights)
+    return max(
+        ORACLE.mean_time(nx, ny, alloc.rects[nid].w, alloc.rects[nid].h)
+        for nid, (nx, ny) in nests.items()
+    )
+
+
+@pytest.fixture(scope="module")
+def predictor():
+    return ExecTimePredictor(ProfileTable(ExecutionOracle()))
+
+
+def test_simultaneous_nests(benchmark, report_sink, predictor):
+    rng = make_rng(42)
+
+    def draw(n):
+        return {
+            i: (int(rng.integers(181, 362)), int(rng.integers(181, 362)))
+            for i in range(n)
+        }
+
+    rows = []
+    speedups = {}
+    for n in (2, 4, 6, 8):
+        seq_t, sim_t = [], []
+        for _ in range(10):
+            nests = draw(n)
+            seq_t.append(sequential_time(nests))
+            sim_t.append(simultaneous_time(nests, predictor))
+        speedup = float(np.mean(seq_t) / np.mean(sim_t))
+        speedups[n] = speedup
+        rows.append(
+            (n, f"{np.mean(seq_t):.1f} s", f"{np.mean(sim_t):.1f} s", f"{speedup:.2f}x")
+        )
+    benchmark(simultaneous_time, draw(5), predictor)
+    text = format_table(
+        ["nests", "sequential (all 1024 cores each)", "simultaneous (partitioned)", "speedup"],
+        rows,
+        title="Premise ([1]) — simultaneous vs sequential nest execution",
+    )
+    # the premise: simultaneous wins, increasingly so with more nests
+    assert all(s > 1.0 for s in speedups.values())
+    assert speedups[8] > speedups[2]
+    report_sink("simultaneous_nests", text)

@@ -1,0 +1,38 @@
+"""Table I — initial Huffman allocation of the 5-nest worked example.
+
+Published (1024 cores): start ranks 0, 256, 512, 13, 429 with sub-grids
+13x8, 13x8, 13x16, 19x13, 19x19.  The reproduction must match *exactly* —
+this pins down every layout convention.  The benchmark times one full
+allocation (Huffman build + rectangle layout).
+"""
+
+from repro.core import Allocation
+from repro.experiments import table1_report
+from repro.experiments.report import PAPER_WEIGHTS
+from repro.grid import ProcessorGrid
+from repro.tree import build_huffman
+
+EXPECTED = [
+    (1, 0, "13x8"),
+    (2, 256, "13x8"),
+    (3, 512, "13x16"),
+    (4, 13, "19x13"),
+    (5, 429, "19x19"),
+]
+
+
+def test_table1(benchmark, report_sink):
+    grid = ProcessorGrid.square_like(1024)
+
+    def allocate():
+        return Allocation.from_tree(build_huffman(PAPER_WEIGHTS), grid, PAPER_WEIGHTS)
+
+    allocation = benchmark(allocate)
+    assert allocation.table_rows() == EXPECTED
+
+    report = table1_report()
+    assert report.rows == EXPECTED
+    report_sink(
+        "table1",
+        report.text + "\n(matches the published Table I exactly)",
+    )

@@ -1,0 +1,34 @@
+"""Table II — partition from scratch after the worked-example churn.
+
+Published: nest 5 at start rank 0 with sub-grid 13x32 (which we match
+exactly); the paper lists nests 3 and 6 as 19x13 / 19x19 whereas exact
+proportional splitting of the 0.27 : 0.31 weights over 32 rows gives
+19x15 / 19x17 (the paper's Table II appears to reuse Table I's geometry —
+see EXPERIMENTS.md).  The structural claim that matters — the scratch
+allocation shares **no** processors with the old allocation of the retained
+nests — is asserted here.
+"""
+
+from repro.experiments import table1_report, table2_report
+
+
+def test_table2(benchmark, report_sink):
+    report = benchmark(table2_report)
+    rows = {r[0]: (r[1], r[2]) for r in report.rows}
+    assert set(rows) == {3, 5, 6}
+    assert rows[5] == (0, "13x32")  # exact match with the paper
+
+    # the headline property: zero overlap with the previous allocation
+    old = table1_report().allocation
+    new = report.allocation
+    for nid in (3, 5):
+        assert not old.rects[nid].overlaps(new.rects[nid])
+
+    report_sink(
+        "table2",
+        report.text
+        + "\n(nest 5 matches the paper exactly; nests 3/6 differ from the "
+        "paper's rows by exact\n proportional rounding — see EXPERIMENTS.md. "
+        "Retained nests share no processors\n with their old rectangles, "
+        "the property Table II illustrates.)",
+    )

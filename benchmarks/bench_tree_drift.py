@@ -1,0 +1,65 @@
+"""Quantifying §IV-B's remark — diffusion trees drift from Huffman.
+
+"Note that the resulting modified tree may no longer be a Huffman tree in
+this approach."  The benchmark tracks the Huffman-optimality gap (weighted
+path length over the optimal value) of the diffusion strategy's tree over
+a 70-step churn run: it drifts above 1.0, stays bounded (the churn itself
+keeps replacing drifted subtrees), and the adaptive-reset extension pins
+it near 1.0 at the cost of occasional rebuilds.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import AdaptiveResetStrategy, DiffusionStrategy
+from repro.core.reallocator import ProcessorReallocator
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext
+from repro.topology import MACHINES
+from repro.tree import huffman_optimality_gap
+from repro.util.tables import format_table
+
+
+def gap_series(strategy, ctx, wl):
+    realloc = ProcessorReallocator(ctx.machine, strategy, ctx.predictor, ctx.cost)
+    gaps = []
+    for step in wl.steps:
+        res = realloc.step(step)
+        gaps.append(huffman_optimality_gap(res.allocation.tree))
+    return gaps
+
+
+@pytest.fixture(scope="module")
+def series():
+    ctx = ExperimentContext(MACHINES["bgl-1024"])
+    wl = synthetic_workload(seed=0, n_steps=70)
+    return {
+        "diffusion": gap_series(DiffusionStrategy(), ctx, wl),
+        "adaptive-reset": gap_series(AdaptiveResetStrategy(1.1), ctx, wl),
+    }
+
+
+def test_tree_drift(benchmark, report_sink, series):
+    benchmark.pedantic(lambda: series, rounds=1, iterations=1)
+    rows = []
+    for name, gaps in series.items():
+        arr = np.asarray(gaps)
+        rows.append(
+            (
+                name,
+                f"{arr.mean():.3f}",
+                f"{arr.max():.3f}",
+                f"{(arr > 1.0 + 1e-9).mean() * 100:.0f}%",
+            )
+        )
+    text = format_table(
+        ["Strategy", "mean optimality gap", "max gap", "steps off-optimal"],
+        rows,
+        title="§IV-B quantified — Huffman-optimality drift over 70 churn steps",
+    )
+    diff = np.asarray(series["diffusion"])
+    adapt = np.asarray(series["adaptive-reset"])
+    assert diff.max() > 1.0 + 1e-6, "diffusion never drifted (suspicious)"
+    assert diff.max() < 3.0, "drift should stay bounded under churn"
+    assert adapt.mean() <= diff.mean() + 1e-9
+    report_sink("tree_drift", text)

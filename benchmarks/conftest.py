@@ -1,0 +1,40 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one table/figure of the paper and registers its
+reproduction report; reports are written to ``benchmarks/results/*.txt``
+and echoed into the terminal summary, so ``pytest benchmarks/
+--benchmark-only`` output can be read next to the publication.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+_reports: list[tuple[str, str]] = []
+
+
+@pytest.fixture
+def report_sink():
+    """Callable ``(name, text)`` that records a reproduction report."""
+
+    def record(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        _reports.append((name, text))
+
+    return record
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _reports:
+        return
+    terminalreporter.write_sep("=", "paper reproduction reports")
+    for name, text in _reports:
+        terminalreporter.write_line("")
+        terminalreporter.write_sep("-", name)
+        for line in text.splitlines():
+            terminalreporter.write_line(line)

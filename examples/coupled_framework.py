@@ -1,0 +1,80 @@
+"""The full coupled framework with verified data movement.
+
+:class:`repro.wrf.CoupledSimulation` is the paper's contribution 2 in one
+object: the parent model steps, split files flow through the parallel data
+analysis, detected regions become tracked nests, the diffusion strategy
+reallocates processors — and the nests' actual field payloads are moved
+through the simulated ``MPI_Alltoallv`` data plane and verified
+bit-for-bit after every move.
+
+The example also demonstrates the persistence layer: the run's per-step
+summary is written to JSON/CSV under ``./out/``.
+
+Run:  python examples/coupled_framework.py  [n_steps]
+"""
+
+import pathlib
+import sys
+
+from repro.core import StepMetrics
+from repro.trace import metrics_to_csv, save_run
+from repro.viz import render_allocation, sparkline
+from repro.wrf import CoupledSimulation
+
+
+def main(n_steps: int = 20) -> None:
+    sim = CoupledSimulation(verify_data=True)
+    print(
+        f"machine {sim.machine.name}; domain {sim.config.nx}x{sim.config.ny}; "
+        f"{n_steps} adaptation points; data verification ON\n"
+    )
+
+    metrics: list[StepMetrics] = []
+    moved_series: list[float] = []
+    for r in sim.run(n_steps):
+        plan = r.reallocation.plan if r.reallocation else None
+        moved_series.append(r.moved_bytes / 1e6)
+        line = (
+            f"[t={r.step:3d}] rois={len(r.rois)} "
+            f"+{len(r.spawned)} ~{len(r.retained)} -{len(r.deleted)}"
+            f" | moved {r.moved_bytes / 1e6:8.1f} MB"
+        )
+        if r.verified_nests:
+            line += f" | verified nests {r.verified_nests} ✓"
+        print(line)
+        if plan is not None:
+            metrics.append(
+                StepMetrics(
+                    step=r.step,
+                    n_nests=len(r.retained) + len(r.spawned),
+                    n_retained=len(r.retained),
+                    predicted_redist=plan.predicted_time,
+                    measured_redist=plan.measured_time,
+                    hop_bytes_avg=plan.hop_bytes_avg,
+                    hop_bytes_total=plan.hop_bytes_total,
+                    overlap_fraction=plan.overlap_fraction,
+                    exec_predicted=0.0,
+                    exec_actual=0.0,
+                )
+            )
+
+    print(f"\nMB moved per step: {sparkline(moved_series)}")
+    print(f"resident nest state: {sim.total_nest_memory() / 1e6:.1f} MB")
+    if sim.reallocator.allocation and not sim.reallocator.allocation.is_empty:
+        print("\nfinal allocation:")
+        print(render_allocation(sim.reallocator.allocation))
+
+    out = pathlib.Path("out")
+    save_run(
+        metrics,
+        out / "coupled_run.json",
+        workload="coupled-mumbai",
+        strategy="diffusion",
+        machine=sim.machine.name,
+    )
+    metrics_to_csv(metrics, out / "coupled_run.csv")
+    print(f"\nsaved {len(metrics)} step records to {out}/coupled_run.[json|csv]")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 20)

@@ -1,0 +1,76 @@
+"""Artifact-evaluation script: regenerate every paper table and figure.
+
+Runs the full reproduction — Tables I–IV, Figs. 1/8/9/10/11/12, the
+real-trace result and the prediction-accuracy check — and prints each
+report next to the paper's published values.  Equivalent to
+``pytest benchmarks/ --benchmark-only`` minus the timing harness; expect a
+few minutes of wall clock.
+
+Run:  python examples/paper_reproduction.py  [--quick]
+      --quick shrinks the sweeps (1 seed, fewer steps) to ~30 seconds.
+"""
+
+import sys
+import time
+
+
+def main(quick: bool = False) -> None:
+    from repro.experiments import (
+        fig8_report,
+        fig9_report,
+        fig10_fig11_report,
+        fig12_report,
+        prediction_accuracy_report,
+        real_trace_report,
+        table1_report,
+        table2_report,
+        table3_report,
+        table4_report,
+    )
+
+    seeds = (0,) if quick else (0, 1, 2, 3, 4)
+    steps = 20 if quick else 70
+    trace_steps = 25 if quick else 100
+    cases = 20 if quick else 70
+
+    sections = [
+        ("Table I", lambda: table1_report().text),
+        ("Table II", lambda: table2_report().text),
+        ("Table III", table3_report),
+        (
+            "Table IV",
+            lambda: table4_report(seeds=seeds, n_steps=steps).text,
+        ),
+        ("Figs. 2/4/8", lambda: fig8_report().text),
+        ("Fig. 9", lambda: fig9_report(step=12 if quick else 26).text),
+        (
+            "Figs. 10-11",
+            lambda: fig10_fig11_report(n_cases=cases).text,
+        ),
+        ("Fig. 12 / §V-F dynamic", lambda: fig12_report().text),
+        (
+            "§V-D real trace",
+            lambda: real_trace_report(n_steps=trace_steps).text,
+        ),
+        (
+            "§V-F prediction accuracy",
+            lambda: prediction_accuracy_report().text,
+        ),
+    ]
+
+    grand_start = time.time()
+    for title, build in sections:
+        start = time.time()
+        text = build()
+        elapsed = time.time() - start
+        bar = "=" * 72
+        print(f"\n{bar}\n{title}   [{elapsed:.1f}s]\n{bar}")
+        print(text)
+    print(
+        f"\nall {len(sections)} experiments regenerated in "
+        f"{time.time() - grand_start:.0f}s"
+    )
+
+
+if __name__ == "__main__":
+    main(quick="--quick" in sys.argv[1:])

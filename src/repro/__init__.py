@@ -1,0 +1,30 @@
+"""repro — reproduction of "A Diffusion-Based Processor Reallocation Strategy
+for Tracking Multiple Dynamically Varying Weather Phenomena" (ICPP 2013).
+
+Packages
+--------
+``repro.topology``
+    Interconnects (3D torus, switched), topology-aware rank mappings.
+``repro.mpisim``
+    Simulated MPI: alltoallv message matrices, cost models, a link-level
+    contention-aware network simulator.
+``repro.grid``
+    Process-grid geometry: rectangles, block decomposition, overlap.
+``repro.tree``
+    Allocation trees: Huffman build, rectangle layout, Algorithm-3 edits.
+``repro.analysis``
+    Parallel data analysis (Algorithm 1) and nearest-neighbour clustering
+    (Algorithm 2) for organised cloud-cluster detection.
+``repro.wrf``
+    A WRF-like weather substrate: cloud fields, split files, nests.
+``repro.perfmodel``
+    Execution- and redistribution-time performance models.
+``repro.core``
+    The reallocation strategies (scratch, tree-based hierarchical diffusion,
+    dynamic) and the end-to-end
+    :class:`~repro.core.reallocator.ProcessorReallocator`.
+``repro.experiments``
+    Workload generators and the per-table/figure experiment runners.
+"""
+
+__version__ = "1.0.0"

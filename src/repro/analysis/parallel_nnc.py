@@ -1,0 +1,247 @@
+"""Parallel nearest-neighbour clustering (the paper's stated future work).
+
+§III closes with: "we would like to parallelize the NNC algorithm in
+future for simulations on larger number of processors".  This module
+implements that extension with the standard two-phase scheme for
+proximity clustering:
+
+1. **Local phase** — the subdomain summaries are partitioned spatially
+   into ``n_workers`` rectangular tiles of the block grid; each worker
+   runs the *sequential* NNC (Algorithm 2) on its own tile.  Workers only
+   look at their own elements, so the phase is embarrassingly parallel.
+2. **Merge phase** — clusters from different tiles are merged when any
+   cross-tile member pair lies within the hop limit *and* the merged
+   cluster passes the mean-compatibility test (the two cluster means are
+   within the mean-deviation threshold of each other, the natural
+   cluster-level generalisation of Algorithm 2's member-level guard).
+   Union-find closes the merge relation transitively.
+
+The result is deterministic and independent of worker count in the
+well-separated case (cluster diameter < tile size); near tile borders it
+can differ from the sequential order-dependent greedy — the same kind of
+divergence any parallelisation of a greedy clustering accepts.  Per-worker
+distance-evaluation counts are reported so the scaling benefit is
+measurable without real parallel hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.nnc import NNCConfig, nearest_neighbour_clustering
+from repro.analysis.records import SubdomainSummary
+from repro.grid.block import split_evenly
+from repro.grid.procgrid import ProcessorGrid
+
+__all__ = ["ParallelNNCResult", "parallel_nnc", "count_distance_evaluations"]
+
+
+@dataclass(frozen=True)
+class ParallelNNCResult:
+    """Clusters plus the per-phase work accounting."""
+
+    clusters: list[list[SubdomainSummary]]
+    n_workers: int
+    per_worker_elements: list[int]
+    per_worker_ops: list[int]  # local-phase distance evaluations per worker
+    merge_ops: int  # merge-phase cross-tile distance evaluations
+
+    @property
+    def critical_path_ops(self) -> int:
+        """Work on the slowest worker plus the (root-side) merge phase."""
+        local = max(self.per_worker_ops) if self.per_worker_ops else 0
+        return local + self.merge_ops
+
+    def speedup_vs(self, sequential_ops: int) -> float:
+        """Operation-count speedup over the sequential algorithm."""
+        cp = self.critical_path_ops
+        return sequential_ops / cp if cp else float("inf")
+
+
+def count_distance_evaluations(
+    qcloudinfo: list[SubdomainSummary], config: NNCConfig | None = None
+) -> int:
+    """Distance evaluations the *sequential* NNC performs on this input.
+
+    Mirrors Algorithm 2's loop structure: for each accepted element, every
+    member of every existing cluster is inspected at 1 hop and (on miss)
+    again at 2 hops, until placement.
+    """
+    config = config or NNCConfig()
+    ops = 0
+    clusters: list[list[SubdomainSummary]] = []
+    for element in qcloudinfo:
+        if (
+            element.qcloud < config.qcloud_threshold
+            or element.olr_fraction < config.olr_fraction_threshold
+        ):
+            continue
+        placed = False
+        for hop in range(1, config.max_hops + 1):
+            for cluster in clusters:
+                for member in cluster:
+                    ops += 1
+                    if element.hop_distance(member) == hop:
+                        cluster.append(element)
+                        placed = True
+                        break
+                if placed:
+                    break
+            if placed:
+                break
+        if not placed:
+            clusters.append([element])
+    return ops
+
+
+class _UnionFind:
+    def __init__(self, n: int) -> None:
+        self.parent = list(range(n))
+
+    def find(self, x: int) -> int:
+        while self.parent[x] != x:
+            self.parent[x] = self.parent[self.parent[x]]
+            x = self.parent[x]
+        return x
+
+    def union(self, a: int, b: int) -> None:
+        ra, rb = self.find(a), self.find(b)
+        if ra != rb:
+            self.parent[rb] = ra
+
+
+def _tile_of(
+    s: SubdomainSummary, xb: np.ndarray, yb: np.ndarray, tiles_x: int
+) -> int:
+    tx = int(max(0, (xb[1:] <= s.block_x).sum()))
+    ty = int(max(0, (yb[1:] <= s.block_y).sum()))
+    return ty * tiles_x + tx
+
+
+def _cluster_mean(cluster: list[SubdomainSummary]) -> float:
+    return float(np.mean([m.qcloud for m in cluster]))
+
+
+def parallel_nnc(
+    qcloudinfo: list[SubdomainSummary],
+    n_workers: int,
+    config: NNCConfig | None = None,
+    sim_grid: ProcessorGrid | None = None,
+) -> ParallelNNCResult:
+    """Two-phase parallel NNC over ``n_workers`` spatial tiles.
+
+    Parameters
+    ----------
+    qcloudinfo:
+        Subdomain summaries sorted in non-increasing QCLOUD order (the
+        same input Algorithm 2 receives).
+    n_workers:
+        Number of analysis workers (tiles).
+    config:
+        Thresholds shared with the sequential NNC.
+    sim_grid:
+        The simulation's block grid; inferred from the summaries' block
+        coordinates when omitted.
+    """
+    if n_workers < 1:
+        raise ValueError(f"n_workers must be >= 1, got {n_workers}")
+    config = config or NNCConfig()
+    if not qcloudinfo:
+        return ParallelNNCResult([], n_workers, [0] * n_workers, [0] * n_workers, 0)
+
+    if sim_grid is None:
+        px = max(s.block_x for s in qcloudinfo) + 1
+        py = max(s.block_y for s in qcloudinfo) + 1
+    else:
+        px, py = sim_grid.px, sim_grid.py
+    tiles = ProcessorGrid.square_like(n_workers)
+    xb = split_evenly(px, tiles.px)
+    yb = split_evenly(py, tiles.py)
+
+    # ------------------------------------------------------------------
+    # Phase 1: local clustering per tile (order within a tile preserves the
+    # global QCLOUD ordering, as each worker receives a sorted sublist).
+    # ------------------------------------------------------------------
+    buckets: list[list[SubdomainSummary]] = [[] for _ in range(n_workers)]
+    for s in qcloudinfo:
+        buckets[_tile_of(s, xb, yb, tiles.px)].append(s)
+
+    local_clusters: list[list[SubdomainSummary]] = []
+    cluster_tile: list[int] = []
+    per_worker_ops: list[int] = []
+    for w, bucket in enumerate(buckets):
+        per_worker_ops.append(count_distance_evaluations(bucket, config))
+        for cluster in nearest_neighbour_clustering(bucket, config):
+            local_clusters.append(cluster)
+            cluster_tile.append(w)
+
+    # ------------------------------------------------------------------
+    # Phase 2: merge clusters across tile borders.
+    # ------------------------------------------------------------------
+    uf = _UnionFind(len(local_clusters))
+    merge_ops = 0
+    means = [_cluster_mean(c) for c in local_clusters]
+    # Spatial prefilter: a pair of clusters can only merge when their block
+    # bounding boxes come within the hop limit — O(1) per pair, so the
+    # quadratic pair scan stays cheap and member-level distance checks run
+    # only for genuinely adjacent border clusters.
+    boxes = [
+        (
+            min(s.block_x for s in c),
+            max(s.block_x for s in c),
+            min(s.block_y for s in c),
+            max(s.block_y for s in c),
+        )
+        for c in local_clusters
+    ]
+    for a in range(len(local_clusters)):
+        for b in range(a + 1, len(local_clusters)):
+            if cluster_tile[a] == cluster_tile[b]:
+                continue  # same tile: the local phase already decided
+            merge_ops += 1  # bounding-box test
+            ax0, ax1, ay0, ay1 = boxes[a]
+            bx0, bx1, by0, by1 = boxes[b]
+            gap_x = max(bx0 - ax1, ax0 - bx1, 0)
+            gap_y = max(by0 - ay1, ay0 - by1, 0)
+            if max(gap_x, gap_y) > config.max_hops:
+                continue
+            # mean-compatibility next (cheap), then member proximity
+            ma, mb = means[a], means[b]
+            if ma == 0 and mb == 0:
+                compatible = True
+            else:
+                base = max(abs(ma), abs(mb))
+                compatible = abs(ma - mb) <= config.mean_deviation * base
+            if not compatible:
+                continue
+            close = False
+            for s in local_clusters[a]:
+                for t in local_clusters[b]:
+                    merge_ops += 1
+                    if s.hop_distance(t) <= config.max_hops:
+                        close = True
+                        break
+                if close:
+                    break
+            if close:
+                uf.union(a, b)
+
+    merged: dict[int, list[SubdomainSummary]] = {}
+    for idx, cluster in enumerate(local_clusters):
+        merged.setdefault(uf.find(idx), []).extend(cluster)
+    # Keep the output ordering deterministic: clusters by their strongest
+    # member, members by decreasing QCLOUD (as the sequential NNC sees them).
+    out = [
+        sorted(c, key=lambda s: -s.qcloud)
+        for c in merged.values()
+    ]
+    out.sort(key=lambda c: -c[0].qcloud)
+    return ParallelNNCResult(
+        clusters=out,
+        n_workers=n_workers,
+        per_worker_elements=[len(b) for b in buckets],
+        per_worker_ops=per_worker_ops,
+        merge_ops=merge_ops,
+    )

@@ -1,0 +1,138 @@
+"""Algorithm 1: parallel data analysis of split files.
+
+``P`` split files are divided among ``N`` analysis processes as rectangular
+subsets of the simulation's ``(Px, Py)`` process decomposition; each
+analysis process summarises its ``k = P/N`` files (aggregate QCLOUD where
+``OLR <= 200``, plus the low-OLR area fraction); the root gathers the
+summaries, sorts them by decreasing QCLOUD, clusters them with Algorithm 2
+and emits one bounding rectangle per cluster.
+
+The analysis runs on the :class:`~repro.mpisim.comm.SimComm` SPMD harness —
+"the parallel data analysis algorithm is executed simultaneously on a
+different set of processors than the processors running the WRF simulation"
+— so the division of files, the per-rank loop and the root-side gather are
+structured exactly as published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.nnc import NNCConfig, nearest_neighbour_clustering
+from repro.analysis.records import SplitFile, SubdomainSummary
+from repro.analysis.regions import clusters_to_rectangles
+from repro.grid.block import split_evenly
+from repro.grid.procgrid import ProcessorGrid
+from repro.grid.rect import Rect
+from repro.mpisim.comm import SimComm
+
+__all__ = ["PDAConfig", "PDAResult", "parallel_data_analysis"]
+
+
+@dataclass(frozen=True)
+class PDAConfig:
+    """Thresholds for Algorithm 1 + the embedded Algorithm 2."""
+
+    olr_threshold: float = 200.0  # paper: upper OLR bound for deep cloud
+    nnc: NNCConfig = field(default_factory=NNCConfig)
+    min_roi_area: int = 0
+
+
+@dataclass(frozen=True)
+class PDAResult:
+    """Everything the root computes at one adaptation point."""
+
+    rectangles: list[Rect]  # regions of interest (parent grid points)
+    clusters: list[list[SubdomainSummary]]
+    summaries: list[SubdomainSummary]  # sorted qcloudinfo the root saw
+    gathered_items: int  # elements gathered at the root
+
+
+def _assign_files(
+    files: list[SplitFile], sim_grid: ProcessorGrid, n_analysis: int
+) -> list[list[SplitFile]]:
+    """Divide the P split files among N analysis ranks (Algorithm 1, 1–2).
+
+    The subsets are rectangular blocks of the simulation's ``(Px, Py)``
+    decomposition: the analysis grid is the most square factorisation of
+    ``N`` and each analysis rank receives a contiguous block of subdomains.
+    """
+    ag = ProcessorGrid.square_like(n_analysis)
+    xb = split_evenly(sim_grid.px, ag.px)
+    yb = split_evenly(sim_grid.py, ag.py)
+    buckets: list[list[SplitFile]] = [[] for _ in range(n_analysis)]
+    for f in files:
+        ax = int(max(0, (xb[1:] <= f.block_x).sum()))
+        ay = int(max(0, (yb[1:] <= f.block_y).sum()))
+        buckets[ay * ag.px + ax].append(f)
+    return buckets
+
+
+def parallel_data_analysis(
+    files: list[SplitFile],
+    sim_grid: ProcessorGrid,
+    n_analysis: int,
+    config: PDAConfig | None = None,
+    comm: SimComm | None = None,
+) -> PDAResult:
+    """Run Algorithm 1 over one step's split files.
+
+    Parameters
+    ----------
+    files:
+        The ``P`` split files written by the simulation ranks.
+    sim_grid:
+        The simulation's ``(Px, Py)`` process decomposition (for the
+        rectangular division of files among analysis ranks).
+    n_analysis:
+        ``N``, the number of analysis processes.
+    config:
+        Thresholds; paper defaults when omitted.
+    comm:
+        An existing :class:`SimComm` of size ``N`` (one is created when
+        omitted); its statistics account the root gather.
+    """
+    if len(files) != sim_grid.nprocs:
+        raise ValueError(
+            f"expected one split file per simulation rank "
+            f"({sim_grid.nprocs}), got {len(files)}"
+        )
+    if not 1 <= n_analysis <= len(files):
+        raise ValueError(
+            f"n_analysis must be in [1, {len(files)}], got {n_analysis}"
+        )
+    config = config or PDAConfig()
+    comm = comm or SimComm(n_analysis)
+    if comm.Get_size() != n_analysis:
+        raise ValueError(
+            f"communicator size {comm.Get_size()} != n_analysis {n_analysis}"
+        )
+
+    buckets = _assign_files(files, sim_grid, n_analysis)
+
+    # Per-rank analysis (Algorithm 1, lines 3–9).  An analysis rank only
+    # reports subdomains containing any low-OLR area — "some of the split
+    # files may not have regions with OLR <= 200, in which case the process
+    # owning these split files will send fewer than k values".
+    def analyse(rank: int) -> list[SubdomainSummary]:
+        out = []
+        for f in buckets[rank]:
+            summary = f.summarise(config.olr_threshold)
+            if summary.olr_fraction > 0:
+                out.append(summary)
+        return out
+
+    per_rank = comm.run(analyse)
+
+    # Root gather (line 11) + sort (line 13) + NNC (line 14) + rectangles.
+    gathered = comm.gather(per_rank, root=0)
+    assert gathered is not None
+    qcloudinfo = sorted(gathered, key=lambda s: -s.qcloud)
+    clusters = nearest_neighbour_clustering(qcloudinfo, config.nnc)
+    rectangles = clusters_to_rectangles(clusters, config.min_roi_area)
+    return PDAResult(
+        rectangles=rectangles,
+        clusters=clusters,
+        summaries=qcloudinfo,
+        gathered_items=len(gathered),
+    )

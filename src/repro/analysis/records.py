@@ -1,0 +1,77 @@
+"""Data records flowing through the analysis pipeline.
+
+:class:`SplitFile` models one rank's simulation output file (the paper's
+``F_1 .. F_P``): the rank's QCLOUD/OLR subarrays plus where the subdomain
+sits, both as a block index in the simulation's process decomposition (used
+for the hop-distance proximity of Algorithm 2) and as a grid-point extent in
+parent-domain coordinates (used to build nest rectangles).
+
+:class:`SubdomainSummary` is one element of the paper's ``qcloudinfo``: the
+aggregated QCLOUD of a split file plus the fraction of its area with
+``OLR <= 200``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.grid.rect import Rect
+
+__all__ = ["SplitFile", "SubdomainSummary"]
+
+
+@dataclass(frozen=True)
+class SplitFile:
+    """One simulation rank's output for one analysis step."""
+
+    file_index: int  # writing rank (0 .. P-1)
+    block_x: int  # subdomain position in the Px x Py sim decomposition
+    block_y: int
+    extent: Rect  # grid-point extent in parent-domain coordinates
+    qcloud: np.ndarray  # (extent.h, extent.w) cloud water mixing ratio
+    olr: np.ndarray  # (extent.h, extent.w) outgoing long-wave radiation
+
+    def __post_init__(self) -> None:
+        expected = (self.extent.h, self.extent.w)
+        if self.qcloud.shape != expected or self.olr.shape != expected:
+            raise ValueError(
+                f"field shapes {self.qcloud.shape}/{self.olr.shape} do not "
+                f"match extent {expected}"
+            )
+
+    def summarise(self, olr_threshold: float) -> "SubdomainSummary":
+        """Algorithm 1, lines 4–9: aggregate QCLOUD where OLR <= threshold."""
+        mask = self.olr <= olr_threshold
+        qcloud = float(self.qcloud[mask].sum())
+        area = self.qcloud.size
+        olr_fraction = float(mask.sum()) / area if area else 0.0
+        return SubdomainSummary(
+            file_index=self.file_index,
+            block_x=self.block_x,
+            block_y=self.block_y,
+            extent=self.extent,
+            qcloud=qcloud,
+            olr_fraction=olr_fraction,
+        )
+
+
+@dataclass(frozen=True)
+class SubdomainSummary:
+    """One ``qcloudinfo`` tuple: a subdomain's cloud-cover summary."""
+
+    file_index: int
+    block_x: int
+    block_y: int
+    extent: Rect
+    qcloud: float
+    olr_fraction: float
+
+    def hop_distance(self, other: "SubdomainSummary") -> int:
+        """Chebyshev distance between subdomain block positions.
+
+        "1-hop" neighbours are the 8 surrounding subdomains; "2-hop" the
+        next ring out — the proximity notion of Algorithm 2.
+        """
+        return max(abs(self.block_x - other.block_x), abs(self.block_y - other.block_y))

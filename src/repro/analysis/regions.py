@@ -1,0 +1,37 @@
+"""Cluster → region-of-interest rectangles (Algorithm 1, lines 16–19).
+
+Each cluster of subdomain summaries is replaced by the bounding rectangle of
+its members' grid-point extents; these rectangles are the nest domains that
+the simulation spawns at the next adaptation point.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.records import SubdomainSummary
+from repro.grid.rect import Rect
+
+__all__ = ["cluster_bounding_rect", "clusters_to_rectangles"]
+
+
+def cluster_bounding_rect(cluster: list[SubdomainSummary]) -> Rect:
+    """Bounding rectangle (parent grid points) of a cluster's subdomains."""
+    if not cluster:
+        raise ValueError("cannot bound an empty cluster")
+    rect = cluster[0].extent
+    for member in cluster[1:]:
+        rect = rect.union_bbox(member.extent)
+    return rect
+
+
+def clusters_to_rectangles(
+    clusters: list[list[SubdomainSummary]],
+    min_area: int = 0,
+) -> list[Rect]:
+    """Region-of-interest rectangles for all clusters.
+
+    ``min_area`` (parent grid points) drops degenerate single-subdomain
+    specks not worth a nest; 0 keeps everything, as the paper does — its
+    thresholds already filtered weak subdomains.
+    """
+    rects = [cluster_bounding_rect(c) for c in clusters if c]
+    return [r for r in rects if r.area >= min_area]

@@ -1,0 +1,350 @@
+"""Command-line interface: regenerate any paper experiment from a shell.
+
+Usage examples::
+
+    python -m repro table1                     # worked-example allocation
+    python -m repro table4 --seeds 0 1 2       # synthetic improvements
+    python -m repro fig10 --cases 70           # hop-bytes series
+    python -m repro fig12                      # dynamic strategy
+    python -m repro track --steps 20           # live cloud-tracking demo
+    python -m repro compare --machine bgl-256  # strategy comparison
+    python -m repro example                    # Figs. 2-8 with ASCII maps
+
+Every subcommand prints the same report the corresponding benchmark writes
+to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'A Diffusion-Based Processor Reallocation "
+            "Strategy for Tracking Multiple Dynamically Varying Weather "
+            "Phenomena' (ICPP 2013)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="Table I: worked-example allocation")
+    sub.add_parser("table2", help="Table II: scratch re-allocation")
+    sub.add_parser("table3", help="Table III: machine configurations")
+
+    p = sub.add_parser("table4", help="Table IV: synthetic redistribution improvement")
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p.add_argument("--steps", type=int, default=70)
+
+    sub.add_parser("fig8", help="Figs. 2/4/8: the diffusion worked example")
+
+    p = sub.add_parser("fig9", help="Fig. 9: clustering comparison")
+    p.add_argument("--step", type=int, default=26)
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser("fig10", help="Figs. 10-11: hop-bytes and overlap")
+    p.add_argument("--cases", type=int, default=70)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--machine", default="bgl-1024")
+
+    p = sub.add_parser("fig12", help="Fig. 12: dynamic strategy")
+    p.add_argument("--steps", type=int, default=12)
+    p.add_argument("--seed", type=int, default=3)
+
+    p = sub.add_parser("real-trace", help="§V-D: Mumbai-2005-like trace")
+    p.add_argument("--steps", type=int, default=100)
+    p.add_argument("--seed", type=int, default=2005)
+
+    p = sub.add_parser("prediction", help="§V-F: execution-time prediction accuracy")
+    p.add_argument("--steps", type=int, default=40)
+    p.add_argument("--seed", type=int, default=5)
+
+    p = sub.add_parser("track", help="live cloud-tracking demo with field maps")
+    p.add_argument("--steps", type=int, default=15)
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--no-map", action="store_true", help="skip the field map")
+    p.add_argument(
+        "--dynamics",
+        action="store_true",
+        help="use the emergent advection-condensation model instead of the "
+        "scripted Mumbai scenario",
+    )
+
+    p = sub.add_parser("compare", help="strategy comparison on a machine preset")
+    p.add_argument("--machine", default="bgl-1024")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=70)
+
+    sub.add_parser("example", help="the worked example with ASCII allocation maps")
+
+    p = sub.add_parser("sweep", help="machine x seed x strategy sweep (Table IV style)")
+    p.add_argument("--machines", nargs="+", default=["bgl-1024", "bgl-256", "fist-256"])
+    p.add_argument("--seeds", type=int, nargs="+", default=[0, 1, 2])
+    p.add_argument("--steps", type=int, default=40)
+    p.add_argument("--csv", help="write the record table as CSV here")
+
+    p = sub.add_parser("workload", help="generate, save and replay workload traces")
+    p.add_argument("action", choices=["save", "replay"])
+    p.add_argument("path", help="JSON trace file")
+    p.add_argument("--kind", choices=["synthetic", "mumbai", "dynamical"], default="synthetic")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=70)
+    p.add_argument("--machine", default="bgl-1024")
+    p.add_argument("--strategy", choices=["scratch", "diffusion", "dynamic"], default="diffusion")
+    p.add_argument("--csv", help="also write per-step metrics CSV here (replay only)")
+    return parser
+
+
+def _cmd_track(args: argparse.Namespace) -> None:
+    from repro.analysis import PDAConfig, parallel_data_analysis
+    from repro.core import DiffusionStrategy, ProcessorReallocator
+    from repro.experiments.workloads import _clamp_roi
+    from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+    from repro.topology import blue_gene_l
+    from repro.viz import render_field
+    from repro.wrf import NestTracker, WrfLikeModel, mumbai_2005_scenario
+
+    machine = blue_gene_l(1024)
+    if getattr(args, "dynamics", False):
+        from repro.wrf.dynamics import DynamicalModel
+        from repro.wrf.model import DomainConfig
+
+        config = DomainConfig()
+        model = DynamicalModel(config, seed=args.seed)
+    else:
+        scenario = mumbai_2005_scenario(seed=args.seed, n_steps=args.steps)
+        config = scenario.config
+        model = WrfLikeModel(config, scenario.birth_fn, scenario.initial_systems)
+    tracker = NestTracker(refinement=config.nest_refinement)
+    predictor = ExecTimePredictor(ProfileTable(ExecutionOracle()))
+    realloc = ProcessorReallocator(machine, DiffusionStrategy(), predictor)
+    for t in range(args.steps):
+        model.step()
+        result = parallel_data_analysis(
+            model.write_split_files(), config.sim_grid, 64, PDAConfig()
+        )
+        rois = [
+            _clamp_roi(r, 58, 120, config.nx, config.ny)
+            for r in sorted(result.rectangles, key=lambda r: -r.area)[:7]
+        ]
+        retained, deleted, new = tracker.update(rois)
+        nests = {n.nest_id: (n.nx, n.ny) for n in tracker.live.values()}
+        if not nests:
+            print(f"[t={t:3d}] clear skies")
+            continue
+        res = realloc.step(nests)
+        line = f"[t={t:3d}] nests +{len(new)} ~{len(retained)} -{len(deleted)}"
+        if res.plan and res.plan.moves:
+            line += (
+                f" | overlap {100 * res.plan.overlap_fraction:5.1f}%"
+                f" redist {res.plan.measured_time * 1e3:6.1f} ms"
+            )
+        print(line)
+    if not args.no_map:
+        _, olr = model.fields()
+        print("\nOLR field (dark = deep cloud), final step:")
+        print(render_field(olr, width=72, invert=True))
+        if realloc.allocation is not None and not realloc.allocation.is_empty:
+            from repro.viz import render_allocation
+
+            print("\nfinal processor allocation:")
+            print(render_allocation(realloc.allocation))
+
+
+def _cmd_compare(args: argparse.Namespace) -> None:
+    from repro.core import DiffusionStrategy, ScratchStrategy
+    from repro.experiments import synthetic_workload
+    from repro.experiments.runner import ExperimentContext, run_workload
+    from repro.topology import MACHINES
+    from repro.util.tables import format_table, percent
+    from repro.viz import sparkline
+
+    machine = MACHINES[args.machine]
+    ctx = ExperimentContext(machine)
+    wl = synthetic_workload(seed=args.seed, n_steps=args.steps)
+    runs = [
+        run_workload(wl, s, ctx)
+        for s in (ScratchStrategy(), DiffusionStrategy(), ctx.make_dynamic_strategy())
+    ]
+    rows = [
+        (
+            r.strategy,
+            f"{r.total('measured_redist'):.3f} s",
+            f"{r.total('exec_actual'):.1f} s",
+            f"{r.mean('hop_bytes_avg', nonzero_only=True):.2f}",
+            f"{100 * r.mean('overlap_fraction'):.1f}%",
+        )
+        for r in runs
+    ]
+    print(format_table(
+        ["Strategy", "Σ redistribution", "Σ execution", "avg hop-bytes", "avg overlap"],
+        rows,
+        title=f"Strategy comparison on {machine.name}, seed {args.seed}",
+    ))
+    print("\nper-step measured redistribution:")
+    for r in runs:
+        print(f"  {r.strategy:10s} {sparkline(r.series('measured_redist'))}")
+    print(
+        f"\ndiffusion vs scratch improvement: "
+        f"{percent(runs[1].total('measured_redist'), runs[0].total('measured_redist')):.1f}%"
+    )
+
+
+def _cmd_sweep(args: argparse.Namespace) -> None:
+    from repro.experiments.sweeps import improvement_sweep
+    from repro.util.tables import format_table
+
+    sweep = improvement_sweep(
+        machines=tuple(args.machines), seeds=tuple(args.seeds), n_steps=args.steps
+    )
+    sweep.run()
+    print(sweep.to_table())
+    matrix = sweep.improvement_matrix()
+    print()
+    print(format_table(
+        ["Machine", "diffusion improvement over scratch"],
+        [(k, f"{v:.1f}%") for k, v in matrix.items()],
+        title="mean improvement per machine",
+    ))
+    if args.csv:
+        sweep.to_csv(args.csv)
+        print(f"\nrecords -> {args.csv}")
+
+
+def _cmd_workload(args: argparse.Namespace) -> None:
+    from repro.trace import load_workload, metrics_to_csv, save_workload
+
+    if args.action == "save":
+        if args.kind == "synthetic":
+            from repro.experiments import synthetic_workload
+
+            wl = synthetic_workload(seed=args.seed, n_steps=args.steps)
+        elif args.kind == "mumbai":
+            from repro.experiments import mumbai_trace_workload
+
+            wl = mumbai_trace_workload(seed=args.seed, n_steps=args.steps)
+        else:
+            from repro.experiments import dynamical_trace_workload
+
+            wl = dynamical_trace_workload(seed=args.seed, n_steps=args.steps)
+        save_workload(wl, args.path)
+        counts = wl.nest_counts()
+        print(
+            f"saved {wl.name}: {wl.n_steps} steps, "
+            f"{min(counts)}-{max(counts)} nests -> {args.path}"
+        )
+        return
+
+    # replay
+    from repro.core import DiffusionStrategy, ScratchStrategy
+    from repro.experiments.runner import ExperimentContext, run_workload
+    from repro.topology import MACHINES
+    from repro.util.tables import format_table
+
+    wl = load_workload(args.path)
+    ctx = ExperimentContext(MACHINES[args.machine])
+    if args.strategy == "scratch":
+        strategy = ScratchStrategy()
+    elif args.strategy == "diffusion":
+        strategy = DiffusionStrategy()
+    else:
+        strategy = ctx.make_dynamic_strategy()
+    run = run_workload(wl, strategy, ctx)
+    rows = [
+        ("Σ measured redistribution", f"{run.total('measured_redist'):.3f} s"),
+        ("Σ execution", f"{run.total('exec_actual'):.1f} s"),
+        ("mean hop-bytes", f"{run.mean('hop_bytes_avg', nonzero_only=True):.2f}"),
+        ("mean overlap", f"{100 * run.mean('overlap_fraction'):.1f}%"),
+    ]
+    print(format_table(
+        ["Metric", "Value"],
+        rows,
+        title=f"replay of {wl.name} with {strategy.name} on {MACHINES[args.machine].name}",
+    ))
+    if args.csv:
+        metrics_to_csv(run.metrics, args.csv)
+        print(f"per-step metrics -> {args.csv}")
+
+
+def _cmd_example(_args: argparse.Namespace) -> None:
+    from repro.experiments import fig8_report
+    from repro.viz import render_allocation_diff
+
+    report = fig8_report()
+    print(report.text)
+    print("\ndiffusion transition (maps):")
+    print(render_allocation_diff(report.old_allocation, report.diffusion_allocation, max_width=32))
+    print("\nscratch transition (maps):")
+    print(render_allocation_diff(report.old_allocation, report.scratch_allocation, max_width=32))
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    cmd = args.command
+    if cmd == "table1":
+        from repro.experiments import table1_report
+
+        print(table1_report().text)
+    elif cmd == "table2":
+        from repro.experiments import table2_report
+
+        print(table2_report().text)
+    elif cmd == "table3":
+        from repro.experiments import table3_report
+
+        print(table3_report())
+    elif cmd == "table4":
+        from repro.experiments import table4_report
+
+        print(table4_report(seeds=tuple(args.seeds), n_steps=args.steps).text)
+    elif cmd == "fig8":
+        from repro.experiments import fig8_report
+
+        print(fig8_report().text)
+    elif cmd == "fig9":
+        from repro.experiments import fig9_report
+
+        print(fig9_report(seed=args.seed, step=args.step).text)
+    elif cmd == "fig10":
+        from repro.experiments import fig10_fig11_report
+
+        print(
+            fig10_fig11_report(
+                seed=args.seed, n_cases=args.cases, machine_key=args.machine
+            ).text
+        )
+    elif cmd == "fig12":
+        from repro.experiments import fig12_report
+
+        print(fig12_report(seed=args.seed, n_steps=args.steps).text)
+    elif cmd == "real-trace":
+        from repro.experiments import real_trace_report
+
+        print(real_trace_report(seed=args.seed, n_steps=args.steps).text)
+    elif cmd == "prediction":
+        from repro.experiments import prediction_accuracy_report
+
+        print(prediction_accuracy_report(seed=args.seed, n_steps=args.steps).text)
+    elif cmd == "track":
+        _cmd_track(args)
+    elif cmd == "compare":
+        _cmd_compare(args)
+    elif cmd == "example":
+        _cmd_example(args)
+    elif cmd == "workload":
+        _cmd_workload(args)
+    elif cmd == "sweep":
+        _cmd_sweep(args)
+    else:  # pragma: no cover - argparse enforces the choices
+        raise SystemExit(f"unknown command {cmd!r}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,78 @@
+"""An allocation: every live nest's processor rectangle, plus its tree.
+
+The tree is retained alongside the rectangles because the diffusion
+strategy edits *it* (not the rectangles) at the next adaptation point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.grid.block import BlockDecomposition
+from repro.grid.procgrid import ProcessorGrid
+from repro.grid.rect import Rect
+from repro.tree.layout import layout_tree
+from repro.tree.node import TreeNode
+
+__all__ = ["Allocation"]
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """Nest → processor-rectangle assignment on a process grid."""
+
+    grid: ProcessorGrid
+    tree: TreeNode | None
+    rects: dict[int, Rect]
+    weights: dict[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        items = list(self.rects.items())
+        for i, (nid, r) in enumerate(items):
+            if not self.grid.full_rect.contains(r) or r.is_empty:
+                raise ValueError(f"nest {nid}: rectangle {r} invalid on grid {self.grid}")
+            for njd, r2 in items[i + 1 :]:
+                if r.overlaps(r2):
+                    raise ValueError(
+                        f"nests {nid} and {njd} overlap: {r} vs {r2}"
+                    )
+
+    @classmethod
+    def from_tree(
+        cls,
+        tree: TreeNode | None,
+        grid: ProcessorGrid,
+        weights: dict[int, float] | None = None,
+    ) -> "Allocation":
+        """Lay the tree out over the full grid."""
+        rects = layout_tree(tree, grid.full_rect)
+        return cls(grid=grid, tree=tree, rects=rects, weights=dict(weights or {}))
+
+    @property
+    def nest_ids(self) -> list[int]:
+        return sorted(self.rects)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.rects
+
+    def rect_of(self, nest_id: int) -> Rect:
+        try:
+            return self.rects[nest_id]
+        except KeyError:
+            raise KeyError(f"nest {nest_id} not in allocation {self.nest_ids}") from None
+
+    def start_rank(self, nest_id: int) -> int:
+        """The paper's start rank (NW corner) of a nest's rectangle."""
+        return self.grid.start_rank(self.rect_of(nest_id))
+
+    def decomposition(self, nest_id: int, nx: int, ny: int) -> BlockDecomposition:
+        """Block decomposition of an ``nx x ny`` nest over its rectangle."""
+        return BlockDecomposition(nx=nx, ny=ny, proc_rect=self.rect_of(nest_id))
+
+    def table_rows(self) -> list[tuple[int, int, str]]:
+        """(nest id, start rank, 'WxH') rows — the paper's Table I format."""
+        return [
+            (nid, self.start_rank(nid), f"{self.rects[nid].w}x{self.rects[nid].h}")
+            for nid in self.nest_ids
+        ]

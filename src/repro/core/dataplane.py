@@ -1,0 +1,200 @@
+"""The data plane: actually executing a redistribution.
+
+Everything else in :mod:`repro.core` *costs* redistributions; this module
+*performs* them on simulated per-rank memory, the way the paper's modified
+WRF does with ``MPI_Alltoallv``:
+
+* :class:`RankStore` holds every rank's local nest blocks (rank →
+  nest id → block array, exactly the state a WRF process owns);
+* :func:`scatter_nest` gives each rank of an allocation its block of a
+  full nest field (the initial interpolation onto a fresh nest);
+* :func:`execute_redistribution` moves blocks from the old owners to the
+  new owners following a :class:`~repro.grid.overlap.TransferMatrix` —
+  senders slice their block, receivers assemble theirs;
+* :func:`gather_nest` reassembles the full field from the owners.
+
+The end-to-end invariant — *gather after any chain of redistributions
+returns the original field bit-for-bit* — is what the integration tests
+and the failure-injection tests check.  This is the paper's contribution 2
+("a framework that supports dynamic nest formation and processor
+rescheduling within a running simulation") made executable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.grid.block import BlockDecomposition
+from repro.grid.overlap import TransferMatrix, transfer_matrix
+from repro.grid.rect import Rect
+
+__all__ = ["RankStore", "scatter_nest", "execute_redistribution", "gather_nest"]
+
+
+@dataclass
+class RankStore:
+    """Per-rank nest storage: ``blocks[rank][nest_id] -> (block, rect)``.
+
+    ``rect`` records which nest points the block covers, in nest
+    coordinates — the ground truth the assembly step is checked against.
+    """
+
+    nranks: int
+    blocks: dict[int, dict[int, tuple[np.ndarray, Rect]]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+
+    def put(self, rank: int, nest_id: int, block: np.ndarray, rect: Rect) -> None:
+        if not 0 <= rank < self.nranks:
+            raise ValueError(f"rank {rank} out of range [0, {self.nranks})")
+        if block.shape != (rect.h, rect.w):
+            raise ValueError(
+                f"block shape {block.shape} does not match rect {rect}"
+            )
+        self.blocks.setdefault(rank, {})[nest_id] = (block, rect)
+
+    def get(self, rank: int, nest_id: int) -> tuple[np.ndarray, Rect]:
+        try:
+            return self.blocks[rank][nest_id]
+        except KeyError:
+            raise KeyError(f"rank {rank} holds no block of nest {nest_id}") from None
+
+    def drop_nest(self, nest_id: int) -> int:
+        """Free every rank's storage of a deleted nest; returns blocks freed."""
+        n = 0
+        for rank_blocks in self.blocks.values():
+            if nest_id in rank_blocks:
+                del rank_blocks[nest_id]
+                n += 1
+        return n
+
+    def holders(self, nest_id: int) -> list[int]:
+        """Ranks currently holding a block of ``nest_id``."""
+        return sorted(
+            rank for rank, nb in self.blocks.items() if nest_id in nb
+        )
+
+    def memory_bytes(self, rank: int) -> int:
+        """Bytes of nest state held by ``rank`` (for memory accounting)."""
+        return sum(
+            block.nbytes for block, _ in self.blocks.get(rank, {}).values()
+        )
+
+
+def scatter_nest(
+    store: RankStore,
+    nest_id: int,
+    field_data: np.ndarray,
+    allocation: Allocation,
+) -> BlockDecomposition:
+    """Distribute a full nest field over its allocated rectangle.
+
+    This is what happens when a nest spawns: the parent-interpolated field
+    is block-decomposed over the nest's processor rectangle, each rank
+    receiving its block.  Returns the decomposition for later transfers.
+    """
+    ny, nx = field_data.shape
+    decomp = allocation.decomposition(nest_id, nx, ny)
+    rect = allocation.rect_of(nest_id)
+    for j in range(rect.h):
+        for i in range(rect.w):
+            blk = decomp.block_of(i, j)
+            rank = allocation.grid.rank(rect.x0 + i, rect.y0 + j)
+            store.put(
+                rank,
+                nest_id,
+                field_data[blk.y0 : blk.y1, blk.x0 : blk.x1].copy(),
+                blk,
+            )
+    return decomp
+
+
+def execute_redistribution(
+    store: RankStore,
+    nest_id: int,
+    old: Allocation,
+    new: Allocation,
+    nx: int,
+    ny: int,
+) -> TransferMatrix:
+    """Move one nest's blocks from ``old`` owners to ``new`` owners.
+
+    Implements the alltoallv data movement: every receiver's new block is
+    assembled from the slices of the senders whose old blocks intersect it
+    (paper Fig. 3: processor 16 receives from 0, 1, 4 and 5).  Old blocks
+    are freed afterwards.  Returns the transfer matrix actually executed.
+    """
+    old_decomp = old.decomposition(nest_id, nx, ny)
+    new_decomp = new.decomposition(nest_id, nx, ny)
+    transfer = transfer_matrix(old_decomp, new_decomp, old.grid.px)
+
+    # Stage 1: receivers allocate their new blocks.
+    new_rect = new.rect_of(nest_id)
+    incoming: dict[int, tuple[np.ndarray, Rect]] = {}
+    for j in range(new_rect.h):
+        for i in range(new_rect.w):
+            blk = new_decomp.block_of(i, j)
+            rank = new.grid.rank(new_rect.x0 + i, new_rect.y0 + j)
+            incoming[rank] = (np.empty((blk.h, blk.w)), blk)
+
+    # Stage 2: every (sender, receiver) pair ships the intersection of the
+    # sender's old block with the receiver's new block.
+    old_rect = old.rect_of(nest_id)
+    for j in range(old_rect.h):
+        for i in range(old_rect.w):
+            src_rank = old.grid.rank(old_rect.x0 + i, old_rect.y0 + j)
+            src_block, src_rect = store.get(src_rank, nest_id)
+            # receivers overlapping this sender's block
+            i0 = int(np.searchsorted(new_decomp.x_bounds, src_rect.x0, "right")) - 1
+            i1 = int(np.searchsorted(new_decomp.x_bounds, src_rect.x1 - 1, "right")) - 1
+            j0 = int(np.searchsorted(new_decomp.y_bounds, src_rect.y0, "right")) - 1
+            j1 = int(np.searchsorted(new_decomp.y_bounds, src_rect.y1 - 1, "right")) - 1
+            for rj in range(j0, j1 + 1):
+                for ri in range(i0, i1 + 1):
+                    dst_rank = new.grid.rank(new_rect.x0 + ri, new_rect.y0 + rj)
+                    dst_block, dst_rect = incoming[dst_rank]
+                    inter = src_rect.intersect(dst_rect)
+                    if inter.is_empty:
+                        continue
+                    dst_block[
+                        inter.y0 - dst_rect.y0 : inter.y1 - dst_rect.y0,
+                        inter.x0 - dst_rect.x0 : inter.x1 - dst_rect.x0,
+                    ] = src_block[
+                        inter.y0 - src_rect.y0 : inter.y1 - src_rect.y0,
+                        inter.x0 - src_rect.x0 : inter.x1 - src_rect.x0,
+                    ]
+
+    # Stage 3: free old blocks, install new ones.
+    store.drop_nest(nest_id)
+    for rank, (block, rect) in incoming.items():
+        store.put(rank, nest_id, block, rect)
+    return transfer
+
+
+def gather_nest(store: RankStore, nest_id: int, nx: int, ny: int) -> np.ndarray:
+    """Reassemble the full nest field from its current owners.
+
+    Raises :class:`ValueError` if the held blocks do not tile the nest
+    exactly (a broken redistribution would be caught here).
+    """
+    out = np.full((ny, nx), np.nan)
+    covered = 0
+    for rank in store.holders(nest_id):
+        block, rect = store.get(rank, nest_id)
+        region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
+        if not np.all(np.isnan(region)):
+            raise ValueError(
+                f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
+            )
+        out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
+        covered += rect.area
+    if covered != nx * ny or np.isnan(out).any():
+        raise ValueError(
+            f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
+        )
+    return out

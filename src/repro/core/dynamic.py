@@ -1,0 +1,124 @@
+"""The dynamic strategy (paper §IV-C).
+
+At every adaptation point both candidate allocations are computed — scratch
+and diffusion — and the one with the smaller **predicted execution time +
+predicted redistribution time** wins:
+
+* predicted execution time of an allocation is the slowest nest (they run
+  simultaneously on disjoint rectangles), each nest's time interpolated by
+  the :class:`~repro.perfmodel.exectime.ExecTimePredictor`;
+* predicted redistribution time is the §IV-C1 analytical alltoallv model
+  over the retained nests' transfer matrices.
+
+The choice history is recorded so the Fig. 12 experiment can report how
+often each method was selected and whether the selection was correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation
+from repro.core.diffusion import DiffusionStrategy
+from repro.core.redistribution import plan_redistribution
+from repro.core.scratch import ScratchStrategy
+from repro.core.strategy import ReallocationStrategy
+from repro.grid.procgrid import ProcessorGrid
+from repro.mpisim.costmodel import CostModel
+from repro.perfmodel.exectime import ExecTimePredictor
+from repro.topology.machines import MachineSpec
+
+__all__ = ["DynamicStrategy", "DynamicChoice"]
+
+
+@dataclass(frozen=True)
+class DynamicChoice:
+    """One adaptation point's selection record."""
+
+    chosen: str  # "scratch" or "diffusion"
+    scratch_exec: float
+    scratch_redist: float
+    diffusion_exec: float
+    diffusion_redist: float
+
+    @property
+    def scratch_total(self) -> float:
+        return self.scratch_exec + self.scratch_redist
+
+    @property
+    def diffusion_total(self) -> float:
+        return self.diffusion_exec + self.diffusion_redist
+
+
+class DynamicStrategy(ReallocationStrategy):
+    """Select scratch or diffusion by predicted total time, per step."""
+
+    name = "dynamic"
+
+    def __init__(
+        self,
+        machine: MachineSpec,
+        cost: CostModel,
+        predictor: ExecTimePredictor,
+    ) -> None:
+        self.machine = machine
+        self.cost = cost
+        self.predictor = predictor
+        self._scratch = ScratchStrategy()
+        self._diffusion = DiffusionStrategy()
+        self.history: list[DynamicChoice] = []
+
+    def predicted_exec_time(
+        self, allocation: Allocation, nest_sizes: dict[int, tuple[int, int]]
+    ) -> float:
+        """Slowest-nest predicted execution time for an allocation."""
+        if allocation.is_empty:
+            return 0.0
+        return max(
+            self.predictor.predict(*nest_sizes[nid], allocation.rects[nid].area)
+            for nid in allocation.rects
+        )
+
+    def reallocate(
+        self,
+        old: Allocation | None,
+        weights: dict[int, float],
+        grid: ProcessorGrid,
+        nest_sizes: dict[int, tuple[int, int]] | None = None,
+    ) -> Allocation:
+        if nest_sizes is None:
+            raise ValueError(
+                "DynamicStrategy needs nest_sizes to predict redistribution"
+            )
+        missing = set(weights) - set(nest_sizes)
+        if missing:
+            raise KeyError(f"nest_sizes missing for nests {sorted(missing)}")
+        scratch_alloc = self._scratch.reallocate(old, weights, grid)
+        diffusion_alloc = self._diffusion.reallocate(old, weights, grid)
+
+        def redist_prediction(candidate: Allocation) -> float:
+            if old is None:
+                return 0.0
+            plan = plan_redistribution(
+                old, candidate, nest_sizes, self.machine, self.cost
+            )
+            return plan.predicted_time
+
+        s_exec = self.predicted_exec_time(scratch_alloc, nest_sizes)
+        d_exec = self.predicted_exec_time(diffusion_alloc, nest_sizes)
+        s_redist = redist_prediction(scratch_alloc)
+        d_redist = redist_prediction(diffusion_alloc)
+        # Strict inequality: on a predicted tie (frequently the two trees
+        # coincide exactly) keep the diffusion allocation, which preserves
+        # overlap for free.
+        chosen = "scratch" if s_exec + s_redist < d_exec + d_redist else "diffusion"
+        self.history.append(
+            DynamicChoice(
+                chosen=chosen,
+                scratch_exec=s_exec,
+                scratch_redist=s_redist,
+                diffusion_exec=d_exec,
+                diffusion_redist=d_redist,
+            )
+        )
+        return scratch_alloc if chosen == "scratch" else diffusion_alloc

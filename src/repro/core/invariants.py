@@ -1,0 +1,110 @@
+"""Runtime invariant checks (the library's self-verification surface).
+
+The test suite asserts these properties statistically; this module exposes
+them as callable checks so *applications* can verify a live system — the
+coupled driver runs them in ``verify_data`` mode, and embedders can call
+:func:`check_all` after every adaptation point during bring-up.
+
+Every function raises :class:`InvariantViolation` with a precise message
+on failure and returns ``None`` on success.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import Allocation
+from repro.core.redistribution import RedistributionPlan
+
+__all__ = [
+    "InvariantViolation",
+    "check_tiling",
+    "check_plan_conservation",
+    "check_tree_consistency",
+    "check_all",
+]
+
+
+class InvariantViolation(AssertionError):
+    """A library invariant failed at runtime."""
+
+
+def check_tiling(allocation: Allocation) -> None:
+    """Rectangles are pairwise disjoint and exactly cover the grid.
+
+    (An empty allocation trivially satisfies the invariant — the grid
+    reverts to the parent simulation.)
+    """
+    if allocation.is_empty:
+        return
+    total = 0
+    items = sorted(allocation.rects.items())
+    for i, (nid, rect) in enumerate(items):
+        if rect.is_empty:
+            raise InvariantViolation(f"nest {nid} has an empty rectangle")
+        if not allocation.grid.full_rect.contains(rect):
+            raise InvariantViolation(
+                f"nest {nid}: rectangle {rect} escapes grid {allocation.grid}"
+            )
+        total += rect.area
+        for njd, other in items[i + 1 :]:
+            if rect.overlaps(other):
+                raise InvariantViolation(
+                    f"nests {nid} and {njd} overlap: {rect} vs {other}"
+                )
+    if total != allocation.grid.nprocs:
+        raise InvariantViolation(
+            f"rectangles cover {total} of {allocation.grid.nprocs} processors"
+        )
+
+
+def check_plan_conservation(
+    plan: RedistributionPlan, nest_sizes: dict[int, tuple[int, int]]
+) -> None:
+    """Every move's transfer matrix accounts for every nest point."""
+    for move in plan.moves:
+        nx, ny = nest_sizes[move.nest_id]
+        got = int(move.transfer.points.sum())
+        if got != nx * ny:
+            raise InvariantViolation(
+                f"nest {move.nest_id}: transfer covers {got} of {nx * ny} points"
+            )
+        if move.transfer.local_points + move.transfer.network_points != nx * ny:
+            raise InvariantViolation(
+                f"nest {move.nest_id}: local+network points do not partition"
+            )
+    if not 0.0 <= plan.overlap_fraction <= 1.0:
+        raise InvariantViolation(
+            f"overlap fraction {plan.overlap_fraction} outside [0, 1]"
+        )
+    if plan.predicted_time < 0 or plan.measured_time < 0:
+        raise InvariantViolation("negative redistribution time")
+
+
+def check_tree_consistency(allocation: Allocation) -> None:
+    """The allocation's tree (when kept) names exactly the allocated nests."""
+    if allocation.tree is None:
+        if allocation.rects:
+            raise InvariantViolation("allocation has rectangles but no tree")
+        return
+    try:
+        allocation.tree.validate()
+    except AssertionError as exc:
+        raise InvariantViolation(f"tree structure invalid: {exc}") from exc
+    tree_ids = sorted(allocation.tree.nest_ids())
+    if tree_ids != allocation.nest_ids:
+        raise InvariantViolation(
+            f"tree nests {tree_ids} != allocated nests {allocation.nest_ids}"
+        )
+
+
+def check_all(
+    allocation: Allocation,
+    plan: RedistributionPlan | None = None,
+    nest_sizes: dict[int, tuple[int, int]] | None = None,
+) -> None:
+    """Run every applicable invariant for one adaptation point's outputs."""
+    check_tiling(allocation)
+    check_tree_consistency(allocation)
+    if plan is not None:
+        if nest_sizes is None:
+            raise ValueError("nest_sizes required to check a plan")
+        check_plan_conservation(plan, nest_sizes)

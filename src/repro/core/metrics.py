@@ -1,0 +1,60 @@
+"""Per-adaptation-point metrics and their aggregation.
+
+These are the observables behind the paper's evaluation: redistribution
+time (Table IV), hop-bytes (Fig. 10), sender/receiver overlap (Fig. 11),
+execution time (Fig. 12), and the relative improvement of one strategy
+over another.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["StepMetrics", "summarize_improvement"]
+
+
+@dataclass(frozen=True)
+class StepMetrics:
+    """Observables of one adaptation point under one strategy."""
+
+    step: int
+    n_nests: int
+    n_retained: int
+    predicted_redist: float
+    measured_redist: float
+    hop_bytes_avg: float
+    hop_bytes_total: float
+    overlap_fraction: float
+    exec_predicted: float  # slowest-nest predicted execution time
+    exec_actual: float  # slowest-nest ground-truth execution time
+    strategy_choice: str = ""  # filled by the dynamic strategy
+
+    @property
+    def total_actual(self) -> float:
+        """Execution + measured redistribution — the Fig. 12 total."""
+        return self.exec_actual + self.measured_redist
+
+
+def summarize_improvement(
+    baseline: list[StepMetrics],
+    candidate: list[StepMetrics],
+    attribute: str = "measured_redist",
+) -> float:
+    """Average percentage improvement of ``candidate`` over ``baseline``.
+
+    Computed as the improvement of the summed metric (the paper reports
+    average improvements in redistribution *times*, which sum over steps).
+    Positive = candidate is cheaper.  Steps where both are zero contribute
+    nothing.
+    """
+    if len(baseline) != len(candidate):
+        raise ValueError(
+            f"metric lists differ in length: {len(baseline)} vs {len(candidate)}"
+        )
+    base = float(np.sum([getattr(m, attribute) for m in baseline]))
+    cand = float(np.sum([getattr(m, attribute) for m in candidate]))
+    if base == 0:
+        return 0.0
+    return 100.0 * (base - cand) / base

@@ -1,0 +1,53 @@
+"""The strategy interface shared by scratch / diffusion / dynamic."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.core.allocation import Allocation
+from repro.grid.procgrid import ProcessorGrid
+
+__all__ = ["ReallocationStrategy"]
+
+
+class ReallocationStrategy(abc.ABC):
+    """Computes the next allocation from the previous one and new weights."""
+
+    #: short name used in reports ("scratch", "diffusion", "dynamic")
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def reallocate(
+        self,
+        old: Allocation | None,
+        weights: dict[int, float],
+        grid: ProcessorGrid,
+        nest_sizes: dict[int, tuple[int, int]] | None = None,
+    ) -> Allocation:
+        """Allocate processors for the nests in ``weights``.
+
+        Parameters
+        ----------
+        old:
+            The previous allocation (``None`` at the first adaptation point).
+        weights:
+            ``{nest_id: weight}`` for every nest that must run next —
+            retained nests keep their ids, new nests carry fresh ids;
+            nests present in ``old`` but absent here are deleted.
+        grid:
+            The full process grid being partitioned.
+        nest_sizes:
+            ``{nest_id: (nx, ny)}`` fine-grid sizes; required by strategies
+            that predict redistribution cost (dynamic), ignored otherwise.
+        """
+
+    @staticmethod
+    def split_churn(
+        old: Allocation | None, weights: dict[int, float]
+    ) -> tuple[list[int], dict[int, float], dict[int, float]]:
+        """Classify the churn: (deleted ids, retained weights, new weights)."""
+        old_ids = set(old.rects) if old is not None else set()
+        deleted = sorted(old_ids - set(weights))
+        retained = {nid: w for nid, w in weights.items() if nid in old_ids}
+        new = {nid: w for nid, w in weights.items() if nid not in old_ids}
+        return deleted, retained, new

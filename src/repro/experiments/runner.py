@@ -1,0 +1,160 @@
+"""Run a workload under a strategy and collect per-step metrics.
+
+The runner owns the pieces a real deployment would: the machine model, the
+execution-time predictor (shared across strategies so comparisons are
+fair), the ground-truth oracle that supplies "actual" execution times, and
+the network simulator supplying "measured" redistribution times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.allocation import Allocation
+from repro.core.dynamic import DynamicStrategy
+from repro.core.metrics import StepMetrics
+from repro.core.reallocator import ProcessorReallocator
+from repro.core.strategy import ReallocationStrategy
+from repro.core.scratch import ScratchStrategy
+from repro.core.diffusion import DiffusionStrategy
+from repro.experiments.workloads import Workload
+from repro.mpisim.costmodel import CostModel
+from repro.perfmodel.exectime import ExecTimePredictor
+from repro.perfmodel.groundtruth import ExecutionOracle
+from repro.perfmodel.profiles import ProfileTable
+from repro.topology.machines import MachineSpec
+from repro.util.rng import make_rng
+
+__all__ = ["RunResult", "ExperimentContext", "run_workload", "run_both_strategies"]
+
+
+@dataclass
+class ExperimentContext:
+    """Shared fixtures of one experiment: machine, oracle, predictor, cost."""
+
+    machine: MachineSpec
+    oracle: ExecutionOracle = field(default_factory=ExecutionOracle)
+    cost: CostModel | None = None
+    predictor: ExecTimePredictor | None = None
+    profile_seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.cost is None:
+            self.cost = CostModel.for_machine(self.machine)
+        if self.predictor is None:
+            self.predictor = ExecTimePredictor(
+                ProfileTable(self.oracle, seed=self.profile_seed)
+            )
+
+    def make_dynamic_strategy(self) -> DynamicStrategy:
+        assert self.predictor is not None and self.cost is not None
+        return DynamicStrategy(self.machine, self.cost, self.predictor)
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """All per-step metrics of one (workload, strategy) run."""
+
+    workload: str
+    strategy: str
+    metrics: list[StepMetrics]
+    allocations: list[Allocation]
+
+    def total(self, attribute: str) -> float:
+        return float(np.sum([getattr(m, attribute) for m in self.metrics]))
+
+    def mean(self, attribute: str, nonzero_only: bool = False) -> float:
+        vals = [getattr(m, attribute) for m in self.metrics]
+        if nonzero_only:
+            vals = [v for v in vals if v != 0]
+        return float(np.mean(vals)) if vals else 0.0
+
+    def series(self, attribute: str) -> list[float]:
+        return [float(getattr(m, attribute)) for m in self.metrics]
+
+
+def _actual_exec_time(
+    allocation: Allocation,
+    nests: dict[int, tuple[int, int]],
+    oracle: ExecutionOracle,
+    rng: np.random.Generator,
+) -> float:
+    """Ground-truth slowest-nest execution time of an allocation."""
+    if allocation.is_empty:
+        return 0.0
+    return max(
+        oracle.observe(nx, ny, allocation.rects[nid].w, allocation.rects[nid].h, rng)
+        for nid, (nx, ny) in nests.items()
+    )
+
+
+def run_workload(
+    workload: Workload,
+    strategy: ReallocationStrategy,
+    context: ExperimentContext,
+    exec_noise_seed: int = 99,
+    flow_level: bool = False,
+) -> RunResult:
+    """Drive ``strategy`` through every step of ``workload``."""
+    assert context.predictor is not None and context.cost is not None
+    realloc = ProcessorReallocator(
+        context.machine,
+        strategy,
+        context.predictor,
+        context.cost,
+        flow_level=flow_level,
+    )
+    rng = make_rng(exec_noise_seed)
+    metrics: list[StepMetrics] = []
+    allocations: list[Allocation] = []
+    for i, nests in enumerate(workload.steps):
+        result = realloc.step(nests)
+        alloc = result.allocation
+        plan = result.plan
+        exec_pred = (
+            max(
+                context.predictor.predict(nx, ny, alloc.rects[nid].area)
+                for nid, (nx, ny) in nests.items()
+            )
+            if nests
+            else 0.0
+        )
+        exec_actual = _actual_exec_time(alloc, nests, context.oracle, rng)
+        choice = ""
+        if isinstance(strategy, DynamicStrategy) and strategy.history:
+            choice = strategy.history[-1].chosen
+        metrics.append(
+            StepMetrics(
+                step=i,
+                n_nests=len(nests),
+                n_retained=len(result.retained),
+                predicted_redist=plan.predicted_time if plan else 0.0,
+                measured_redist=plan.measured_time if plan else 0.0,
+                hop_bytes_avg=plan.hop_bytes_avg if plan else 0.0,
+                hop_bytes_total=plan.hop_bytes_total if plan else 0.0,
+                overlap_fraction=plan.overlap_fraction if plan else 1.0,
+                exec_predicted=exec_pred,
+                exec_actual=exec_actual,
+                strategy_choice=choice,
+            )
+        )
+        allocations.append(alloc)
+    return RunResult(
+        workload=workload.name,
+        strategy=strategy.name,
+        metrics=metrics,
+        allocations=allocations,
+    )
+
+
+def run_both_strategies(
+    workload: Workload, context: ExperimentContext, flow_level: bool = False
+) -> tuple[RunResult, RunResult]:
+    """Run scratch and diffusion on the same workload and fixtures."""
+    scratch = run_workload(workload, ScratchStrategy(), context, flow_level=flow_level)
+    diffusion = run_workload(
+        workload, DiffusionStrategy(), context, flow_level=flow_level
+    )
+    return scratch, diffusion

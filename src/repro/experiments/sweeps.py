@@ -1,0 +1,172 @@
+"""Parameter sweeps: run a grid of configurations and tabulate the results.
+
+The paper's evaluation is a hand-assembled set of sweeps (machines × seeds
+× workloads × strategies).  :class:`Sweep` generalises that: declare the
+axes, get every cell run with shared fixtures per machine, and collect a
+flat record list that renders as a text matrix or CSV.  The ablation
+benchmarks could each be written as a :class:`Sweep`; the class is public
+so downstream users can design their own studies.
+"""
+
+from __future__ import annotations
+
+import csv
+import itertools
+import pathlib
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.diffusion import DiffusionStrategy
+from repro.core.metrics import summarize_improvement
+from repro.core.scratch import ScratchStrategy
+from repro.core.strategy import ReallocationStrategy
+from repro.experiments.runner import ExperimentContext, RunResult, run_workload
+from repro.experiments.workloads import Workload, synthetic_workload
+from repro.topology.machines import MACHINES
+from repro.util.tables import format_table
+
+__all__ = ["SweepRecord", "Sweep", "improvement_sweep"]
+
+#: factory signatures for the two sweep axes that need construction
+StrategyFactory = Callable[[], ReallocationStrategy]
+WorkloadFactory = Callable[[int], Workload]
+
+
+@dataclass(frozen=True)
+class SweepRecord:
+    """One sweep cell's outcome."""
+
+    machine: str
+    strategy: str
+    seed: int
+    workload: str
+    total_redist: float
+    total_exec: float
+    mean_hop_bytes: float
+    mean_overlap: float
+
+    @classmethod
+    def from_run(cls, machine: str, seed: int, run: RunResult) -> "SweepRecord":
+        return cls(
+            machine=machine,
+            strategy=run.strategy,
+            seed=seed,
+            workload=run.workload,
+            total_redist=run.total("measured_redist"),
+            total_exec=run.total("exec_actual"),
+            mean_hop_bytes=run.mean("hop_bytes_avg", nonzero_only=True),
+            mean_overlap=run.mean("overlap_fraction"),
+        )
+
+
+@dataclass
+class Sweep:
+    """A (machines × strategies × seeds) study over one workload family."""
+
+    machines: Sequence[str]
+    strategies: Sequence[StrategyFactory]
+    seeds: Sequence[int]
+    workload_factory: WorkloadFactory
+    records: list[SweepRecord] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        unknown = [m for m in self.machines if m not in MACHINES]
+        if unknown:
+            raise KeyError(f"unknown machines {unknown}; choose from {sorted(MACHINES)}")
+        if not self.machines or not self.strategies or not self.seeds:
+            raise ValueError("every sweep axis needs at least one value")
+
+    def run(self) -> list[SweepRecord]:
+        """Execute every cell; fixtures (predictor, oracle) shared per machine."""
+        self.records = []
+        for machine_key in self.machines:
+            ctx = ExperimentContext(MACHINES[machine_key])
+            for seed in self.seeds:
+                workload = self.workload_factory(seed)
+                for make in self.strategies:
+                    run = run_workload(workload, make(), ctx)
+                    self.records.append(
+                        SweepRecord.from_run(machine_key, seed, run)
+                    )
+        return self.records
+
+    # -- reporting -------------------------------------------------------
+
+    def _require_records(self) -> None:
+        if not self.records:
+            raise RuntimeError("call run() before asking for results")
+
+    def improvement_matrix(
+        self, baseline: str = "scratch", candidate: str = "diffusion"
+    ) -> dict[str, float]:
+        """Mean % improvement of candidate over baseline, per machine."""
+        self._require_records()
+        out: dict[str, float] = {}
+        for machine_key in self.machines:
+            imps = []
+            for seed in self.seeds:
+                base = self._find(machine_key, baseline, seed)
+                cand = self._find(machine_key, candidate, seed)
+                if base.total_redist > 0:
+                    imps.append(
+                        100.0
+                        * (base.total_redist - cand.total_redist)
+                        / base.total_redist
+                    )
+            out[machine_key] = float(np.mean(imps)) if imps else 0.0
+        return out
+
+    def _find(self, machine: str, strategy: str, seed: int) -> SweepRecord:
+        for r in self.records:
+            if (r.machine, r.strategy, r.seed) == (machine, strategy, seed):
+                return r
+        raise KeyError(f"no record for ({machine}, {strategy}, {seed})")
+
+    def to_table(self) -> str:
+        """All records as an aligned text table."""
+        self._require_records()
+        rows = [
+            (
+                r.machine,
+                r.strategy,
+                r.seed,
+                f"{r.total_redist:.3f}",
+                f"{r.total_exec:.1f}",
+                f"{r.mean_hop_bytes:.2f}",
+                f"{100 * r.mean_overlap:.1f}%",
+            )
+            for r in self.records
+        ]
+        return format_table(
+            ["machine", "strategy", "seed", "Σredist (s)", "Σexec (s)", "hop-bytes", "overlap"],
+            rows,
+            title="sweep results",
+        )
+
+    def to_csv(self, path: str | pathlib.Path) -> None:
+        """All records as CSV."""
+        self._require_records()
+        p = pathlib.Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        fields = list(SweepRecord.__dataclass_fields__)
+        with open(p, "w", newline="") as fh:
+            writer = csv.DictWriter(fh, fieldnames=fields)
+            writer.writeheader()
+            for r in self.records:
+                writer.writerow({f: getattr(r, f) for f in fields})
+
+
+def improvement_sweep(
+    machines: Sequence[str] = ("bgl-1024", "bgl-256", "fist-256"),
+    seeds: Sequence[int] = (0, 1, 2),
+    n_steps: int = 40,
+) -> Sweep:
+    """The Table IV study as a ready-made :class:`Sweep`."""
+    return Sweep(
+        machines=machines,
+        strategies=(ScratchStrategy, DiffusionStrategy),
+        seeds=seeds,
+        workload_factory=lambda seed: synthetic_workload(seed=seed, n_steps=n_steps),
+    )

@@ -1,0 +1,88 @@
+"""A tiny simulated-SPMD harness.
+
+The paper's parallel data analysis (Algorithm 1) runs on ``N`` dedicated
+analysis processes.  Without MPI available offline, :class:`SimComm`
+executes the same rank-parallel program structure sequentially — each rank
+runs the identical per-rank function over its own partition — and provides
+``gather`` with communication-volume accounting, so the *algorithm* (data
+division, per-rank aggregation, root-side gather/sort/cluster) is exercised
+exactly as published and its communication cost can be reported.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["SimComm"]
+
+
+@dataclass
+class _CommStats:
+    """Bytes and message counts observed by the simulated communicator."""
+
+    messages: int = 0
+    approx_bytes: int = 0
+    gathers: int = 0
+    per_rank_items: dict[int, int] = field(default_factory=dict)
+
+
+class SimComm:
+    """A simulated communicator of ``size`` ranks.
+
+    Use :meth:`run` to execute a per-rank function on every rank and
+    :meth:`gather` inside experiment code to model a root gather.  The class
+    intentionally mirrors a narrow slice of the mpi4py API (``Get_size``,
+    ``Get_rank`` is replaced by the explicit rank argument) — just enough to
+    express Algorithm 1 faithfully.
+    """
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError(f"communicator size must be >= 1, got {size}")
+        self._size = size
+        self.stats = _CommStats()
+
+    def Get_size(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+
+    def run(self, fn: Callable[[int], Any]) -> list[Any]:
+        """Execute ``fn(rank)`` for every rank; return per-rank results.
+
+        Equivalent to an SPMD region ending at an implicit barrier.
+        """
+        return [fn(rank) for rank in range(self._size)]
+
+    def gather(
+        self, per_rank_values: Sequence[Any], root: int = 0, item_bytes: int = 16
+    ) -> list[Any] | None:
+        """Gather each rank's value list to ``root``.
+
+        ``per_rank_values[r]`` is rank ``r``'s contribution (any sequence or
+        a single object).  Returns the flattened list at the root — the same
+        shape Algorithm 1's root sees after collecting ``qcloudinfo`` — and
+        updates the communication statistics (``item_bytes`` models the
+        per-tuple payload: aggregated QCLOUD value + olr fraction).
+        """
+        if len(per_rank_values) != self._size:
+            raise ValueError(
+                f"gather needs one value per rank: got {len(per_rank_values)} "
+                f"for {self._size} ranks"
+            )
+        if not 0 <= root < self._size:
+            raise ValueError(f"root {root} out of range")
+        flat: list[Any] = []
+        self.stats.gathers += 1
+        for rank, value in enumerate(per_rank_values):
+            items = list(value) if isinstance(value, (list, tuple)) else [value]
+            self.stats.per_rank_items[rank] = self.stats.per_rank_items.get(
+                rank, 0
+            ) + len(items)
+            if rank != root:
+                self.stats.messages += 1
+                self.stats.approx_bytes += item_bytes * len(items)
+            flat.extend(items)
+        return flat

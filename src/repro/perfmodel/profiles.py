@@ -1,0 +1,86 @@
+"""The paper's profiling protocol: 13 domains x 10 processor counts.
+
+"We profiled the execution times of a small set (size = 13) of domains with
+different domain sizes on a few (10 in our case) processor sizes within the
+maximum number of processors (1024 in our case)."  (paper §IV-C2)
+
+:class:`ProfileTable` runs that protocol against the ground-truth oracle
+(each cell is the mean of a few noisy observations, as real profiling would
+average repeated runs) and holds the resulting table that the execution-time
+predictor interpolates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.grid.procgrid import ProcessorGrid
+from repro.perfmodel.groundtruth import ExecutionOracle
+from repro.util.rng import make_rng
+
+__all__ = ["ProfileTable", "DEFAULT_PROFILE_DOMAINS", "DEFAULT_PROC_COUNTS"]
+
+#: 13 profiled domain sizes spanning the nest-size range the paper reports
+#: (175x175 ... 361x361) plus margin, with varied aspect ratios.
+DEFAULT_PROFILE_DOMAINS: tuple[tuple[int, int], ...] = (
+    (120, 120),
+    (150, 200),
+    (175, 175),
+    (200, 120),
+    (200, 349),
+    (220, 220),
+    (250, 180),
+    (280, 350),
+    (300, 300),
+    (330, 200),
+    (361, 361),
+    (400, 280),
+    (420, 420),
+)
+
+#: 10 profiled processor counts within the 1024-core maximum.
+DEFAULT_PROC_COUNTS: tuple[int, ...] = (16, 32, 64, 128, 192, 256, 384, 512, 768, 1024)
+
+
+@dataclass
+class ProfileTable:
+    """Profiled execution times: ``times[d, p]`` for domain d, proc count p."""
+
+    oracle: ExecutionOracle
+    domains: tuple[tuple[int, int], ...] = DEFAULT_PROFILE_DOMAINS
+    proc_counts: tuple[int, ...] = DEFAULT_PROC_COUNTS
+    samples: int = 3  # repeated runs averaged per cell
+    seed: int = 1234
+    times: np.ndarray = field(init=False)
+
+    def __post_init__(self) -> None:
+        if len(self.domains) < 3:
+            raise ValueError("need at least 3 profiled domains to triangulate")
+        if len(self.proc_counts) < 2:
+            raise ValueError("need at least 2 profiled processor counts")
+        if sorted(self.proc_counts) != list(self.proc_counts):
+            raise ValueError("proc_counts must be sorted ascending")
+        if self.samples < 1:
+            raise ValueError("samples must be >= 1")
+        rng = make_rng(self.seed)
+        table = np.empty((len(self.domains), len(self.proc_counts)))
+        for di, (nx, ny) in enumerate(self.domains):
+            for pi, nprocs in enumerate(self.proc_counts):
+                grid = ProcessorGrid.square_like(nprocs)
+                obs = [
+                    self.oracle.observe(nx, ny, grid.px, grid.py, rng)
+                    for _ in range(self.samples)
+                ]
+                table[di, pi] = float(np.mean(obs))
+        self.times = table
+
+    @property
+    def features(self) -> np.ndarray:
+        """(n_domains, 2) array of (area, aspect-ratio) descriptors."""
+        out = np.empty((len(self.domains), 2))
+        for i, (nx, ny) in enumerate(self.domains):
+            out[i, 0] = nx * ny
+            out[i, 1] = max(nx, ny) / min(nx, ny)
+        return out

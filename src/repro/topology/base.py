@@ -1,0 +1,79 @@
+"""Abstract interconnect topology.
+
+A :class:`Topology` knows, for physical node ids ``0 .. nnodes-1``:
+
+* the hop distance between any two nodes (vectorised),
+* the deterministic route (sequence of directed link ids) between two nodes,
+  used by the link-level network simulator to account for contention,
+* the total number of directed links.
+
+Node ids are *physical* processor identities.  Logical MPI-style ranks are
+translated to node ids by a :class:`~repro.topology.mapping.ProcessMapping`;
+cost models always compose ``mapping`` then ``topology``.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+__all__ = ["Topology"]
+
+
+class Topology(abc.ABC):
+    """Base class for interconnect topologies."""
+
+    #: number of physical nodes
+    nnodes: int
+
+    @abc.abstractmethod
+    def hops(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Hop distance between node ids ``src`` and ``dst`` (elementwise).
+
+        Both arguments broadcast; the result has the broadcast shape.
+        ``hops(i, i) == 0``.
+        """
+
+    @abc.abstractmethod
+    def route(self, src: int, dst: int) -> list[int]:
+        """Directed link ids traversed by a message from ``src`` to ``dst``.
+
+        Deterministic (dimension-ordered on tori).  The empty list for
+        ``src == dst``.  Link ids index into ``range(self.nlinks)``.
+        """
+
+    @property
+    @abc.abstractmethod
+    def nlinks(self) -> int:
+        """Total number of directed links in the network."""
+
+    @property
+    @abc.abstractmethod
+    def link_bandwidth(self) -> float:
+        """Bandwidth of a single link in bytes/second."""
+
+    @property
+    @abc.abstractmethod
+    def link_latency(self) -> float:
+        """Per-message latency in seconds (software + wire)."""
+
+    # ------------------------------------------------------------------
+    # conveniences shared by all topologies
+    # ------------------------------------------------------------------
+
+    def validate_node(self, node: int) -> None:
+        """Raise :class:`ValueError` if ``node`` is out of range."""
+        if not 0 <= node < self.nnodes:
+            raise ValueError(f"node {node} out of range [0, {self.nnodes})")
+
+    def mean_pairwise_hops(self, sample: int | None = None, seed: int = 0) -> float:
+        """Average hop distance over all (or ``sample`` random) node pairs."""
+        n = self.nnodes
+        if sample is None or sample >= n * n:
+            src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+            return float(self.hops(src.ravel(), dst.ravel()).mean())
+        rng = np.random.default_rng(seed)
+        src = rng.integers(0, n, size=sample)
+        dst = rng.integers(0, n, size=sample)
+        return float(self.hops(src, dst).mean())

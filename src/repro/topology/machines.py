@@ -1,0 +1,138 @@
+"""Machine presets reproducing the paper's Table III testbeds.
+
+=========  =====================================================  =======
+machine    description                                            cores
+=========  =====================================================  =======
+Blue       dual-core 700 MHz PowerPC 440, 3D torus network,       256 /
+Gene/L     topology-aware folded mapping                          512 /
+                                                                  1024
+fist       2x quad-core Xeon (2.66 GHz) nodes, Infiniband         256
+           switched network
+=========  =====================================================  =======
+
+Each :class:`MachineSpec` bundles the interconnect model, the logical 2D
+process grid used by the weather simulation, and the rank→node mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.topology.base import Topology
+from repro.topology.mapping import FoldedMapping, ProcessMapping, RowMajorMapping
+from repro.topology.switched import SwitchedNetwork
+from repro.topology.torus import Torus3D
+
+__all__ = ["MachineSpec", "blue_gene_l", "fist_cluster", "MACHINES"]
+
+#: Blue Gene/L partition shapes by core count (midplane = 8x8x16).
+_BGL_TORI: dict[int, tuple[int, int, int]] = {
+    64: (4, 4, 4),
+    128: (4, 4, 8),
+    256: (8, 8, 4),
+    512: (8, 8, 8),
+    1024: (8, 8, 16),
+}
+
+#: Logical 2D process grids (Px, Py) used by the weather model, chosen
+#: square-like and compatible with the folded torus mapping.
+_GRIDS: dict[int, tuple[int, int]] = {
+    16: (4, 4),
+    64: (8, 8),
+    128: (8, 16),
+    256: (16, 16),
+    512: (16, 32),
+    1024: (32, 32),
+}
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A named machine: interconnect + process grid + rank mapping."""
+
+    name: str
+    ncores: int
+    grid: tuple[int, int]
+    topology: Topology
+    mapping: ProcessMapping
+    network_kind: str  # "torus" or "switched"
+    description: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        px, py = self.grid
+        if px * py != self.ncores:
+            raise ValueError(
+                f"{self.name}: grid {px}x{py} does not cover {self.ncores} cores"
+            )
+        if self.topology.nnodes != self.ncores:
+            raise ValueError(
+                f"{self.name}: topology has {self.topology.nnodes} nodes, "
+                f"expected {self.ncores}"
+            )
+
+    @property
+    def is_torus(self) -> bool:
+        return self.network_kind == "torus"
+
+
+def blue_gene_l(ncores: int = 1024, topology_aware: bool = True) -> MachineSpec:
+    """Blue Gene/L partition of ``ncores`` cores (3D torus).
+
+    ``topology_aware=True`` applies the folding-based mapping the paper uses
+    for all its experiments; ``False`` gives the naive row-major mapping
+    (used only by the mapping ablation benchmark).
+    """
+    if ncores not in _BGL_TORI:
+        raise ValueError(
+            f"unsupported BG/L size {ncores}; choose from {sorted(_BGL_TORI)}"
+        )
+    torus = Torus3D(_BGL_TORI[ncores])
+    px, py = _GRIDS[ncores]
+    mapping: ProcessMapping
+    if topology_aware:
+        mapping = FoldedMapping(torus, px, py)
+    else:
+        mapping = RowMajorMapping(torus)
+    return MachineSpec(
+        name=f"BG/L {ncores}",
+        ncores=ncores,
+        grid=(px, py),
+        topology=torus,
+        mapping=mapping,
+        network_kind="torus",
+        description=(
+            "Dual-core 700 MHz PowerPC 440 cores, 1 GB/node, 3D torus network"
+        ),
+    )
+
+
+def fist_cluster(ncores: int = 256) -> MachineSpec:
+    """``fist``: Xeon cluster on an Infiniband switched network."""
+    if ncores not in _GRIDS:
+        raise ValueError(f"unsupported fist size {ncores}; choose from {sorted(_GRIDS)}")
+    net = SwitchedNetwork(ncores)
+    px, py = _GRIDS[ncores]
+    return MachineSpec(
+        name=f"fist {ncores}",
+        ncores=ncores,
+        grid=(px, py),
+        topology=net,
+        mapping=RowMajorMapping(net),
+        network_kind="switched",
+        description=(
+            "2x quad-core Xeon 2.66 GHz nodes, 16 GB/node, Infiniband switched network"
+        ),
+    )
+
+
+def _machines() -> dict[str, MachineSpec]:
+    return {
+        "bgl-256": blue_gene_l(256),
+        "bgl-512": blue_gene_l(512),
+        "bgl-1024": blue_gene_l(1024),
+        "fist-256": fist_cluster(256),
+    }
+
+
+#: The paper's experimental configurations (Table III), keyed by short name.
+MACHINES: dict[str, MachineSpec] = _machines()

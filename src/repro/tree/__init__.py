@@ -1,0 +1,29 @@
+"""Allocation trees: Huffman construction, rectangle layout, diffusion edits.
+
+The paper allocates each nest a rectangular processor sub-grid by building a
+binary tree whose leaves are nests weighted by predicted execution time
+(after Malakar et al., SC'12) and recursively bisecting the process grid
+proportionally to subtree weights:
+
+* :mod:`repro.tree.node` — the mutable binary tree structure,
+* :mod:`repro.tree.huffman` — Huffman construction (scratch strategy),
+* :mod:`repro.tree.layout` — tree → rectangles (longest-side proportional
+  cuts, integral sides; reproduces the paper's Table I exactly),
+* :mod:`repro.tree.edit` — Algorithm 3: the tree-reorganisation core of the
+  tree-based hierarchical diffusion strategy.
+"""
+
+from repro.tree.node import TreeNode
+from repro.tree.huffman import build_huffman
+from repro.tree.layout import layout_tree
+from repro.tree.edit import diffusion_edit
+from repro.tree.quality import huffman_optimality_gap, weighted_path_length
+
+__all__ = [
+    "TreeNode",
+    "build_huffman",
+    "layout_tree",
+    "diffusion_edit",
+    "huffman_optimality_gap",
+    "weighted_path_length",
+]

@@ -1,0 +1,84 @@
+"""Huffman construction of the allocation tree (scratch strategy, §IV-A).
+
+Nests are weighted by their share of predicted execution time; the two
+lightest subtrees are merged repeatedly (classic Huffman).  Because merging
+proceeds in increasing weight order, sibling weights stay similar at every
+level, which is what makes the recursive proportional bisection in
+:mod:`repro.tree.layout` produce square-like rectangles (paper §IV-A).
+
+Deterministic tie-breaking (pinned down by the paper's Fig. 2 worked
+example, weights 0.1:0.1:0.2:0.25:0.35):
+
+* the *merge order* on equal weights prefers the node created earliest
+  (leaves, in input order, before merged internals);
+* the *left child* of a merge is the smaller-weight node; on a weight tie an
+  internal node goes left of a leaf, and two leaves order by nest id.
+
+With these rules the example yields exactly the paper's Table I placement.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Mapping, Sequence
+
+from repro.tree.node import TreeNode
+
+__all__ = ["build_huffman"]
+
+
+def _left_first(a: TreeNode, b: TreeNode, a_seq: int, b_seq: int) -> bool:
+    """True when ``a`` should be the left child of a merge of ``a`` and ``b``."""
+    if a.weight != b.weight:
+        return a.weight < b.weight
+    if a.is_leaf != b.is_leaf:
+        return not a.is_leaf  # internal node goes left of a leaf
+    if a.is_leaf:  # two leaves: lower nest id left
+        return (a.nest_id or 0) < (b.nest_id or 0)
+    return a_seq < b_seq  # two internals: older creation first
+
+
+def build_huffman(
+    weights: Mapping[int, float] | Sequence[tuple[int, float]],
+) -> TreeNode | None:
+    """Build the Huffman allocation tree for ``{nest_id: weight}``.
+
+    Returns ``None`` for an empty input and a single leaf for one nest.
+    Weights must be positive; they need not sum to one (only ratios matter).
+    """
+    items = list(weights.items()) if isinstance(weights, Mapping) else list(weights)
+    for nest_id, w in items:
+        if not w > 0:
+            raise ValueError(f"nest {nest_id} has non-positive weight {w!r}")
+    ids = [i for i, _ in items]
+    if len(ids) != len(set(ids)):
+        raise ValueError(f"duplicate nest ids: {ids}")
+    if not items:
+        return None
+
+    # Heap entries: (weight, creation_seq, node).  Leaves enter in ascending
+    # (weight, nest_id) order so equal-weight leaves pop deterministically.
+    heap: list[tuple[float, int, TreeNode]] = []
+    seq = 0
+    seqs: dict[int, int] = {}
+    for nest_id, w in sorted(items, key=lambda kv: (kv[1], kv[0])):
+        node = TreeNode(w, nest_id=nest_id)
+        heap.append((w, seq, node))
+        seqs[id(node)] = seq
+        seq += 1
+    heapq.heapify(heap)
+
+    while len(heap) > 1:
+        wa, sa, a = heapq.heappop(heap)
+        wb, sb, b = heapq.heappop(heap)
+        if _left_first(a, b, sa, sb):
+            left, right = a, b
+        else:
+            left, right = b, a
+        merged = TreeNode(wa + wb, left=left, right=right)
+        heapq.heappush(heap, (merged.weight, seq, merged))
+        seq += 1
+
+    root = heap[0][2]
+    root.update_weights()
+    return root

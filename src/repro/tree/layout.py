@@ -1,0 +1,110 @@
+"""Tree → rectangles: recursive proportional bisection of the process grid.
+
+Every internal node splits its rectangle between its two children in
+proportion to their subtree weights.  The cut always runs across the longer
+side (so children stay square-like); on a square region the cut is vertical
+(splitting columns) — this convention, together with half-up rounding,
+reproduces the paper's Table I exactly:
+
+    5 nests, weights .1 .1 .2 .25 .35 on a 32x32 grid →
+    start ranks 0, 256, 512, 13, 429 with sub-grids
+    13x8, 13x8, 13x16, 19x13, 19x19.
+
+Sides are integral, so a child's share is rounded; each child containing at
+least one leaf is guaranteed a non-empty rectangle with area at least its
+leaf count whenever geometrically possible.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.grid.rect import Rect
+from repro.tree.node import TreeNode
+
+__all__ = ["layout_tree"]
+
+
+def _round_half_up(x: float) -> int:
+    return int(math.floor(x + 0.5))
+
+
+def _count_leaves(node: TreeNode) -> int:
+    if node.is_leaf:
+        return 0 if node.free else 1
+    return _count_leaves(node.left) + _count_leaves(node.right)  # type: ignore[arg-type]
+
+
+def _split_share(extent: int, w_left: float, w_total: float, min_left: int, min_right: int) -> int:
+    """Integral left share of ``extent`` proportional to ``w_left / w_total``.
+
+    Clamped so that each side keeps at least ``min_left``/``min_right``
+    units (one column/row per leaf below it, when that fits).
+    """
+    if w_total <= 0:
+        share = extent // 2
+    else:
+        share = _round_half_up(extent * (w_left / w_total))
+    lo, hi = min_left, extent - min_right
+    if lo > hi:
+        # Both minima cannot be met; split in proportion to the minima so the
+        # deficit is shared (only reachable on pathologically small regions).
+        share = _round_half_up(extent * min_left / (min_left + min_right))
+        return max(1, min(extent - 1, share)) if extent > 1 else extent
+    return max(lo, min(share, hi))
+
+
+def _layout(node: TreeNode, region: Rect, out: dict[int, Rect]) -> None:
+    if node.is_leaf:
+        if not node.free:
+            if region.is_empty:
+                raise ValueError(
+                    f"nest {node.nest_id} received an empty rectangle; "
+                    f"grid too small for this tree"
+                )
+            out[node.nest_id] = region  # type: ignore[index]
+        return
+    left, right = node.left, node.right
+    assert left is not None and right is not None
+    nl, nr = _count_leaves(left), _count_leaves(right)
+    if nl == 0:  # all-free subtree: give everything to the other child
+        _layout(right, region, out)
+        return
+    if nr == 0:
+        _layout(left, region, out)
+        return
+    if region.w >= region.h:
+        # Each side must keep enough columns for its leaves to get >= 1 proc.
+        min_l = -(-nl // region.h)  # ceil(nl / h)
+        min_r = -(-nr // region.h)
+        share = _split_share(region.w, left.weight, node.weight, min_l, min_r)
+        a, b = region.split_vertical(share)
+    else:
+        min_l = -(-nl // region.w)
+        min_r = -(-nr // region.w)
+        share = _split_share(region.h, left.weight, node.weight, min_l, min_r)
+        a, b = region.split_horizontal(share)
+    _layout(left, a, out)
+    _layout(right, b, out)
+
+
+def layout_tree(root: TreeNode | None, region: Rect) -> dict[int, Rect]:
+    """Assign every nest leaf of ``root`` a sub-rectangle of ``region``.
+
+    Returns ``{nest_id: Rect}``.  Rectangles are pairwise disjoint and tile
+    ``region`` exactly (free slots donate their share to their siblings).
+    An empty/None tree yields an empty mapping.
+    """
+    out: dict[int, Rect] = {}
+    if root is None:
+        return out
+    nleaves = _count_leaves(root)
+    if nleaves == 0:
+        return out
+    if region.area < nleaves:
+        raise ValueError(
+            f"region {region} has {region.area} processors for {nleaves} nests"
+        )
+    root.update_weights()
+    _layout(root, region, out)
+    return out

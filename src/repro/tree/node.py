@@ -1,0 +1,170 @@
+"""Mutable binary allocation-tree nodes.
+
+A leaf represents one nest (``nest_id``) with a weight equal to the nest's
+share of predicted execution time; an internal node carries the sum of the
+weights below it.  Leaves can additionally be marked *free* — the paper's
+"empty" slots left behind by deleted nests during the diffusion edit
+(Algorithm 3) — in which case they contribute zero weight until a new nest
+is inserted in their position.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+__all__ = ["TreeNode"]
+
+
+class TreeNode:
+    """One node of the allocation tree.
+
+    Exactly one of these shapes holds at all times:
+
+    * **leaf**: ``left is right is None``; ``nest_id`` set unless ``free``;
+    * **internal**: both children present, ``nest_id is None``.
+    """
+
+    __slots__ = ("weight", "nest_id", "left", "right", "parent", "free")
+
+    def __init__(
+        self,
+        weight: float = 0.0,
+        nest_id: int | None = None,
+        left: "TreeNode | None" = None,
+        right: "TreeNode | None" = None,
+        free: bool = False,
+    ) -> None:
+        if (left is None) != (right is None):
+            raise ValueError("a node has either zero or two children")
+        if left is not None and nest_id is not None:
+            raise ValueError("internal nodes cannot carry a nest_id")
+        if free and left is not None:
+            raise ValueError("only leaves can be free")
+        if free and nest_id is not None:
+            raise ValueError("free slots carry no nest_id")
+        self.weight = float(weight)
+        self.nest_id = nest_id
+        self.left = left
+        self.right = right
+        self.parent: TreeNode | None = None
+        self.free = free
+        if left is not None:
+            left.parent = self
+        if right is not None:
+            right.parent = self
+
+    # -- structure queries -------------------------------------------------
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+    @property
+    def sibling(self) -> "TreeNode | None":
+        """The other child of this node's parent (None at the root)."""
+        p = self.parent
+        if p is None:
+            return None
+        return p.right if p.left is self else p.left
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        """All leaves in left-to-right order (iterative DFS)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.is_leaf:
+                yield node
+            else:
+                stack.append(node.right)  # type: ignore[arg-type]
+                stack.append(node.left)  # type: ignore[arg-type]
+
+    def nest_leaves(self) -> Iterator["TreeNode"]:
+        """Leaves that carry a nest (skips free slots)."""
+        return (leaf for leaf in self.leaves() if not leaf.free)
+
+    def find_leaf(self, nest_id: int) -> "TreeNode":
+        """The leaf carrying ``nest_id``; raises :class:`KeyError` if absent."""
+        for leaf in self.leaves():
+            if leaf.nest_id == nest_id:
+                return leaf
+        raise KeyError(f"nest {nest_id} not in tree")
+
+    def nest_ids(self) -> list[int]:
+        """Nest ids of all non-free leaves, left to right."""
+        return [leaf.nest_id for leaf in self.nest_leaves()]  # type: ignore[misc]
+
+    # -- mutation -----------------------------------------------------------
+
+    def replace_child(self, old: "TreeNode", new: "TreeNode") -> None:
+        """Swap child ``old`` for ``new`` (fixing parent pointers)."""
+        if self.left is old:
+            self.left = new
+        elif self.right is old:
+            self.right = new
+        else:
+            raise ValueError("node to replace is not a child of this node")
+        new.parent = self
+        old.parent = None
+
+    def update_weights(self) -> float:
+        """Recompute internal weights as sums of leaf weights below.
+
+        Free leaves contribute zero.  Returns this subtree's weight.
+        """
+        if self.is_leaf:
+            if self.free:
+                self.weight = 0.0
+            return self.weight
+        self.weight = self.left.update_weights() + self.right.update_weights()  # type: ignore[union-attr]
+        return self.weight
+
+    def clone(self) -> "TreeNode":
+        """Deep copy of this subtree (parent pointer of the copy is None)."""
+        if self.is_leaf:
+            return TreeNode(self.weight, nest_id=self.nest_id, free=self.free)
+        return TreeNode(
+            self.weight,
+            left=self.left.clone(),  # type: ignore[union-attr]
+            right=self.right.clone(),  # type: ignore[union-attr]
+        )
+
+    # -- validation & display -------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants of the whole subtree.
+
+        Raises :class:`AssertionError` with a description on violation.
+        """
+        if self.is_leaf:
+            if self.right is not None:
+                raise AssertionError("leaf with a right child")
+            if not self.free and self.nest_id is None:
+                raise AssertionError("non-free leaf without a nest_id")
+            return
+        for child in (self.left, self.right):
+            if child is None:
+                raise AssertionError("internal node with a missing child")
+            if child.parent is not self:
+                raise AssertionError("broken parent pointer")
+            child.validate()
+        if self.nest_id is not None:
+            raise AssertionError("internal node carrying a nest_id")
+        ids = [leaf.nest_id for leaf in self.nest_leaves()]
+        if len(ids) != len(set(ids)):
+            raise AssertionError(f"duplicate nest ids in tree: {ids}")
+
+    def pretty(self, indent: int = 0) -> str:
+        """Human-readable multi-line rendering (for examples and debugging)."""
+        pad = "  " * indent
+        if self.is_leaf:
+            label = "free" if self.free else f"nest {self.nest_id}"
+            return f"{pad}{label} (w={self.weight:.4g})"
+        lines = [f"{pad}node (w={self.weight:.4g})"]
+        lines.append(self.left.pretty(indent + 1))  # type: ignore[union-attr]
+        lines.append(self.right.pretty(indent + 1))  # type: ignore[union-attr]
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.is_leaf:
+            return f"TreeNode(leaf={'free' if self.free else self.nest_id}, w={self.weight:.4g})"
+        return f"TreeNode(internal, w={self.weight:.4g})"

@@ -1,0 +1,63 @@
+"""Tree-quality metrics: how far from Huffman has diffusion drifted?
+
+§IV-B concedes that "the resulting modified tree may no longer be a
+Huffman tree".  This module quantifies that drift:
+
+* :func:`weighted_path_length` — Σ weight·depth over the leaves, the cost
+  a Huffman tree minimises.  Deeper placement of heavy nests means more
+  successive halving of their rectangle share and generally less square
+  partitions.
+* :func:`huffman_optimality_gap` — the tree's weighted path length over
+  the optimal (freshly built Huffman) value for the same weights; 1.0 is
+  optimal, larger is degraded.
+
+The long-run benchmark tracks this gap across a diffusion run: it grows
+with churn and resets when the adaptive-reset extension rebuilds — the
+quantitative version of the paper's remark.
+"""
+
+from __future__ import annotations
+
+from repro.tree.huffman import build_huffman
+from repro.tree.node import TreeNode
+
+__all__ = ["weighted_path_length", "huffman_optimality_gap"]
+
+
+def weighted_path_length(root: TreeNode | None) -> float:
+    """Σ over nest leaves of ``weight · depth`` (root depth = 0)."""
+    if root is None:
+        return 0.0
+    total = 0.0
+    stack = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        if node.is_leaf:
+            if not node.free:
+                total += node.weight * depth
+        else:
+            stack.append((node.left, depth + 1))  # type: ignore[arg-type]
+            stack.append((node.right, depth + 1))  # type: ignore[arg-type]
+    return total
+
+
+def huffman_optimality_gap(root: TreeNode | None) -> float:
+    """Weighted path length relative to the optimal Huffman tree.
+
+    1.0 means the tree is (path-length-)optimal for its current weights;
+    1.3 means nests sit 30 % deeper than necessary on average.  Trees with
+    fewer than two nests are trivially optimal.
+    """
+    if root is None:
+        return 1.0
+    weights = {
+        leaf.nest_id: leaf.weight for leaf in root.nest_leaves()
+    }
+    if len(weights) < 2:
+        return 1.0
+    actual = weighted_path_length(root)
+    optimal_tree = build_huffman(weights)  # type: ignore[arg-type]
+    optimal = weighted_path_length(optimal_tree)
+    if optimal <= 0:
+        return 1.0
+    return actual / optimal

@@ -1,0 +1,27 @@
+"""Shared utilities: seeded RNG plumbing, table rendering, validation.
+
+Every stochastic component of the reproduction draws from a
+:class:`numpy.random.Generator` created through :func:`make_rng`, so that
+every experiment in the paper reproduction is bit-for-bit deterministic.
+"""
+
+from repro.util.rng import make_rng, spawn_rngs
+from repro.util.tables import format_table, format_series, percent
+from repro.util.validation import (
+    check_positive,
+    check_non_negative,
+    check_in_range,
+    check_type,
+)
+
+__all__ = [
+    "make_rng",
+    "spawn_rngs",
+    "format_table",
+    "format_series",
+    "percent",
+    "check_positive",
+    "check_non_negative",
+    "check_in_range",
+    "check_type",
+]

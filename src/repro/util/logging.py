@@ -1,0 +1,52 @@
+"""Library logging: per-module loggers plus an opt-in console configuration.
+
+Every long-running component (the reallocator, the coupled driver, the
+experiment runner) logs through ``logging.getLogger("repro.<module>")``.
+The library itself never configures handlers — that is the application's
+call — but :func:`configure_logging` sets up a sensible console handler
+for scripts and examples:
+
+    from repro.util.logging import configure_logging
+    configure_logging("debug")   # watch every adaptation point
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging", "get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s %(message)s"
+
+_LEVELS = {
+    "debug": logging.DEBUG,
+    "info": logging.INFO,
+    "warning": logging.WARNING,
+    "error": logging.ERROR,
+}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` namespace (idempotent)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def configure_logging(level: str = "info") -> logging.Logger:
+    """Attach a console handler to the ``repro`` root logger.
+
+    Calling again replaces the previous configuration (safe in notebooks).
+    Returns the configured root ``repro`` logger.
+    """
+    if level not in _LEVELS:
+        raise ValueError(f"unknown level {level!r}; choose from {sorted(_LEVELS)}")
+    root = logging.getLogger("repro")
+    for handler in list(root.handlers):
+        root.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    root.addHandler(handler)
+    root.setLevel(_LEVELS[level])
+    root.propagate = False
+    return root

@@ -1,0 +1,34 @@
+"""Small argument-validation helpers used across the library.
+
+Raising early with a precise message is cheaper than debugging a silently
+mis-shaped allocation three modules downstream.
+"""
+
+from __future__ import annotations
+
+__all__ = ["check_positive", "check_non_negative", "check_in_range", "check_type"]
+
+
+def check_positive(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value > 0``."""
+    if not value > 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def check_non_negative(name: str, value: float) -> None:
+    """Raise :class:`ValueError` unless ``value >= 0``."""
+    if not value >= 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
+    """Raise :class:`ValueError` unless ``lo <= value <= hi``."""
+    if not (lo <= value <= hi):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+
+
+def check_type(name: str, value: object, typ: type | tuple[type, ...]) -> None:
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``typ``."""
+    if not isinstance(value, typ):
+        expected = typ.__name__ if isinstance(typ, type) else "/".join(t.__name__ for t in typ)
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

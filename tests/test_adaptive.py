@@ -1,0 +1,102 @@
+"""Tests for the adaptive-reset strategy extension."""
+
+import pytest
+
+from repro.core import (
+    AdaptiveResetStrategy,
+    Allocation,
+    DiffusionStrategy,
+    ScratchStrategy,
+    layout_quality,
+)
+from repro.grid import ProcessorGrid, Rect
+from repro.tree import build_huffman
+
+GRID = ProcessorGrid(32, 32)
+
+
+class TestLayoutQuality:
+    def test_square_is_one(self):
+        a = Allocation(GRID, None, {1: Rect(0, 0, 16, 16)})
+        assert layout_quality(a) == 1.0
+
+    def test_skew_increases(self):
+        a = Allocation(GRID, None, {1: Rect(0, 0, 32, 4)})
+        assert layout_quality(a) == 8.0
+
+    def test_area_weighted(self):
+        a = Allocation(
+            GRID, None, {1: Rect(0, 0, 16, 16), 2: Rect(16, 0, 16, 2)}
+        )
+        q = layout_quality(a)
+        assert 1.0 < q < 8.0
+
+    def test_empty(self):
+        assert layout_quality(Allocation(GRID, None, {})) == 1.0
+
+
+class TestAdaptiveResetStrategy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdaptiveResetStrategy(quality_threshold=0.5)
+
+    def test_first_step_diffuses(self):
+        s = AdaptiveResetStrategy()
+        w = {1: 0.5, 2: 0.5}
+        a = s.reallocate(None, w, GRID)
+        d = DiffusionStrategy().reallocate(None, w, GRID)
+        assert a.rects == d.rects
+        assert s.reset_steps == []
+
+    def test_huge_threshold_equals_pure_diffusion(self):
+        lazy = AdaptiveResetStrategy(quality_threshold=1e9)
+        pure = DiffusionStrategy()
+        prev_lazy = prev_pure = None
+        churn = [
+            {1: 0.3, 2: 0.3, 3: 0.4},
+            {1: 0.5, 3: 0.2, 4: 0.3},
+            {1: 0.2, 4: 0.4, 5: 0.4},
+            {4: 0.6, 5: 0.4},
+        ]
+        for w in churn:
+            prev_lazy = lazy.reallocate(prev_lazy, w, GRID)
+            prev_pure = pure.reallocate(prev_pure, w, GRID)
+            assert prev_lazy.rects == prev_pure.rects
+        assert lazy.reset_steps == []
+
+    def test_tight_threshold_resets_to_scratch(self):
+        eager = AdaptiveResetStrategy(quality_threshold=1.0)
+        scratch = ScratchStrategy()
+        prev = scratch.reallocate(None, {1: 0.3, 2: 0.3, 3: 0.4}, GRID)
+        # engineered churn that skews the diffusion layout
+        w = {1: 0.05, 3: 0.9, 9: 0.05}
+        out = eager.reallocate(prev, w, GRID)
+        diffused = DiffusionStrategy().reallocate(prev, w, GRID)
+        s = scratch.reallocate(prev, w, GRID)
+        if layout_quality(diffused) > layout_quality(s):
+            assert out.rects == s.rects
+            assert eager.reset_steps
+        else:  # diffusion happened to be fine for this churn
+            assert out.rects == diffused.rects
+
+    def test_resets_counted_over_run(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        s = AdaptiveResetStrategy(quality_threshold=1.05)
+        prev = None
+        nid = 0
+        nests = {}
+        resets_possible = 0
+        for _ in range(25):
+            for k in list(nests):
+                if len(nests) > 2 and rng.uniform() < 0.4:
+                    del nests[k]
+            while len(nests) < 3:
+                nid += 1
+                nests[nid] = float(rng.uniform(0.1, 1.0))
+            total = sum(nests.values())
+            w = {k: v / total for k, v in nests.items()}
+            prev = s.reallocate(prev, w, GRID)
+            resets_possible += 1
+        assert 0 <= len(s.reset_steps) < resets_possible

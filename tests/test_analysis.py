@@ -1,0 +1,262 @@
+"""Tests for repro.analysis: split files, NNC (Algorithm 2), PDA (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    NNCConfig,
+    PDAConfig,
+    SplitFile,
+    SubdomainSummary,
+    cluster_bounding_rect,
+    clusters_to_rectangles,
+    nearest_neighbour_clustering,
+    parallel_data_analysis,
+    simple_two_hop_clustering,
+)
+from repro.grid import ProcessorGrid, Rect
+from repro.mpisim import SimComm
+
+
+def make_summary(bx, by, qcloud=1.0, olr_fraction=0.5):
+    return SubdomainSummary(
+        file_index=by * 8 + bx,
+        block_x=bx,
+        block_y=by,
+        extent=Rect(bx * 10, by * 10, 10, 10),
+        qcloud=qcloud,
+        olr_fraction=olr_fraction,
+    )
+
+
+def make_split_file(bx, by, qcloud_value, olr_value, size=10):
+    return SplitFile(
+        file_index=by * 4 + bx,
+        block_x=bx,
+        block_y=by,
+        extent=Rect(bx * size, by * size, size, size),
+        qcloud=np.full((size, size), qcloud_value),
+        olr=np.full((size, size), olr_value),
+    )
+
+
+class TestSplitFile:
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            SplitFile(0, 0, 0, Rect(0, 0, 4, 4), np.zeros((3, 4)), np.zeros((4, 4)))
+
+    def test_summarise_thresholds_olr(self):
+        f = make_split_file(0, 0, qcloud_value=2.0, olr_value=150.0)
+        s = f.summarise(olr_threshold=200.0)
+        assert s.qcloud == pytest.approx(2.0 * 100)
+        assert s.olr_fraction == 1.0
+
+    def test_summarise_clear_sky(self):
+        f = make_split_file(0, 0, qcloud_value=2.0, olr_value=280.0)
+        s = f.summarise(olr_threshold=200.0)
+        assert s.qcloud == 0.0 and s.olr_fraction == 0.0
+
+    def test_summarise_partial(self):
+        f = make_split_file(0, 0, 1.0, 150.0, size=4)
+        olr = f.olr.copy()
+        olr[:2, :] = 250.0  # half the subdomain is clear
+        f2 = SplitFile(0, 0, 0, f.extent, f.qcloud, olr)
+        s = f2.summarise(200.0)
+        assert s.olr_fraction == pytest.approx(0.5)
+        assert s.qcloud == pytest.approx(8.0)
+
+
+class TestHopDistance:
+    def test_chebyshev(self):
+        a = make_summary(2, 2)
+        assert a.hop_distance(make_summary(3, 3)) == 1  # diagonal = 1 hop
+        assert a.hop_distance(make_summary(4, 2)) == 2
+        assert a.hop_distance(make_summary(2, 2)) == 0
+
+
+class TestNNC:
+    def test_adjacent_same_cluster(self):
+        items = [make_summary(0, 0), make_summary(1, 0)]
+        clusters = nearest_neighbour_clustering(items)
+        assert len(clusters) == 1 and len(clusters[0]) == 2
+
+    def test_far_apart_two_clusters(self):
+        items = [make_summary(0, 0), make_summary(6, 6)]
+        clusters = nearest_neighbour_clustering(items)
+        assert len(clusters) == 2
+
+    def test_two_hop_joins(self):
+        items = [make_summary(0, 0), make_summary(2, 0)]
+        clusters = nearest_neighbour_clustering(items)
+        assert len(clusters) == 1
+
+    def test_three_hops_does_not_join(self):
+        items = [make_summary(0, 0), make_summary(3, 0)]
+        clusters = nearest_neighbour_clustering(items)
+        assert len(clusters) == 2
+
+    def test_below_threshold_skipped(self):
+        items = [make_summary(0, 0, qcloud=1e-6), make_summary(1, 0)]
+        clusters = nearest_neighbour_clustering(items)
+        assert sum(len(c) for c in clusters) == 1
+
+    def test_low_olr_fraction_skipped(self):
+        items = [make_summary(0, 0, olr_fraction=1e-6)]
+        assert nearest_neighbour_clustering(items) == []
+
+    def test_mean_deviation_guard(self):
+        # second element adjacent but with wildly different qcloud: rejected
+        items = [make_summary(0, 0, qcloud=10.0), make_summary(1, 0, qcloud=1.0)]
+        clusters = nearest_neighbour_clustering(items)
+        assert len(clusters) == 2
+        # within 30%: accepted
+        items = [make_summary(0, 0, qcloud=10.0), make_summary(1, 0, qcloud=9.0)]
+        assert len(nearest_neighbour_clustering(items)) == 1
+
+    def test_one_hop_preferred_over_two_hop(self):
+        # element at (2,0) is 1 hop from B(3,0) and 2 hops from A(0,0);
+        # A comes first in the list but the 1-hop pass must win.
+        a = make_summary(0, 0, qcloud=5.0)
+        b = make_summary(3, 0, qcloud=4.9)
+        e = make_summary(2, 0, qcloud=4.8)
+        clusters = nearest_neighbour_clustering([a, b, e])
+        for c in clusters:
+            if any(m.block_x == 2 for m in c):
+                assert any(m.block_x == 3 for m in c), "joined the 2-hop cluster"
+
+    def test_clusters_spatially_disjoint_on_grid(self):
+        # a dense random field: the paper's property is that NNC bounding
+        # rectangles do not overlap (Fig 9b) while simple 2-hop ones may
+        rng = np.random.default_rng(3)
+        items = sorted(
+            (
+                make_summary(int(x), int(y), qcloud=float(q))
+                for x, y, q in zip(
+                    rng.integers(0, 10, 40),
+                    rng.integers(0, 10, 40),
+                    rng.uniform(1, 2, 40),
+                )
+            ),
+            key=lambda s: -s.qcloud,
+        )
+        clusters = nearest_neighbour_clustering(items)
+        # every element lands in exactly one cluster
+        total = sum(len(c) for c in clusters)
+        assert total == len(items)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            NNCConfig(mean_deviation=-0.1)
+        with pytest.raises(ValueError):
+            NNCConfig(max_hops=0)
+
+
+class TestSimpleTwoHop:
+    def test_no_mean_guard(self):
+        # wildly different qcloud still joins in the baseline
+        items = [make_summary(0, 0, qcloud=10.0), make_summary(1, 0, qcloud=1.0)]
+        assert len(simple_two_hop_clustering(items)) == 1
+
+    def test_chains_grow_unbounded(self):
+        # a long chain of 2-hop steps collapses into one cluster
+        items = [make_summary(2 * i, 0) for i in range(6)]
+        assert len(simple_two_hop_clustering(items)) == 1
+        # the paper's NNC (2-hop max from *any member*) also chains, but the
+        # mean guard can stop it; with equal qclouds it also chains:
+        assert len(nearest_neighbour_clustering(items)) == 1
+
+
+class TestRegions:
+    def test_bounding_rect(self):
+        c = [make_summary(0, 0), make_summary(1, 1)]
+        assert cluster_bounding_rect(c) == Rect(0, 0, 20, 20)
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_bounding_rect([])
+
+    def test_min_area_filter(self):
+        clusters = [[make_summary(0, 0)], [make_summary(5, 5), make_summary(6, 5)]]
+        rects = clusters_to_rectangles(clusters, min_area=150)
+        assert len(rects) == 1 and rects[0].w == 20
+
+
+class TestPDA:
+    def _files(self, grid, cloudy_blocks):
+        """Split files over `grid` with high cloud in `cloudy_blocks`."""
+        files = []
+        for by in range(grid.py):
+            for bx in range(grid.px):
+                if (bx, by) in cloudy_blocks:
+                    f = make_split_file(bx, by, 0.01, 150.0)
+                else:
+                    f = make_split_file(bx, by, 0.0, 280.0)
+                files.append(
+                    SplitFile(
+                        grid.rank(bx, by), bx, by, f.extent, f.qcloud, f.olr
+                    )
+                )
+        return files
+
+    def test_detects_single_region(self):
+        grid = ProcessorGrid(4, 4)
+        files = self._files(grid, {(1, 1), (2, 1), (1, 2), (2, 2)})
+        result = parallel_data_analysis(files, grid, n_analysis=4)
+        assert len(result.rectangles) == 1
+        assert result.rectangles[0] == Rect(10, 10, 20, 20)
+
+    def test_detects_two_regions(self):
+        grid = ProcessorGrid(8, 8)
+        files = self._files(grid, {(0, 0), (1, 0), (6, 6), (7, 7)})
+        result = parallel_data_analysis(files, grid, n_analysis=4)
+        assert len(result.rectangles) == 2
+
+    def test_no_clouds_no_rectangles(self):
+        grid = ProcessorGrid(4, 4)
+        files = self._files(grid, set())
+        result = parallel_data_analysis(files, grid, n_analysis=4)
+        assert result.rectangles == []
+        assert result.gathered_items == 0
+
+    def test_result_independent_of_n_analysis(self):
+        grid = ProcessorGrid(8, 8)
+        cloudy = {(1, 1), (2, 1), (5, 6), (6, 6)}
+        results = [
+            parallel_data_analysis(self._files(grid, cloudy), grid, n)
+            for n in (1, 4, 16, 64)
+        ]
+        rect_sets = [sorted(map(str, r.rectangles)) for r in results]
+        assert all(rs == rect_sets[0] for rs in rect_sets)
+
+    def test_gather_stats_recorded(self):
+        grid = ProcessorGrid(4, 4)
+        comm = SimComm(4)
+        files = self._files(grid, {(0, 0)})
+        parallel_data_analysis(files, grid, 4, comm=comm)
+        assert comm.stats.gathers == 1
+
+    def test_wrong_file_count(self):
+        grid = ProcessorGrid(4, 4)
+        with pytest.raises(ValueError):
+            parallel_data_analysis(self._files(grid, set())[:-1], grid, 4)
+
+    def test_bad_n_analysis(self):
+        grid = ProcessorGrid(4, 4)
+        files = self._files(grid, set())
+        with pytest.raises(ValueError):
+            parallel_data_analysis(files, grid, 0)
+        with pytest.raises(ValueError):
+            parallel_data_analysis(files, grid, 17)
+
+    def test_comm_size_mismatch(self):
+        grid = ProcessorGrid(4, 4)
+        files = self._files(grid, set())
+        with pytest.raises(ValueError):
+            parallel_data_analysis(files, grid, 4, comm=SimComm(2))
+
+    def test_summaries_sorted(self):
+        grid = ProcessorGrid(4, 4)
+        files = self._files(grid, {(0, 0), (2, 2), (3, 3)})
+        result = parallel_data_analysis(files, grid, 4)
+        qs = [s.qcloud for s in result.summaries]
+        assert qs == sorted(qs, reverse=True)

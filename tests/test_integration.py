@@ -1,0 +1,142 @@
+"""Cross-module integration tests (reduced-scale end-to-end scenarios)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    DiffusionStrategy,
+    ScratchStrategy,
+    summarize_improvement,
+)
+from repro.core.strategy import ReallocationStrategy
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext, run_both_strategies, run_workload
+from repro.grid import ProcessorGrid, Rect
+from repro.topology import MACHINES, blue_gene_l
+from repro.tree import build_huffman
+
+
+class TestSplitChurn:
+    def test_classification(self):
+        from repro.core import Allocation
+
+        grid = ProcessorGrid(8, 8)
+        old = Allocation.from_tree(build_huffman({1: 0.5, 2: 0.5}), grid)
+        deleted, retained, new = ReallocationStrategy.split_churn(
+            old, {2: 0.6, 3: 0.4}
+        )
+        assert deleted == [1]
+        assert retained == {2: 0.6}
+        assert new == {3: 0.4}
+
+    def test_no_old(self):
+        deleted, retained, new = ReallocationStrategy.split_churn(None, {1: 1.0})
+        assert deleted == [] and retained == {} and new == {1: 1.0}
+
+
+class TestEndToEndStatistics:
+    """The paper's headline claims at reduced scale (fast)."""
+
+    @pytest.fixture(scope="class")
+    def runs(self):
+        ctx = ExperimentContext(MACHINES["bgl-256"])
+        out = []
+        for seed in (0, 1, 2, 3):
+            wl = synthetic_workload(seed=seed, n_steps=30)
+            out.append(run_both_strategies(wl, ctx))
+        return out
+
+    def test_diffusion_improves_on_average(self, runs):
+        imps = [summarize_improvement(s.metrics, d.metrics) for s, d in runs]
+        assert np.mean(imps) > 5.0
+
+    def test_diffusion_higher_overlap(self, runs):
+        s_ov = np.mean([s.mean("overlap_fraction") for s, _ in runs])
+        d_ov = np.mean([d.mean("overlap_fraction") for _, d in runs])
+        assert d_ov > s_ov
+
+    def test_diffusion_lower_hop_bytes(self, runs):
+        s_hb = np.mean(
+            [s.mean("hop_bytes_avg", nonzero_only=True) for s, _ in runs]
+        )
+        d_hb = np.mean(
+            [d.mean("hop_bytes_avg", nonzero_only=True) for _, d in runs]
+        )
+        assert d_hb < s_hb
+
+    def test_predictions_track_measurements(self, runs):
+        # §IV-C1: predicted redistribution times correlate with measured
+        pred, meas = [], []
+        for s, d in runs:
+            for r in (s, d):
+                for m in r.metrics:
+                    if m.measured_redist > 0:
+                        pred.append(m.predicted_redist)
+                        meas.append(m.measured_redist)
+        r = np.corrcoef(pred, meas)[0, 1]
+        assert r > 0.5, f"predicted vs measured correlation too weak: {r:.2f}"
+
+
+class TestDeterminismEndToEnd:
+    def test_full_pipeline_bit_reproducible(self):
+        ctx1 = ExperimentContext(MACHINES["bgl-256"])
+        ctx2 = ExperimentContext(MACHINES["bgl-256"])
+        wl = synthetic_workload(seed=9, n_steps=10)
+        a = run_workload(wl, DiffusionStrategy(), ctx1)
+        b = run_workload(wl, DiffusionStrategy(), ctx2)
+        assert a.series("measured_redist") == b.series("measured_redist")
+        assert a.series("exec_actual") == b.series("exec_actual")
+        assert a.series("hop_bytes_avg") == b.series("hop_bytes_avg")
+
+
+class TestDegenerateWorkloads:
+    @pytest.fixture(scope="class")
+    def ctx(self):
+        return ExperimentContext(MACHINES["bgl-256"])
+
+    def _realloc(self, ctx, strategy):
+        from repro.core import ProcessorReallocator
+
+        return ProcessorReallocator(ctx.machine, strategy, ctx.predictor, ctx.cost)
+
+    def test_single_nest_forever(self, ctx):
+        r = self._realloc(ctx, DiffusionStrategy())
+        for _ in range(4):
+            res = r.step({1: (300, 300)})
+        assert res.plan is not None
+        assert res.plan.overlap_fraction == 1.0  # nothing ever moves
+
+    def test_empty_step_clears_everything(self, ctx):
+        r = self._realloc(ctx, DiffusionStrategy())
+        r.step({1: (200, 200), 2: (250, 250)})
+        res = r.step({})
+        assert res.allocation.is_empty
+        assert res.deleted == [1, 2]
+        # and the system recovers afterwards
+        res = r.step({3: (220, 220)})
+        assert res.allocation.nest_ids == [3]
+
+    def test_many_nests_on_small_grid(self, ctx):
+        r = self._realloc(ctx, ScratchStrategy())
+        nests = {i: (181 + i, 181) for i in range(1, 33)}  # 32 nests, 256 cores
+        res = r.step(nests)
+        assert len(res.allocation.rects) == 32
+        total = sum(rect.area for rect in res.allocation.rects.values())
+        assert total == 256
+
+    def test_full_replacement_every_step(self, ctx):
+        r = self._realloc(ctx, DiffusionStrategy())
+        nid = 0
+        for _ in range(4):
+            nests = {}
+            for _ in range(3):
+                nid += 1
+                nests[nid] = (200, 200)
+            res = r.step(nests)
+        assert res.retained == []  # nothing ever persists
+        assert res.plan is not None and res.plan.moves == []
+
+    def test_extreme_aspect_nests(self, ctx):
+        r = self._realloc(ctx, DiffusionStrategy())
+        res = r.step({1: (1000, 60), 2: (60, 1000)})
+        assert set(res.allocation.nest_ids) == {1, 2}

@@ -1,0 +1,104 @@
+"""Tests for the runtime invariant checks."""
+
+import pytest
+
+from repro.core import Allocation, DiffusionStrategy, plan_redistribution
+from repro.core.invariants import (
+    InvariantViolation,
+    check_all,
+    check_plan_conservation,
+    check_tiling,
+    check_tree_consistency,
+)
+from repro.grid import ProcessorGrid, Rect
+from repro.mpisim import CostModel
+from repro.topology import blue_gene_l
+from repro.tree import build_huffman
+
+GRID = ProcessorGrid(16, 16)
+
+
+def good_allocation():
+    w = {1: 0.4, 2: 0.6}
+    return Allocation.from_tree(build_huffman(w), GRID, w)
+
+
+class TestCheckTiling:
+    def test_good(self):
+        check_tiling(good_allocation())
+
+    def test_empty_ok(self):
+        check_tiling(Allocation.from_tree(None, GRID))
+
+    def test_gap_detected(self):
+        a = Allocation(GRID, None, {1: Rect(0, 0, 8, 16)})  # covers half
+        with pytest.raises(InvariantViolation):
+            check_tiling(a)
+
+    def test_overlap_detected(self):
+        # bypass Allocation's own constructor check via object surgery
+        a = good_allocation()
+        object.__setattr__(a, "rects", {1: Rect(0, 0, 9, 16), 2: Rect(8, 0, 8, 16)})
+        with pytest.raises(InvariantViolation):
+            check_tiling(a)
+
+
+class TestCheckPlanConservation:
+    def _plan(self):
+        machine = blue_gene_l(256)
+        cost = CostModel.for_machine(machine)
+        strat = DiffusionStrategy()
+        old = strat.reallocate(None, {1: 0.4, 2: 0.6}, GRID)
+        new = strat.reallocate(old, {1: 0.7, 2: 0.3}, GRID)
+        sizes = {1: (100, 100), 2: (120, 80)}
+        return plan_redistribution(old, new, sizes, machine, cost), sizes
+
+    def test_good(self):
+        plan, sizes = self._plan()
+        check_plan_conservation(plan, sizes)
+
+    def test_wrong_sizes_detected(self):
+        plan, sizes = self._plan()
+        bad = {nid: (nx + 1, ny) for nid, (nx, ny) in sizes.items()}
+        with pytest.raises(InvariantViolation):
+            check_plan_conservation(plan, bad)
+
+
+class TestCheckTreeConsistency:
+    def test_good(self):
+        check_tree_consistency(good_allocation())
+
+    def test_rects_without_tree(self):
+        a = Allocation(GRID, None, {1: Rect(0, 0, 16, 16)})
+        with pytest.raises(InvariantViolation):
+            check_tree_consistency(a)
+
+    def test_mismatched_ids(self):
+        a = good_allocation()
+        object.__setattr__(a, "tree", build_huffman({1: 0.5, 9: 0.5}))
+        with pytest.raises(InvariantViolation):
+            check_tree_consistency(a)
+
+
+class TestCheckAll:
+    def test_full_pass(self):
+        machine = blue_gene_l(256)
+        cost = CostModel.for_machine(machine)
+        strat = DiffusionStrategy()
+        old = strat.reallocate(None, {1: 0.4, 2: 0.6}, GRID)
+        new = strat.reallocate(old, {1: 0.7, 3: 0.3}, GRID)
+        sizes = {1: (100, 100), 2: (90, 90), 3: (110, 70)}
+        plan = plan_redistribution(old, new, sizes, machine, cost)
+        check_all(new, plan, sizes)
+
+    def test_plan_requires_sizes(self):
+        machine = blue_gene_l(256)
+        cost = CostModel.for_machine(machine)
+        strat = DiffusionStrategy()
+        old = strat.reallocate(None, {1: 1.0}, GRID)
+        plan = plan_redistribution(old, old, {1: (50, 50)}, machine, cost)
+        with pytest.raises(ValueError):
+            check_all(old, plan, None)
+
+    def test_allocation_only(self):
+        check_all(good_allocation())

@@ -1,0 +1,51 @@
+"""Tests for the logging helpers."""
+
+import logging
+
+import pytest
+
+from repro.util.logging import configure_logging, get_logger
+
+
+class TestGetLogger:
+    def test_namespaced(self):
+        assert get_logger("core.reallocator").name == "repro.core.reallocator"
+
+    def test_already_namespaced(self):
+        assert get_logger("repro.wrf.driver").name == "repro.wrf.driver"
+
+
+class TestConfigureLogging:
+    def test_sets_level_and_handler(self):
+        root = configure_logging("debug")
+        assert root.level == logging.DEBUG
+        assert len(root.handlers) == 1
+
+    def test_reconfigure_replaces_handler(self):
+        configure_logging("info")
+        root = configure_logging("warning")
+        assert len(root.handlers) == 1
+        assert root.level == logging.WARNING
+
+    def test_unknown_level(self):
+        with pytest.raises(ValueError):
+            configure_logging("verbose")
+
+    def test_debug_messages_flow(self, caplog):
+        from repro.core import ScratchStrategy
+        from repro.core.reallocator import ProcessorReallocator
+        from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+        from repro.topology import blue_gene_l
+
+        # undo any configure_logging from earlier tests so records propagate
+        # to caplog's root handler
+        root = logging.getLogger("repro")
+        for handler in list(root.handlers):
+            root.removeHandler(handler)
+        root.propagate = True
+
+        predictor = ExecTimePredictor(ProfileTable(ExecutionOracle()))
+        realloc = ProcessorReallocator(blue_gene_l(256), ScratchStrategy(), predictor)
+        with caplog.at_level(logging.DEBUG, logger="repro"):
+            realloc.step({1: (200, 200)})
+        assert any("step 1" in r.message for r in caplog.records)

@@ -1,0 +1,99 @@
+"""Tests for nest-level fine-grid integration."""
+
+import numpy as np
+import pytest
+
+from repro.grid import ProcessorGrid, Rect
+from repro.wrf.dynamics import DynamicalModel
+from repro.wrf.model import DomainConfig, WrfLikeModel
+from repro.wrf.nests import Nest
+from repro.wrf.nestsim import NestModel
+
+
+@pytest.fixture()
+def parent():
+    cfg = DomainConfig(nx=138, ny=81, sim_grid=ProcessorGrid(8, 8))
+    m = DynamicalModel(cfg, seed=0)
+    for _ in range(20):
+        m.step()
+    return m
+
+
+def make_nest(parent, rect=None):
+    return Nest(nest_id=1, roi=rect or Rect(30, 20, 30, 24), refinement=3)
+
+
+class TestNestModel:
+    def test_initial_state_interpolated(self, parent):
+        nest = make_nest(parent)
+        nm = NestModel(parent, nest)
+        assert nm.qcloud.shape == (nest.ny, nest.nx)
+        # fine values bounded by the parent field range
+        assert nm.qvapor.min() >= parent.qvapor.min() - 1e-15
+        assert nm.qvapor.max() <= parent.qvapor.max() + 1e-15
+
+    def test_requires_dynamical_parent(self, parent):
+        kin = WrfLikeModel(parent.config)
+        with pytest.raises(TypeError):
+            NestModel(kin, make_nest(parent))
+
+    def test_roi_bounds_checked(self, parent):
+        with pytest.raises(ValueError):
+            NestModel(parent, make_nest(parent, Rect(120, 70, 30, 30)))
+
+    def test_sponge_validation(self, parent):
+        with pytest.raises(ValueError):
+            NestModel(parent, make_nest(parent), sponge_width=0)
+
+    def test_step_preserves_shape_and_positivity(self, parent):
+        nm = NestModel(parent, make_nest(parent))
+        for _ in range(3):
+            parent.step()
+            nm.step()
+        assert nm.qcloud.shape == (72, 90)
+        assert np.all(nm.qcloud >= 0) and np.all(nm.qvapor >= 0)
+        assert np.isfinite(nm.qcloud).all()
+        assert nm.steps_taken == 3
+
+    def test_nest_stays_close_to_parent(self, parent):
+        # one-way nesting with sponge: the coarsened nest field tracks the
+        # parent's own solution over the same region (same physics, finer dt)
+        nm = NestModel(parent, make_nest(parent))
+        for _ in range(4):
+            parent.step()
+            nm.step()
+        roi = nm.nest.roi
+        parent_patch = parent.qcloud_state[roi.y0 : roi.y1, roi.x0 : roi.x1]
+        coarse = nm.coarsened_qcloud()
+        scale = max(parent_patch.max(), 1e-9)
+        assert np.abs(coarse - parent_patch).max() / scale < 0.6
+
+    def test_coarsening_shape(self, parent):
+        nm = NestModel(parent, make_nest(parent))
+        assert nm.coarsened_qcloud().shape == (24, 30)
+
+    def test_coarsening_conserves_mean(self, parent):
+        nm = NestModel(parent, make_nest(parent))
+        assert nm.coarsened_qcloud().mean() == pytest.approx(nm.qcloud.mean())
+
+    def test_feedback_writes_parent(self, parent):
+        nm = NestModel(parent, make_nest(parent), feedback=True)
+        parent.step()
+        nm.step()
+        roi = nm.nest.roi
+        patch = parent.qcloud_state[roi.y0 : roi.y1, roi.x0 : roi.x1]
+        assert np.array_equal(patch, nm.coarsened_qcloud())
+
+    def test_work_scaling(self, parent):
+        nm = NestModel(parent, make_nest(parent))
+        # r^3 scaling: 3 fine steps x 9x the points per parent cell
+        per_parent_cell = nm.work_per_parent_step() / nm.nest.roi.area
+        assert per_parent_cell == 27
+
+    def test_deterministic(self, parent):
+        a = NestModel(parent, make_nest(parent))
+        b = NestModel(parent, make_nest(parent))
+        parent.step()
+        a.step()
+        b.step()
+        assert np.array_equal(a.qcloud, b.qcloud)

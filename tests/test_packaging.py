@@ -1,0 +1,58 @@
+"""API-integrity tests: every public package exports what it promises."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.util",
+    "repro.topology",
+    "repro.mpisim",
+    "repro.grid",
+    "repro.tree",
+    "repro.analysis",
+    "repro.wrf",
+    "repro.perfmodel",
+    "repro.core",
+    "repro.experiments",
+    "repro.trace",
+    "repro.viz",
+]
+
+
+class TestPublicAPI:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_importable(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro"])
+    def test_all_names_resolve(self, name):
+        module = importlib.import_module(name)
+        assert hasattr(module, "__all__"), f"{name} lacks __all__"
+        for symbol in module.__all__:
+            assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+    @pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro"])
+    def test_all_entries_unique(self, name):
+        module = importlib.import_module(name)
+        assert len(module.__all__) == len(set(module.__all__)), (
+            f"duplicate __all__ entries in {name}"
+        )
+
+    def test_version(self):
+        import repro
+
+        assert repro.__version__
+
+    def test_cli_entrypoint_importable(self):
+        from repro.cli import main  # noqa: F401
+
+    @pytest.mark.parametrize("name", [p for p in PACKAGES if p != "repro"])
+    def test_public_symbols_documented(self, name):
+        """Every exported class/function carries a docstring."""
+        module = importlib.import_module(name)
+        for symbol in module.__all__:
+            obj = getattr(module, symbol)
+            if callable(obj) or isinstance(obj, type):
+                assert obj.__doc__, f"{name}.{symbol} lacks a docstring"

@@ -1,0 +1,177 @@
+"""Tests for repro.perfmodel: oracle, profiles, predictor, redistribution."""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import CostModel, MessageSet, NetworkSimulator
+from repro.perfmodel import (
+    DEFAULT_PROC_COUNTS,
+    DEFAULT_PROFILE_DOMAINS,
+    ExecTimePredictor,
+    ExecutionOracle,
+    ProfileTable,
+    measure_redistribution_time,
+    predict_redistribution_time,
+)
+from repro.topology import blue_gene_l
+
+
+class TestExecutionOracle:
+    def test_more_procs_faster(self):
+        o = ExecutionOracle(noise_sigma=0.0)
+        assert o.mean_time(300, 300, 16, 16) < o.mean_time(300, 300, 8, 8)
+
+    def test_bigger_nest_slower(self):
+        o = ExecutionOracle(noise_sigma=0.0)
+        assert o.mean_time(400, 400, 16, 16) > o.mean_time(200, 200, 16, 16)
+
+    def test_skewed_proc_rect_slower(self):
+        # the Fig-7 effect: same processor count, skewed rectangle is slower
+        o = ExecutionOracle(noise_sigma=0.0)
+        assert o.mean_time(300, 300, 32, 2) > o.mean_time(300, 300, 8, 8)
+
+    def test_noise_reproducible(self):
+        o = ExecutionOracle()
+        assert o.observe(300, 300, 16, 16, rng=5) == o.observe(300, 300, 16, 16, rng=5)
+
+    def test_noise_close_to_mean(self):
+        o = ExecutionOracle(noise_sigma=0.03)
+        rng = np.random.default_rng(0)
+        obs = [o.observe(300, 300, 16, 16, rng) for _ in range(200)]
+        assert np.mean(obs) == pytest.approx(o.mean_time(300, 300, 16, 16), rel=0.02)
+
+    def test_zero_noise_deterministic(self):
+        o = ExecutionOracle(noise_sigma=0.0)
+        assert o.observe(100, 100, 4, 4) == o.mean_time(100, 100, 4, 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionOracle(c_comp=0)
+        with pytest.raises(ValueError):
+            ExecutionOracle(levels=0)
+        with pytest.raises(ValueError):
+            ExecutionOracle().mean_time(0, 10, 2, 2)
+
+
+class TestProfileTable:
+    def test_shape(self):
+        t = ProfileTable(ExecutionOracle())
+        assert t.times.shape == (len(DEFAULT_PROFILE_DOMAINS), len(DEFAULT_PROC_COUNTS))
+
+    def test_monotone_in_procs(self):
+        t = ProfileTable(ExecutionOracle(noise_sigma=0.0))
+        assert np.all(np.diff(t.times, axis=1) < 0)  # more procs, less time
+
+    def test_features(self):
+        t = ProfileTable(ExecutionOracle())
+        f = t.features
+        assert f.shape[1] == 2
+        assert np.all(f[:, 1] >= 1.0)  # aspect >= 1
+
+    def test_deterministic(self):
+        a = ProfileTable(ExecutionOracle(), seed=7)
+        b = ProfileTable(ExecutionOracle(), seed=7)
+        assert np.array_equal(a.times, b.times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProfileTable(ExecutionOracle(), domains=((100, 100),))
+        with pytest.raises(ValueError):
+            ProfileTable(ExecutionOracle(), proc_counts=(64,))
+        with pytest.raises(ValueError):
+            ProfileTable(ExecutionOracle(), proc_counts=(64, 32))
+        with pytest.raises(ValueError):
+            ProfileTable(ExecutionOracle(), samples=0)
+
+
+class TestExecTimePredictor:
+    @pytest.fixture(scope="class")
+    def predictor(self):
+        return ExecTimePredictor(ProfileTable(ExecutionOracle()))
+
+    def test_accuracy_on_profiled_domain(self, predictor):
+        o = ExecutionOracle(noise_sigma=0.0)
+        for nx, ny in ((300, 300), (175, 175)):
+            for p in (256, 512):
+                g = p  # square-like grids were profiled
+                from repro.grid import ProcessorGrid
+
+                grid = ProcessorGrid.square_like(p)
+                truth = o.mean_time(nx, ny, grid.px, grid.py)
+                pred = predictor.predict(nx, ny, p)
+                assert pred == pytest.approx(truth, rel=0.1)
+
+    def test_interpolated_proc_count(self, predictor):
+        # 320 procs is not profiled; prediction must fall between neighbours
+        lo = predictor.predict(300, 300, 256)
+        hi = predictor.predict(300, 300, 384)
+        mid = predictor.predict(300, 300, 320)
+        assert min(lo, hi) <= mid <= max(lo, hi)
+
+    def test_clamps_out_of_range_procs(self, predictor):
+        assert predictor.predict(300, 300, 2048) == predictor.predict(300, 300, 1024)
+
+    def test_outside_hull_uses_nearest(self, predictor):
+        # tiny domain far outside profiled hull still predicts something finite
+        v = predictor.predict(40, 40, 256)
+        assert np.isfinite(v) and v > 0
+
+    def test_weights_normalised(self, predictor):
+        w = predictor.weights({1: (300, 300), 2: (200, 200)}, 1024)
+        assert sum(w.values()) == pytest.approx(1.0)
+        assert w[1] > w[2]  # bigger nest, bigger share
+
+    def test_weights_empty(self, predictor):
+        assert predictor.weights({}, 1024) == {}
+
+    def test_validation(self, predictor):
+        with pytest.raises(ValueError):
+            predictor.predict(0, 10, 64)
+        with pytest.raises(ValueError):
+            predictor.predict(10, 10, 0)
+
+    def test_correlation_with_truth(self, predictor):
+        # the §V-F experiment in miniature: r should be high (paper ~0.9)
+        o = ExecutionOracle()
+        rng = np.random.default_rng(1)
+        preds, actuals = [], []
+        from repro.grid import ProcessorGrid
+
+        for _ in range(60):
+            nx = int(rng.integers(150, 420))
+            ny = int(rng.integers(150, 420))
+            p = int(rng.integers(64, 1024))
+            grid = ProcessorGrid.square_like(p)
+            preds.append(predictor.predict(nx, ny, p))
+            actuals.append(o.observe(nx, ny, grid.px, grid.py, rng))
+        r = np.corrcoef(preds, actuals)[0, 1]
+        assert r > 0.8
+
+
+class TestRedistTimes:
+    def test_empty(self):
+        m = blue_gene_l(256)
+        cost = CostModel.for_machine(m)
+        sim = NetworkSimulator(m.mapping, cost)
+        assert predict_redistribution_time([], m, cost) == 0.0
+        assert measure_redistribution_time([], sim) == 0.0
+
+    def test_sums_over_nests(self):
+        m = blue_gene_l(256)
+        cost = CostModel.for_machine(m)
+        sim = NetworkSimulator(m.mapping, cost)
+        a = MessageSet(np.array([0]), np.array([1]), np.array([1e6]))
+        b = MessageSet(np.array([2]), np.array([3]), np.array([2e6]))
+        t_ab = measure_redistribution_time([a, b], sim)
+        assert t_ab == pytest.approx(
+            sim.bottleneck_time(a) + sim.bottleneck_time(b)
+        )
+        p_ab = predict_redistribution_time([a, b], m, cost)
+        assert p_ab > predict_redistribution_time([a], m, cost)
+
+    def test_flow_level_option(self):
+        m = blue_gene_l(256)
+        cost = CostModel.for_machine(m)
+        sim = NetworkSimulator(m.mapping, cost)
+        a = MessageSet(np.array([0]), np.array([1]), np.array([1e6]))
+        assert measure_redistribution_time([a], sim, flow_level=True) > 0

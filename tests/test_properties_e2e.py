@@ -1,0 +1,98 @@
+"""End-to-end property-based tests: invariants under arbitrary churn chains.
+
+Hypothesis drives random adaptation-point sequences through the full
+reallocation stack (all strategies) and asserts the library's invariants
+(:mod:`repro.core.invariants`) at every step — the strongest correctness
+statement the suite makes.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    DiffusionStrategy,
+    ProcessorReallocator,
+    ScratchStrategy,
+    check_all,
+)
+from repro.core.adaptive import AdaptiveResetStrategy
+from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+from repro.topology import blue_gene_l, fist_cluster
+
+
+def churn_chain(draw_ints, draw_bool, n_steps):
+    """Deterministically build a churn chain from drawn primitives."""
+    nests: dict[int, tuple[int, int]] = {}
+    next_id = 0
+    chain = []
+    for _ in range(n_steps):
+        # delete up to half the nests
+        for nid in list(nests):
+            if len(nests) > 1 and draw_bool():
+                del nests[nid]
+        # insert 0-2
+        for _ in range(draw_ints(0, 2)):
+            if len(nests) >= 8:
+                break
+            next_id += 1
+            nests[next_id] = (draw_ints(100, 400), draw_ints(100, 400))
+        if not nests:  # keep at least one nest so every step allocates
+            next_id += 1
+            nests[next_id] = (draw_ints(100, 400), draw_ints(100, 400))
+        chain.append(dict(nests))
+    return chain
+
+
+STRATEGY_MAKERS = [
+    ScratchStrategy,
+    DiffusionStrategy,
+    lambda: AdaptiveResetStrategy(1.2),
+]
+
+
+class TestInvariantsUnderChurn:
+    @given(st.integers(0, 10_000), st.integers(2, 8), st.integers(0, 2))
+    @settings(max_examples=40, deadline=None)
+    def test_torus_machine(self, seed, n_steps, strat_idx):
+        predictor = _PREDICTOR
+        rng = np.random.default_rng(seed)
+        chain = churn_chain(
+            lambda a, b: int(rng.integers(a, b + 1)),
+            lambda: bool(rng.uniform() < 0.35),
+            n_steps,
+        )
+        machine = blue_gene_l(256)
+        realloc = ProcessorReallocator(
+            machine, STRATEGY_MAKERS[strat_idx](), predictor
+        )
+        sizes_seen: dict[int, tuple[int, int]] = {}
+        for nests in chain:
+            sizes_seen.update(nests)
+            result = realloc.step(nests)
+            check_all(result.allocation, result.plan, sizes_seen)
+            # the weights the strategy received are normalised
+            assert sum(result.weights.values()) == pytest.approx(1.0)
+
+    @given(st.integers(0, 10_000), st.integers(2, 6))
+    @settings(max_examples=15, deadline=None)
+    def test_switched_machine(self, seed, n_steps):
+        rng = np.random.default_rng(seed)
+        chain = churn_chain(
+            lambda a, b: int(rng.integers(a, b + 1)),
+            lambda: bool(rng.uniform() < 0.35),
+            n_steps,
+        )
+        machine = fist_cluster(256)
+        realloc = ProcessorReallocator(machine, DiffusionStrategy(), _PREDICTOR)
+        sizes_seen: dict[int, tuple[int, int]] = {}
+        for nests in chain:
+            sizes_seen.update(nests)
+            result = realloc.step(nests)
+            check_all(result.allocation, result.plan, sizes_seen)
+
+
+# Module-level predictor shared by hypothesis tests (fixtures cannot be
+# injected into @given-wrapped methods directly).
+_PREDICTOR = ExecTimePredictor(ProfileTable(ExecutionOracle()))

@@ -1,0 +1,62 @@
+"""Serialisation guards: core state objects survive pickling.
+
+Long-running deployments checkpoint their state; everything a driver would
+persist (allocations, trees, metrics, the reallocator, the whole coupled
+simulation) must round-trip through pickle intact.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import Allocation, DiffusionStrategy, ProcessorReallocator, StepMetrics
+from repro.grid import ProcessorGrid
+from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+from repro.topology import blue_gene_l
+from repro.tree import build_huffman
+
+GRID = ProcessorGrid(16, 16)
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+class TestPickling:
+    def test_tree(self):
+        t = build_huffman({1: 0.3, 2: 0.3, 3: 0.4})
+        back = roundtrip(t)
+        back.validate()
+        assert back.pretty() == t.pretty()
+
+    def test_allocation(self):
+        w = {1: 0.5, 2: 0.5}
+        a = Allocation.from_tree(build_huffman(w), GRID, w)
+        back = roundtrip(a)
+        assert back.rects == a.rects
+        assert back.table_rows() == a.table_rows()
+
+    def test_metrics(self):
+        m = StepMetrics(
+            step=1, n_nests=2, n_retained=1, predicted_redist=1.0,
+            measured_redist=0.9, hop_bytes_avg=2.0, hop_bytes_total=1e6,
+            overlap_fraction=0.5, exec_predicted=10.0, exec_actual=11.0,
+        )
+        assert roundtrip(m) == m
+
+    def test_reallocator_mid_run(self):
+        predictor = ExecTimePredictor(ProfileTable(ExecutionOracle()))
+        realloc = ProcessorReallocator(blue_gene_l(256), DiffusionStrategy(), predictor)
+        realloc.step({1: (200, 200), 2: (250, 250)})
+        back = roundtrip(realloc)
+        # the restored reallocator continues from the same state
+        res_a = realloc.step({1: (200, 200), 3: (220, 220)})
+        res_b = back.step({1: (200, 200), 3: (220, 220)})
+        assert res_a.allocation.rects == res_b.allocation.rects
+        assert res_a.plan.measured_time == pytest.approx(res_b.plan.measured_time)
+
+    def test_oracle_and_profiles(self):
+        table = ProfileTable(ExecutionOracle())
+        back = roundtrip(table)
+        assert np.array_equal(back.times, table.times)

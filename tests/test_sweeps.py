@@ -1,0 +1,80 @@
+"""Tests for the parameter-sweep engine."""
+
+import pytest
+
+from repro.core import DiffusionStrategy, ScratchStrategy
+from repro.experiments.sweeps import Sweep, SweepRecord, improvement_sweep
+from repro.experiments.workloads import synthetic_workload
+
+
+def tiny_sweep(machines=("bgl-256",), seeds=(0,)):
+    return Sweep(
+        machines=machines,
+        strategies=(ScratchStrategy, DiffusionStrategy),
+        seeds=seeds,
+        workload_factory=lambda seed: synthetic_workload(seed=seed, n_steps=6),
+    )
+
+
+class TestSweep:
+    def test_runs_all_cells(self):
+        sweep = tiny_sweep(seeds=(0, 1))
+        records = sweep.run()
+        assert len(records) == 2 * 2  # strategies x seeds
+        assert {r.strategy for r in records} == {"scratch", "diffusion"}
+
+    def test_validation(self):
+        with pytest.raises(KeyError):
+            tiny_sweep(machines=("bgl-9999",))
+        with pytest.raises(ValueError):
+            Sweep(machines=(), strategies=(ScratchStrategy,), seeds=(0,),
+                  workload_factory=lambda s: synthetic_workload(seed=s, n_steps=3))
+
+    def test_requires_run_before_reporting(self):
+        sweep = tiny_sweep()
+        with pytest.raises(RuntimeError):
+            sweep.to_table()
+        with pytest.raises(RuntimeError):
+            sweep.improvement_matrix()
+
+    def test_improvement_matrix(self):
+        sweep = tiny_sweep(seeds=(0, 1, 2))
+        sweep.run()
+        matrix = sweep.improvement_matrix()
+        assert set(matrix) == {"bgl-256"}
+        assert isinstance(matrix["bgl-256"], float)
+
+    def test_missing_record_lookup(self):
+        sweep = tiny_sweep()
+        sweep.run()
+        with pytest.raises(KeyError):
+            sweep._find("bgl-256", "dynamic", 0)
+
+    def test_to_table(self):
+        sweep = tiny_sweep()
+        sweep.run()
+        table = sweep.to_table()
+        assert "scratch" in table and "diffusion" in table
+
+    def test_to_csv(self, tmp_path):
+        sweep = tiny_sweep()
+        sweep.run()
+        p = tmp_path / "sweep.csv"
+        sweep.to_csv(p)
+        lines = p.read_text().strip().splitlines()
+        assert len(lines) == 1 + len(sweep.records)
+        assert "total_redist" in lines[0]
+
+    def test_records_deterministic(self):
+        a, b = tiny_sweep(), tiny_sweep()
+        a.run()
+        b.run()
+        assert a.records == b.records
+
+
+class TestImprovementSweep:
+    def test_prebuilt_matches_table4_shape(self):
+        sweep = improvement_sweep(machines=("bgl-256",), seeds=(0,), n_steps=10)
+        sweep.run()
+        matrix = sweep.improvement_matrix()
+        assert "bgl-256" in matrix

@@ -1,0 +1,379 @@
+"""Tests for repro.tree: nodes, Huffman build, layout, Algorithm-3 edits."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid import ProcessorGrid, Rect
+from repro.tree import TreeNode, build_huffman, diffusion_edit, layout_tree
+
+GRID_32 = ProcessorGrid(32, 32)
+
+PAPER_WEIGHTS = {1: 0.1, 2: 0.1, 3: 0.2, 4: 0.25, 5: 0.35}
+
+
+def paper_tree() -> TreeNode:
+    t = build_huffman(PAPER_WEIGHTS)
+    assert t is not None
+    return t
+
+
+# ---------------------------------------------------------------------------
+# TreeNode structure
+# ---------------------------------------------------------------------------
+
+
+class TestTreeNode:
+    def test_leaf_and_internal(self):
+        leaf = TreeNode(0.5, nest_id=1)
+        assert leaf.is_leaf
+        inner = TreeNode(1.0, left=TreeNode(0.5, nest_id=1), right=TreeNode(0.5, nest_id=2))
+        assert not inner.is_leaf
+        assert inner.left.parent is inner
+
+    def test_single_child_rejected(self):
+        with pytest.raises(ValueError):
+            TreeNode(1.0, left=TreeNode(0.5, nest_id=1), right=None)
+
+    def test_internal_with_nest_id_rejected(self):
+        with pytest.raises(ValueError):
+            TreeNode(1.0, nest_id=3, left=TreeNode(0.5, nest_id=1), right=TreeNode(0.5, nest_id=2))
+
+    def test_free_leaf_constraints(self):
+        free = TreeNode(0.0, free=True)
+        assert free.is_leaf and free.free
+        with pytest.raises(ValueError):
+            TreeNode(0.0, nest_id=1, free=True)
+
+    def test_sibling(self):
+        l, r = TreeNode(0.3, nest_id=1), TreeNode(0.7, nest_id=2)
+        TreeNode(1.0, left=l, right=r)
+        assert l.sibling is r and r.sibling is l
+
+    def test_leaves_order(self):
+        t = paper_tree()
+        assert t.nest_ids() == [1, 2, 3, 4, 5]
+
+    def test_find_leaf(self):
+        t = paper_tree()
+        assert t.find_leaf(4).weight == pytest.approx(0.25)
+        with pytest.raises(KeyError):
+            t.find_leaf(99)
+
+    def test_update_weights(self):
+        t = paper_tree()
+        t.find_leaf(5).weight = 1.35
+        assert t.update_weights() == pytest.approx(2.0)
+
+    def test_clone_independent(self):
+        t = paper_tree()
+        c = t.clone()
+        c.find_leaf(1).weight = 9.0
+        assert t.find_leaf(1).weight == pytest.approx(0.1)
+        c.validate()
+
+    def test_validate_catches_duplicates(self):
+        bad = TreeNode(1.0, left=TreeNode(0.5, nest_id=1), right=TreeNode(0.5, nest_id=1))
+        with pytest.raises(AssertionError):
+            bad.validate()
+
+    def test_pretty_mentions_nests(self):
+        out = paper_tree().pretty()
+        assert "nest 5" in out and "node" in out
+
+
+# ---------------------------------------------------------------------------
+# Huffman construction
+# ---------------------------------------------------------------------------
+
+
+class TestHuffman:
+    def test_empty_and_single(self):
+        assert build_huffman({}) is None
+        single = build_huffman({7: 1.0})
+        assert single is not None and single.is_leaf and single.nest_id == 7
+
+    def test_paper_fig2_structure(self):
+        # Fig 2(a): ((1,2),3) on one side, (4,5) on the other
+        t = paper_tree()
+        left, right = t.left, t.right
+        assert left.weight == pytest.approx(0.4)
+        assert right.weight == pytest.approx(0.6)
+        assert sorted(n for n in left.nest_ids()) == [1, 2, 3]
+        assert sorted(n for n in right.nest_ids()) == [4, 5]
+        # inside the 0.4 subtree, the {1,2} pair is the left child
+        assert left.left.weight == pytest.approx(0.2)
+        assert not left.left.is_leaf and left.right.nest_id == 3
+
+    def test_weight_sums(self):
+        t = paper_tree()
+        assert t.weight == pytest.approx(1.0)
+
+    def test_nonpositive_weight_rejected(self):
+        with pytest.raises(ValueError):
+            build_huffman({1: 0.0})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(ValueError):
+            build_huffman([(1, 0.5), (1, 0.5)])
+
+    def test_deterministic(self):
+        a = build_huffman(PAPER_WEIGHTS).pretty()
+        b = build_huffman(PAPER_WEIGHTS).pretty()
+        assert a == b
+
+    @given(
+        st.dictionaries(
+            st.integers(0, 40), st.floats(0.01, 10.0), min_size=1, max_size=12
+        )
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_invariants(self, weights):
+        t = build_huffman(weights)
+        t.validate()
+        assert sorted(t.nest_ids()) == sorted(weights)
+        assert t.weight == pytest.approx(sum(weights.values()))
+
+
+# ---------------------------------------------------------------------------
+# Layout
+# ---------------------------------------------------------------------------
+
+
+def assert_tiling(rects: dict[int, Rect], region: Rect) -> None:
+    """The rectangles must be pairwise disjoint and exactly tile the region."""
+    total = 0
+    items = list(rects.items())
+    for i, (_, a) in enumerate(items):
+        assert region.contains(a), f"{a} outside {region}"
+        assert not a.is_empty
+        total += a.area
+        for _, b in items[i + 1 :]:
+            assert not a.overlaps(b), f"{a} overlaps {b}"
+    assert total == region.area
+
+
+class TestLayout:
+    def test_paper_table1(self):
+        rects = layout_tree(paper_tree(), GRID_32.full_rect)
+        expected = {
+            1: (0, 13, 8),
+            2: (256, 13, 8),
+            3: (512, 13, 16),
+            4: (13, 19, 13),
+            5: (429, 19, 19),
+        }
+        for nid, (start, w, h) in expected.items():
+            r = rects[nid]
+            assert GRID_32.start_rank(r) == start, f"nest {nid}"
+            assert (r.w, r.h) == (w, h), f"nest {nid}"
+
+    def test_tiling_paper_example(self):
+        assert_tiling(layout_tree(paper_tree(), GRID_32.full_rect), GRID_32.full_rect)
+
+    def test_single_nest_gets_everything(self):
+        t = build_huffman({3: 1.0})
+        rects = layout_tree(t, Rect(0, 0, 8, 4))
+        assert rects == {3: Rect(0, 0, 8, 4)}
+
+    def test_none_tree(self):
+        assert layout_tree(None, Rect(0, 0, 4, 4)) == {}
+
+    def test_too_small_region(self):
+        t = build_huffman({1: 1.0, 2: 1.0, 3: 1.0, 4: 1.0, 5: 1.0})
+        with pytest.raises(ValueError):
+            layout_tree(t, Rect(0, 0, 2, 2))
+
+    def test_areas_proportional(self):
+        t = build_huffman({1: 0.25, 2: 0.75})
+        rects = layout_tree(t, Rect(0, 0, 16, 16))
+        assert rects[1].area == pytest.approx(64, abs=16)
+        assert rects[2].area == pytest.approx(192, abs=16)
+
+    def test_free_slots_donate_to_sibling(self):
+        t = paper_tree()
+        leaf = t.find_leaf(1)
+        leaf.free, leaf.nest_id, leaf.weight = True, None, 0.0
+        rects = layout_tree(t, GRID_32.full_rect)
+        assert 1 not in rects
+        assert_tiling(rects, GRID_32.full_rect)
+
+    @given(
+        st.dictionaries(st.integers(0, 30), st.floats(0.05, 5.0), min_size=1, max_size=9),
+        st.integers(8, 40),
+        st.integers(8, 40),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_tiling_property(self, weights, w, h):
+        t = build_huffman(weights)
+        region = Rect(0, 0, w, h)
+        rects = layout_tree(t, region)
+        assert set(rects) == set(weights)
+        assert_tiling(rects, region)
+
+
+# ---------------------------------------------------------------------------
+# Algorithm 3 — diffusion edits
+# ---------------------------------------------------------------------------
+
+
+class TestDiffusionEdit:
+    def test_paper_fig8(self):
+        t = paper_tree()
+        new = diffusion_edit(t, [1, 2, 4], {3: 0.27, 5: 0.42}, {6: 0.31})
+        # Fig 8(c): root = ((6, 3), 5)
+        assert new.right.is_leaf and new.right.nest_id == 5
+        inner = new.left
+        assert inner.left.nest_id == 6 and inner.right.nest_id == 3
+        new.validate()
+
+    def test_fig8_overlap_beats_scratch(self):
+        t = paper_tree()
+        old_rects = layout_tree(t, GRID_32.full_rect)
+        edited = diffusion_edit(t, [1, 2, 4], {3: 0.27, 5: 0.42}, {6: 0.31})
+        new_rects = layout_tree(edited, GRID_32.full_rect)
+        scratch = layout_tree(
+            build_huffman({3: 0.27, 5: 0.42, 6: 0.31}), GRID_32.full_rect
+        )
+        for nid in (3, 5):
+            diff_ov = old_rects[nid].intersect(new_rects[nid]).area
+            scratch_ov = old_rects[nid].intersect(scratch[nid]).area
+            assert diff_ov > scratch_ov
+
+    def test_pure_deletion(self):
+        t = paper_tree()
+        new = diffusion_edit(t, [4, 5], {1: 0.2, 2: 0.2, 3: 0.6}, {})
+        assert sorted(new.nest_ids()) == [1, 2, 3]
+        new.validate()
+
+    def test_pure_insertion_pairs_with_closest(self):
+        # Fig 6: tree (1, (2,3)); inserting 4 with weight closest to 1
+        base = build_huffman({1: 0.5, 2: 0.25, 3: 0.25})
+        new = diffusion_edit(
+            base, [], {1: 0.3, 2: 0.15, 3: 0.15}, {4: 0.4}
+        )
+        leaf1 = new.find_leaf(1)
+        assert leaf1.sibling is not None and leaf1.sibling.nest_id == 4
+        new.validate()
+
+    def test_delete_everything(self):
+        t = paper_tree()
+        assert diffusion_edit(t, [1, 2, 3, 4, 5], {}, {}) is None
+
+    def test_delete_all_insert_new(self):
+        t = paper_tree()
+        new = diffusion_edit(t, [1, 2, 3, 4, 5], {}, {10: 0.6, 11: 0.4})
+        assert sorted(new.nest_ids()) == [10, 11]
+        new.validate()
+
+    def test_more_insertions_than_deletions(self):
+        t = paper_tree()
+        new = diffusion_edit(
+            t,
+            [1],
+            {2: 0.1, 3: 0.2, 4: 0.25, 5: 0.15},
+            {6: 0.1, 7: 0.1, 8: 0.1},
+        )
+        assert sorted(new.nest_ids()) == [2, 3, 4, 5, 6, 7, 8]
+        new.validate()
+
+    def test_fewer_insertions_than_deletions(self):
+        t = paper_tree()
+        new = diffusion_edit(t, [1, 2, 4], {3: 0.5, 5: 0.3}, {6: 0.2})
+        assert sorted(new.nest_ids()) == [3, 5, 6]
+        new.validate()
+
+    def test_original_tree_untouched(self):
+        t = paper_tree()
+        before = t.pretty()
+        diffusion_edit(t, [1], {2: 0.2, 3: 0.2, 4: 0.25, 5: 0.35}, {9: 0.3})
+        assert t.pretty() == before
+
+    def test_unknown_deleted_id(self):
+        with pytest.raises(KeyError):
+            diffusion_edit(paper_tree(), [42], PAPER_WEIGHTS, {})
+
+    def test_wrong_retained_keys(self):
+        with pytest.raises(KeyError):
+            diffusion_edit(paper_tree(), [1], {2: 0.5}, {})
+
+    def test_new_id_clash(self):
+        with pytest.raises(KeyError):
+            diffusion_edit(
+                paper_tree(), [1], {2: 0.1, 3: 0.2, 4: 0.25, 5: 0.35}, {3: 0.3}
+            )
+
+    def test_nonpositive_weight(self):
+        with pytest.raises(ValueError):
+            diffusion_edit(
+                paper_tree(), [1], {2: 0.0, 3: 0.2, 4: 0.25, 5: 0.35}, {}
+            )
+
+    def test_diffusion_beats_scratch_on_average(self):
+        # The paper's claim (Fig 11) is statistical: across random churn the
+        # diffusion edit preserves more old/new rectangle overlap than
+        # rebuilding from scratch.  Individual cases may go either way
+        # (hence the dynamic strategy); the averages must not.
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        diff_total = scratch_total = 0
+        for _ in range(40):
+            n = int(rng.integers(3, 8))
+            weights = {i: float(w) for i, w in enumerate(rng.uniform(0.1, 1.0, n))}
+            t = build_huffman(weights)
+            old_rects = layout_tree(t, GRID_32.full_rect)
+            ids = list(weights)
+            ndel = int(rng.integers(1, n))
+            deleted = list(rng.choice(ids, size=ndel, replace=False))
+            retained = {
+                i: float(rng.uniform(0.1, 1.0)) for i in ids if i not in deleted
+            }
+            new = {
+                100 + k: float(rng.uniform(0.1, 1.0))
+                for k in range(int(rng.integers(0, 3)))
+            }
+            if not retained and not new:
+                continue
+            edited = diffusion_edit(t, deleted, retained, new)
+            diff_rects = layout_tree(edited, GRID_32.full_rect) if edited else {}
+            scratch_rects = (
+                layout_tree(build_huffman({**retained, **new}), GRID_32.full_rect)
+                if retained or new
+                else {}
+            )
+            for nid in retained:
+                diff_total += old_rects[nid].intersect(diff_rects[nid]).area
+                scratch_total += old_rects[nid].intersect(scratch_rects[nid]).area
+        assert diff_total > scratch_total
+
+    @given(
+        st.dictionaries(st.integers(0, 19), st.floats(0.05, 3.0), min_size=2, max_size=10),
+        st.data(),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_edit_invariants(self, weights, data):
+        t = build_huffman(weights)
+        ids = sorted(weights)
+        ndel = data.draw(st.integers(0, len(ids)))
+        deleted = data.draw(
+            st.lists(st.sampled_from(ids), min_size=ndel, max_size=ndel, unique=True)
+        ) if ids else []
+        retained = {
+            i: data.draw(st.floats(0.05, 3.0)) for i in ids if i not in deleted
+        }
+        n_new = data.draw(st.integers(0, 4))
+        new = {100 + k: data.draw(st.floats(0.05, 3.0)) for k in range(n_new)}
+        result = diffusion_edit(t, deleted, retained, new)
+        expected_ids = sorted(set(retained) | set(new))
+        if not expected_ids:
+            assert result is None
+        else:
+            result.validate()
+            assert sorted(result.nest_ids()) == expected_ids
+            assert result.weight == pytest.approx(
+                sum(retained.values()) + sum(new.values())
+            )
+            assert math.isfinite(result.weight)

@@ -1,0 +1,91 @@
+"""Tests for the tree-quality metrics (Huffman optimality gap)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tree import (
+    TreeNode,
+    build_huffman,
+    diffusion_edit,
+    huffman_optimality_gap,
+    weighted_path_length,
+)
+
+
+class TestWeightedPathLength:
+    def test_single_leaf_zero(self):
+        assert weighted_path_length(build_huffman({1: 1.0})) == 0.0
+
+    def test_balanced_pair(self):
+        t = build_huffman({1: 0.5, 2: 0.5})
+        assert weighted_path_length(t) == pytest.approx(1.0)
+
+    def test_paper_tree(self):
+        t = build_huffman({1: 0.1, 2: 0.1, 3: 0.2, 4: 0.25, 5: 0.35})
+        # depths: 1,2 at 3; 3 at 2; 4,5 at 2
+        expected = 0.1 * 3 + 0.1 * 3 + 0.2 * 2 + 0.25 * 2 + 0.35 * 2
+        assert weighted_path_length(t) == pytest.approx(expected)
+
+    def test_free_leaves_ignored(self):
+        t = TreeNode(
+            1.0,
+            left=TreeNode(1.0, nest_id=1),
+            right=TreeNode(0.0, free=True),
+        )
+        assert weighted_path_length(t) == pytest.approx(1.0)
+
+    def test_none(self):
+        assert weighted_path_length(None) == 0.0
+
+
+class TestOptimalityGap:
+    def test_fresh_huffman_is_optimal(self):
+        t = build_huffman({1: 0.1, 2: 0.2, 3: 0.3, 4: 0.4})
+        assert huffman_optimality_gap(t) == pytest.approx(1.0)
+
+    def test_deliberately_bad_tree(self):
+        # heavy nest buried deep: path length far above optimal
+        heavy = TreeNode(10.0, nest_id=1)
+        light1 = TreeNode(0.1, nest_id=2)
+        light2 = TreeNode(0.1, nest_id=3)
+        inner = TreeNode(10.1, left=heavy, right=light1)
+        root = TreeNode(10.2, left=inner, right=light2)
+        assert huffman_optimality_gap(root) > 1.5
+
+    def test_trivial_trees(self):
+        assert huffman_optimality_gap(None) == 1.0
+        assert huffman_optimality_gap(build_huffman({1: 1.0})) == 1.0
+
+    @given(
+        st.dictionaries(st.integers(0, 15), st.floats(0.05, 2.0), min_size=2, max_size=8)
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_gap_at_least_one(self, weights):
+        t = build_huffman(weights)
+        assert huffman_optimality_gap(t) >= 1.0 - 1e-9
+
+    def test_diffusion_drift_accumulates(self):
+        """The paper's remark quantified: churn degrades optimality, and a
+        fresh rebuild restores it."""
+        rng = np.random.default_rng(3)
+        weights = {i: float(rng.uniform(0.1, 1.0)) for i in range(6)}
+        tree = build_huffman(weights)
+        gaps = [huffman_optimality_gap(tree)]
+        nid = 100
+        for _ in range(12):
+            ids = tree.nest_ids()
+            victim = ids[int(rng.integers(len(ids)))]
+            retained = {
+                i: float(rng.uniform(0.1, 1.0)) for i in ids if i != victim
+            }
+            nid += 1
+            tree = diffusion_edit(tree, [victim], retained, {nid: float(rng.uniform(0.1, 1.0))})
+            gaps.append(huffman_optimality_gap(tree))
+        assert max(gaps) > 1.0 + 1e-6, "no drift ever observed"
+        # rebuilding from the current weights restores optimality
+        rebuilt = build_huffman(
+            {leaf.nest_id: leaf.weight for leaf in tree.nest_leaves()}
+        )
+        assert huffman_optimality_gap(rebuilt) == pytest.approx(1.0)

@@ -1,0 +1,122 @@
+"""Tests for repro.util: RNG plumbing, table rendering, validation."""
+
+import numpy as np
+import pytest
+
+from repro.util import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_type,
+    format_series,
+    format_table,
+    make_rng,
+    percent,
+    spawn_rngs,
+)
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(42).integers(0, 1000, size=10)
+        b = make_rng(42).integers(0, 1000, size=10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 10**9, size=10)
+        b = make_rng(2).integers(0, 10**9, size=10)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(7)
+        assert make_rng(rng) is rng
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(0, 5)) == 5
+
+    def test_children_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.array_equal(
+            a.integers(0, 10**9, 20), b.integers(0, 10**9, 20)
+        )
+
+    def test_deterministic(self):
+        a1, _ = spawn_rngs(9, 2)
+        a2, _ = spawn_rngs(9, 2)
+        assert np.array_equal(a1.integers(0, 100, 5), a2.integers(0, 100, 5))
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(0, -1)
+
+    def test_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(children) == 3
+
+
+class TestFormatTable:
+    def test_headers_and_rows(self):
+        out = format_table(["a", "bb"], [[1, 2.5], ["x", 3]])
+        lines = out.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert "2.5" in out and "x" in out
+
+    def test_title(self):
+        out = format_table(["c"], [[1]], title="Table I")
+        assert out.startswith("Table I")
+
+    def test_ragged_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_precision(self):
+        out = format_table(["v"], [[1.23456789]])
+        assert "1.235" in out
+
+
+class TestFormatSeries:
+    def test_alignment(self):
+        out = format_series("hop-bytes", [0, 1], [5.25, 2.44])
+        assert "hop-bytes" in out and "5.25" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("s", [1, 2], [1.0])
+
+
+class TestPercent:
+    def test_improvement(self):
+        assert percent(75.0, 100.0) == pytest.approx(25.0)
+
+    def test_regression_negative(self):
+        assert percent(110.0, 100.0) == pytest.approx(-10.0)
+
+    def test_zero_old(self):
+        assert percent(5.0, 0.0) == 0.0
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValueError):
+            check_positive("x", 0)
+
+    def test_check_non_negative(self):
+        check_non_negative("x", 0)
+        with pytest.raises(ValueError):
+            check_non_negative("x", -1)
+
+    def test_check_in_range(self):
+        check_in_range("x", 5, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", 11, 0, 10)
+
+    def test_check_type(self):
+        check_type("x", 5, int)
+        with pytest.raises(TypeError):
+            check_type("x", "s", (int, float))

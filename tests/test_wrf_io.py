@@ -1,0 +1,95 @@
+"""Tests for split-file disk I/O."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import parallel_data_analysis
+from repro.grid import ProcessorGrid
+from repro.wrf import (
+    DomainConfig,
+    SplitFileReader,
+    SplitFileWriter,
+    WrfLikeModel,
+    split_file_name,
+)
+from repro.wrf.clouds import CloudSystem
+
+
+def model():
+    cfg = DomainConfig(nx=64, ny=48, sim_grid=ProcessorGrid(4, 4))
+    sys_ = CloudSystem(
+        system_id=1, x=30, y=25, sigma_x=8, sigma_y=8,
+        peak=2e-3, vx=0, vy=0, lifetime=30, age=10,
+    )
+    return WrfLikeModel(cfg, systems=[sys_])
+
+
+class TestNaming:
+    def test_format(self):
+        assert split_file_name("wrfout", 12, 3) == "wrfout_d01_000012_00003.npz"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            split_file_name("x", -1, 0)
+
+
+class TestRoundTrip:
+    def test_write_read_exact(self, tmp_path):
+        m = model()
+        files = m.write_split_files()
+        writer = SplitFileWriter(tmp_path)
+        paths = writer.write_step(0, files)
+        assert len(paths) == 16 and all(p.exists() for p in paths)
+        back = SplitFileReader(tmp_path).read_step(0)
+        assert len(back) == len(files)
+        for orig, rt in zip(files, back):
+            assert rt.file_index == orig.file_index
+            assert rt.extent == orig.extent
+            assert rt.block_x == orig.block_x and rt.block_y == orig.block_y
+            assert np.array_equal(rt.qcloud, orig.qcloud)
+            assert np.array_equal(rt.olr, orig.olr)
+
+    def test_multiple_steps(self, tmp_path):
+        m = model()
+        writer = SplitFileWriter(tmp_path)
+        for step in range(3):
+            writer.write_step(step, m.write_split_files())
+            m.step()
+        reader = SplitFileReader(tmp_path)
+        assert reader.steps_available() == [0, 1, 2]
+
+    def test_read_one(self, tmp_path):
+        m = model()
+        SplitFileWriter(tmp_path).write_step(5, m.write_split_files())
+        f = SplitFileReader(tmp_path).read_one(5, 7)
+        assert f.file_index == 7
+
+    def test_missing_step(self, tmp_path):
+        SplitFileWriter(tmp_path).write_step(0, model().write_split_files())
+        with pytest.raises(FileNotFoundError):
+            SplitFileReader(tmp_path).read_step(9)
+
+    def test_missing_rank(self, tmp_path):
+        SplitFileWriter(tmp_path).write_step(0, model().write_split_files())
+        with pytest.raises(FileNotFoundError):
+            SplitFileReader(tmp_path).read_one(0, 99)
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            SplitFileReader(tmp_path / "nope")
+
+    def test_bad_prefix(self, tmp_path):
+        with pytest.raises(ValueError):
+            SplitFileWriter(tmp_path, prefix="a_d01_b")
+
+    def test_pda_through_disk(self, tmp_path):
+        """The full PDA pipeline over files that went through the disk."""
+        m = model()
+        files = m.write_split_files()
+        SplitFileWriter(tmp_path).write_step(0, files)
+        back = SplitFileReader(tmp_path).read_step(0)
+        direct = parallel_data_analysis(files, m.config.sim_grid, 4)
+        via_disk = parallel_data_analysis(back, m.config.sim_grid, 4)
+        assert sorted(map(str, direct.rectangles)) == sorted(
+            map(str, via_disk.rectangles)
+        )
