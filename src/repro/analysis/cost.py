@@ -21,11 +21,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.analysis.nnc import NNCConfig
 from repro.analysis.parallel_nnc import count_distance_evaluations
 from repro.analysis.pda import PDAConfig, _assign_files
 from repro.analysis.records import SplitFile
 from repro.grid.procgrid import ProcessorGrid
+from repro.util.validation import check_positive
 
 __all__ = ["PDACostProfile", "pda_cost_profile"]
 
@@ -78,6 +78,7 @@ def pda_cost_profile(
     config: PDAConfig | None = None,
 ) -> PDACostProfile:
     """Work profile of one PDA invocation (without re-running the scan)."""
+    check_positive("n_analysis", n_analysis)
     config = config or PDAConfig()
     buckets = _assign_files(files, sim_grid, n_analysis)
     per_rank_points = [sum(f.qcloud.size for f in bucket) for bucket in buckets]

@@ -81,13 +81,21 @@ def nearest_neighbour_clustering(
     """Cluster sorted ``qcloudinfo`` by proximity (Algorithm 2).
 
     ``qcloudinfo`` must already be sorted in non-increasing QCLOUD order
-    (Algorithm 1 line 13 does the sort before calling NNC).
+    (Algorithm 1 line 13 does the sort before calling NNC); only the
+    elements that survive the thresholds need to obey the ordering.
     """
     config = config or NNCConfig()
     clusters: list[list[SubdomainSummary]] = []
+    last_accepted: SubdomainSummary | None = None
     for element in qcloudinfo:
         if not _passes_thresholds(element, config):
             continue
+        if last_accepted is not None and last_accepted.qcloud < element.qcloud:
+            raise ValueError(
+                "qcloudinfo must be sorted in non-increasing QCLOUD order "
+                "(Algorithm 1 sorts before clustering)"
+            )
+        last_accepted = element
         placed = False
         # 1-hop ring first, then 2-hop — never 2-hop before 1-hop.
         for hop in range(1, config.max_hops + 1):
@@ -113,6 +121,9 @@ def simple_two_hop_clustering(
 
     An element joins the first cluster with any member within 2 hops; the
     resulting clusters can overlap in space and grow without bound.
+
+    Validation: intentionally none — this baseline accepts any element
+    order to mirror the paper's unguarded Fig. 9a comparison run.
     """
     config = config or NNCConfig()
     clusters: list[list[SubdomainSummary]] = []

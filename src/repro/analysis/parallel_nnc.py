@@ -34,6 +34,7 @@ from repro.analysis.nnc import NNCConfig, nearest_neighbour_clustering
 from repro.analysis.records import SubdomainSummary
 from repro.grid.block import split_evenly
 from repro.grid.procgrid import ProcessorGrid
+from repro.util.validation import check_non_negative
 
 __all__ = ["ParallelNNCResult", "parallel_nnc", "count_distance_evaluations"]
 
@@ -56,6 +57,7 @@ class ParallelNNCResult:
 
     def speedup_vs(self, sequential_ops: int) -> float:
         """Operation-count speedup over the sequential algorithm."""
+        check_non_negative("sequential_ops", sequential_ops)
         cp = self.critical_path_ops
         return sequential_ops / cp if cp else float("inf")
 
@@ -68,6 +70,9 @@ def count_distance_evaluations(
     Mirrors Algorithm 2's loop structure: for each accepted element, every
     member of every existing cluster is inspected at 1 hop and (on miss)
     again at 2 hops, until placement.
+
+    Validation: a pure counting mirror of the sequential algorithm — it
+    accepts whatever input the clustering itself would, by construction.
     """
     config = config or NNCConfig()
     ops = 0

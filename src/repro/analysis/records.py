@@ -42,7 +42,11 @@ class SplitFile:
             )
 
     def summarise(self, olr_threshold: float) -> "SubdomainSummary":
-        """Algorithm 1, lines 4–9: aggregate QCLOUD where OLR <= threshold."""
+        """Algorithm 1, lines 4–9: aggregate QCLOUD where OLR <= threshold.
+
+        Validation: any threshold is meaningful — one below the field's
+        minimum simply selects nothing (zero cloud fraction).
+        """
         mask = self.olr <= olr_threshold
         qcloud = float(self.qcloud[mask].sum())
         area = self.qcloud.size

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from repro.analysis.records import SubdomainSummary
 from repro.grid.rect import Rect
+from repro.util.validation import check_non_negative
 
 __all__ = ["cluster_bounding_rect", "clusters_to_rectangles"]
 
@@ -33,5 +34,6 @@ def clusters_to_rectangles(
     specks not worth a nest; 0 keeps everything, as the paper does — its
     thresholds already filtered weak subdomains.
     """
+    check_non_negative("min_area", min_area)
     rects = [cluster_bounding_rect(c) for c in clusters if c]
     return [r for r in rects if r.area >= min_area]

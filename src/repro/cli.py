@@ -98,7 +98,56 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="bgl-1024")
     p.add_argument("--strategy", choices=["scratch", "diffusion", "dynamic"], default="diffusion")
     p.add_argument("--csv", help="also write per-step metrics CSV here (replay only)")
+
+    p = sub.add_parser(
+        "lint",
+        help="run the reprolint static-analysis pass over the source tree",
+        description=(
+            "Domain-aware static analysis: seeded-RNG policy, float-equality "
+            "bans in cost paths, allocation immutability, validation coverage, "
+            "exception hygiene and __all__ consistency.  Exits non-zero when "
+            "any finding remains."
+        ),
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: the installed repro package)",
+    )
+    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument(
+        "--select",
+        help="comma-separated rule ids to run (default: all), e.g. R001,R005",
+    )
+    p.add_argument("--no-hints", action="store_true", help="omit fix hints (text format)")
+    p.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
     return parser
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import format_json, format_rule_table, format_text, lint_paths
+
+    if args.list_rules:
+        print(format_rule_table())
+        return 0
+    paths = args.paths
+    if not paths:
+        from pathlib import Path
+
+        import repro
+
+        paths = [str(Path(repro.__file__).parent)]
+    select = [rid.strip() for rid in args.select.split(",")] if args.select else None
+    try:
+        report = lint_paths(paths, select=select)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(format_json(report))
+    else:
+        print(format_text(report, show_hints=not args.no_hints))
+    return 0 if report.ok else 1
 
 
 def _cmd_track(args: argparse.Namespace) -> None:
@@ -341,6 +390,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_workload(args)
     elif cmd == "sweep":
         _cmd_sweep(args)
+    elif cmd == "lint":
+        return _cmd_lint(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {cmd!r}")
     return 0

@@ -33,6 +33,9 @@ def layout_quality(allocation: Allocation) -> float:
 
     1.0 means every nest got a square; larger is worse (more halo per
     processor, the paper's Fig. 7 effect).  Empty allocations score 1.0.
+
+    Validation: ``allocation`` is a frozen :class:`Allocation` whose
+    geometry was already validated at construction.
     """
     if allocation.is_empty:
         return 1.0
@@ -73,6 +76,7 @@ class AdaptiveResetStrategy(ReallocationStrategy):
         grid: ProcessorGrid,
         nest_sizes: dict[int, tuple[int, int]] | None = None,
     ) -> Allocation:
+        self.check_reallocate_args(old, weights, grid)
         self._step += 1
         diffused = self._diffusion.reallocate(old, weights, grid, nest_sizes)
         if old is None:

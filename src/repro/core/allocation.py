@@ -44,7 +44,11 @@ class Allocation:
         grid: ProcessorGrid,
         weights: dict[int, float] | None = None,
     ) -> "Allocation":
-        """Lay the tree out over the full grid."""
+        """Lay the tree out over the full grid.
+
+        Validation: the returned Allocation re-validates the laid-out
+        geometry (disjointness, grid containment) in ``__post_init__``.
+        """
         rects = layout_tree(tree, grid.full_rect)
         return cls(grid=grid, tree=tree, rects=rects, weights=dict(weights or {}))
 

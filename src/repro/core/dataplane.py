@@ -30,6 +30,7 @@ from repro.core.allocation import Allocation
 from repro.grid.block import BlockDecomposition
 from repro.grid.overlap import TransferMatrix, transfer_matrix
 from repro.grid.rect import Rect
+from repro.util.validation import check_positive
 
 __all__ = ["RankStore", "scatter_nest", "execute_redistribution", "gather_nest"]
 
@@ -65,7 +66,11 @@ class RankStore:
             raise KeyError(f"rank {rank} holds no block of nest {nest_id}") from None
 
     def drop_nest(self, nest_id: int) -> int:
-        """Free every rank's storage of a deleted nest; returns blocks freed."""
+        """Free every rank's storage of a deleted nest; returns blocks freed.
+
+        Validation: any nest id is acceptable — unknown ids free nothing
+        and report 0 blocks.
+        """
         n = 0
         for rank_blocks in self.blocks.values():
             if nest_id in rank_blocks:
@@ -98,6 +103,8 @@ def scatter_nest(
     is block-decomposed over the nest's processor rectangle, each rank
     receiving its block.  Returns the decomposition for later transfers.
     """
+    if field_data.ndim != 2:
+        raise ValueError(f"field_data must be 2-D (ny, nx), got shape {field_data.shape}")
     ny, nx = field_data.shape
     decomp = allocation.decomposition(nest_id, nx, ny)
     rect = allocation.rect_of(nest_id)
@@ -129,6 +136,8 @@ def execute_redistribution(
     (paper Fig. 3: processor 16 receives from 0, 1, 4 and 5).  Old blocks
     are freed afterwards.  Returns the transfer matrix actually executed.
     """
+    check_positive("nx", nx)
+    check_positive("ny", ny)
     old_decomp = old.decomposition(nest_id, nx, ny)
     new_decomp = new.decomposition(nest_id, nx, ny)
     transfer = transfer_matrix(old_decomp, new_decomp, old.grid.px)

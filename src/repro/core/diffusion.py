@@ -31,6 +31,7 @@ class DiffusionStrategy(ReallocationStrategy):
         grid: ProcessorGrid,
         nest_sizes: dict[int, tuple[int, int]] | None = None,
     ) -> Allocation:
+        self.check_reallocate_args(old, weights, grid)
         if old is None or old.tree is None:
             # First adaptation point: nothing to diffuse from; the initial
             # allocation is the Huffman construction, as in the paper.

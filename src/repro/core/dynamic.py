@@ -74,6 +74,9 @@ class DynamicStrategy(ReallocationStrategy):
         """Slowest-nest predicted execution time for an allocation."""
         if allocation.is_empty:
             return 0.0
+        missing = set(allocation.rects) - set(nest_sizes)
+        if missing:
+            raise ValueError(f"nest_sizes missing allocated nests {sorted(missing)}")
         return max(
             self.predictor.predict(*nest_sizes[nid], allocation.rects[nid].area)
             for nid in allocation.rects

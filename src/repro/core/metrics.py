@@ -55,6 +55,6 @@ def summarize_improvement(
         )
     base = float(np.sum([getattr(m, attribute) for m in baseline]))
     cand = float(np.sum([getattr(m, attribute) for m in candidate]))
-    if base == 0:
+    if base <= 0.0:  # metrics are non-negative: zero baseline means no work at all
         return 0.0
     return 100.0 * (base - cand) / base

@@ -29,5 +29,6 @@ class ScratchStrategy(ReallocationStrategy):
         grid: ProcessorGrid,
         nest_sizes: dict[int, tuple[int, int]] | None = None,
     ) -> Allocation:
+        self.check_reallocate_args(old, weights, grid)
         tree = build_huffman(weights)
         return Allocation.from_tree(tree, grid, weights)

@@ -3,9 +3,11 @@
 from __future__ import annotations
 
 import abc
+import math
 
 from repro.core.allocation import Allocation
 from repro.grid.procgrid import ProcessorGrid
+from repro.util.validation import check_type
 
 __all__ = ["ReallocationStrategy"]
 
@@ -42,10 +44,39 @@ class ReallocationStrategy(abc.ABC):
         """
 
     @staticmethod
+    def check_reallocate_args(
+        old: Allocation | None, weights: dict[int, float], grid: ProcessorGrid
+    ) -> None:
+        """Shared argument validation for :meth:`reallocate` implementations.
+
+        Rejects non-finite or non-positive weights (a zero-weight nest would
+        receive an empty rectangle and break the tiling invariant) and
+        mismatched grid/allocation pairings before any tree edit happens.
+        """
+        check_type("grid", grid, ProcessorGrid)
+        if old is not None:
+            check_type("old", old, Allocation)
+            if old.grid != grid:
+                raise ValueError(
+                    f"old allocation is on grid {old.grid}, asked to "
+                    f"reallocate on {grid}"
+                )
+        for nid, weight in weights.items():
+            if not (math.isfinite(weight) and weight > 0):
+                raise ValueError(
+                    f"weights[{nid}] must be finite and positive, got {weight!r}"
+                )
+
+    @staticmethod
     def split_churn(
         old: Allocation | None, weights: dict[int, float]
     ) -> tuple[list[int], dict[int, float], dict[int, float]]:
-        """Classify the churn: (deleted ids, retained weights, new weights)."""
+        """Classify the churn: (deleted ids, retained weights, new weights).
+
+        Validation: pure id classification — every mapping input is
+        meaningful, and callers have already validated the weights via
+        :meth:`check_reallocate_args`.
+        """
         old_ids = set(old.rects) if old is not None else set()
         deleted = sorted(old_ids - set(weights))
         retained = {nid: w for nid, w in weights.items() if nid in old_ids}

@@ -15,22 +15,27 @@ from repro.analysis.nnc import NNCConfig, nearest_neighbour_clustering, simple_t
 from repro.analysis.pda import PDAConfig, parallel_data_analysis
 from repro.analysis.regions import cluster_bounding_rect
 from repro.core.allocation import Allocation
-from repro.core.diffusion import DiffusionStrategy
-from repro.core.dynamic import DynamicStrategy
 from repro.core.metrics import summarize_improvement
 from repro.core.scratch import ScratchStrategy
 from repro.experiments.runner import ExperimentContext, RunResult, run_both_strategies, run_workload
-from repro.experiments.workloads import Workload, mumbai_trace_workload, synthetic_workload
+from repro.experiments.workloads import mumbai_trace_workload, synthetic_workload
 from repro.grid.procgrid import ProcessorGrid
-from repro.topology.machines import MACHINES, blue_gene_l, fist_cluster
+from repro.topology.machines import MACHINES
 from repro.tree.edit import diffusion_edit
 from repro.tree.huffman import build_huffman
-from repro.tree.layout import layout_tree
 from repro.util.tables import format_table
 from repro.wrf.model import WrfLikeModel
 from repro.wrf.scenario import mumbai_2005_scenario
 
 __all__ = [
+    "AllocationReport",
+    "ImprovementReport",
+    "Fig8Report",
+    "Fig9Report",
+    "Fig10Fig11Report",
+    "Fig12Report",
+    "RealTraceReport",
+    "PredictionAccuracyReport",
     "table1_report",
     "table2_report",
     "table3_report",

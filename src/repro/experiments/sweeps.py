@@ -11,7 +11,6 @@ so downstream users can design their own studies.
 from __future__ import annotations
 
 import csv
-import itertools
 import pathlib
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
@@ -19,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.diffusion import DiffusionStrategy
-from repro.core.metrics import summarize_improvement
 from repro.core.scratch import ScratchStrategy
 from repro.core.strategy import ReallocationStrategy
 from repro.experiments.runner import ExperimentContext, RunResult, run_workload

@@ -27,6 +27,7 @@ __all__ = [
     "Workload",
     "synthetic_workload",
     "mumbai_trace_workload",
+    "dynamical_trace_workload",
     "paper_example_steps",
 ]
 

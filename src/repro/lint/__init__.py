@@ -1,0 +1,31 @@
+"""``reprolint`` — domain-aware static analysis for the reallocation core.
+
+The paper's correctness story rests on invariants Python cannot enforce
+(disjoint tiling, byte conservation, seeded determinism).  The runtime
+half lives in :mod:`repro.core.invariants`; this package is the static
+half: an AST pass over the source tree that rejects the coding patterns
+known to break those invariants silently.  Run it as ``repro lint`` or
+through :func:`lint_paths` / :func:`lint_source`.
+
+See ``docs/static_analysis.md`` for the rule catalogue.
+"""
+
+from repro.lint.engine import LintEngine, LintReport, lint_paths, lint_source
+from repro.lint.reporting import format_json, format_rule_table, format_text
+from repro.lint.rules import ALL_RULES, Finding, LintContext, Rule, Severity, get_rules
+
+__all__ = [
+    "LintEngine",
+    "LintReport",
+    "lint_paths",
+    "lint_source",
+    "format_text",
+    "format_json",
+    "format_rule_table",
+    "ALL_RULES",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Severity",
+    "get_rules",
+]

@@ -1,0 +1,195 @@
+"""The ``reprolint`` engine: file discovery, suppression, rule dispatch.
+
+The engine owns everything rules should not care about — walking
+directories, parsing sources, deriving dotted module names from paths,
+honouring per-line suppression comments — and hands each rule a
+ready-made :class:`~repro.lint.rules.base.LintContext`.
+
+Suppression syntax (per line, comma-separated ids or ``all``)::
+
+    t = plan.measured_time == 0.0  # reprolint: disable=R002
+    risky()                        # reprolint: disable=R001,R005
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+
+from repro.lint.rules import ALL_RULES, Finding, LintContext, Rule, Severity
+
+__all__ = ["LintEngine", "LintReport", "lint_paths", "lint_source"]
+
+_SUPPRESS_RE = re.compile(r"#\s*reprolint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass
+class LintReport:
+    """The outcome of one engine run."""
+
+    findings: list[Finding]
+    files_checked: int
+    suppressed: int = 0
+    rules_run: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule_id] = counts.get(f.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+def _module_name(path: Path) -> str:
+    """Derive ``repro.core.metrics`` from ``.../src/repro/core/metrics.py``."""
+    parts = list(path.with_suffix("").parts)
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    for anchor in range(len(parts) - 1, -1, -1):
+        if parts[anchor] == "repro":
+            return ".".join(parts[anchor:])
+    return ".".join(parts[-1:]) if parts else str(path)
+
+
+def _suppressions(source: str) -> dict[int, set[str]]:
+    """line number -> rule ids disabled on that line (``{"all"}`` wildcard)."""
+    out: dict[int, set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            out.setdefault(tok.start[0], set()).update(ids)
+    except tokenize.TokenError:
+        pass  # syntactically broken file: the parse-error finding covers it
+    return out
+
+
+class LintEngine:
+    """Runs a set of rules over files, sources, or directory trees."""
+
+    def __init__(self, rules: Sequence[Rule] | None = None) -> None:
+        self.rules: list[Rule] = list(rules) if rules is not None else [c() for c in ALL_RULES]
+
+    # -- single-module entry points ---------------------------------------
+
+    def check_source(
+        self, source: str, *, path: str = "<string>", module: str | None = None
+    ) -> LintReport:
+        """Lint one in-memory module (the unit-test entry point)."""
+        findings, suppressed = self._check_one(source, path=path, module=module)
+        return LintReport(
+            findings=sorted(findings),
+            files_checked=1,
+            suppressed=suppressed,
+            rules_run=[r.rule_id for r in self.rules],
+        )
+
+    def _check_one(
+        self, source: str, *, path: str, module: str | None
+    ) -> tuple[list[Finding], int]:
+        mod = module if module is not None else _module_name(Path(path))
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            return (
+                [
+                    Finding(
+                        path=path,
+                        line=exc.lineno or 1,
+                        col=(exc.offset or 1) - 1,
+                        rule_id="R000",
+                        severity=Severity.ERROR,
+                        message=f"syntax error: {exc.msg}",
+                        fix_hint="fix the syntax error before linting",
+                    )
+                ],
+                0,
+            )
+        ctx = LintContext(path=path, module=mod, tree=tree, source=source)
+        disabled = _suppressions(source)
+        findings: list[Finding] = []
+        suppressed = 0
+        for rule in self.rules:
+            for finding in rule.check(ctx):
+                on_line = disabled.get(finding.line, set())
+                if "all" in on_line or finding.rule_id in on_line:
+                    suppressed += 1
+                    continue
+                findings.append(finding)
+        return findings, suppressed
+
+    # -- tree entry point --------------------------------------------------
+
+    def run(self, paths: Iterable[str | Path]) -> LintReport:
+        """Lint every ``.py`` file under the given files/directories."""
+        findings: list[Finding] = []
+        suppressed = 0
+        n_files = 0
+        for file in _iter_python_files(paths):
+            n_files += 1
+            source = file.read_text(encoding="utf-8")
+            file_findings, file_suppressed = self._check_one(
+                source, path=str(file), module=None
+            )
+            findings.extend(file_findings)
+            suppressed += file_suppressed
+        return LintReport(
+            findings=sorted(findings),
+            files_checked=n_files,
+            suppressed=suppressed,
+            rules_run=[r.rule_id for r in self.rules],
+        )
+
+
+def _iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            candidates = [path]
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+        else:
+            candidates = []
+        for file in candidates:
+            if file not in seen:
+                seen.add(file)
+                yield file
+
+
+def lint_paths(
+    paths: Iterable[str | Path], *, select: list[str] | None = None
+) -> LintReport:
+    """Convenience wrapper: lint paths with all (or selected) rules."""
+    from repro.lint.rules import get_rules
+
+    return LintEngine(get_rules(select)).run(paths)
+
+
+def lint_source(
+    source: str,
+    *,
+    module: str = "repro.snippet",
+    select: list[str] | None = None,
+) -> LintReport:
+    """Convenience wrapper: lint one snippet (used heavily by the tests)."""
+    from repro.lint.rules import get_rules
+
+    return LintEngine(get_rules(select)).check_source(
+        source, path=f"<{module}>", module=module
+    )

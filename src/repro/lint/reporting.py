@@ -1,0 +1,64 @@
+"""Report rendering for ``reprolint``: human text and machine JSON.
+
+Text format is one finding per line, compiler-style, so editors and CI
+annotations can parse it::
+
+    src/repro/core/metrics.py:58:7: R002 error: float operand 'base' ...
+        hint: use math.isclose(...) or an ordered comparison ...
+
+JSON format is a single object with ``findings``, ``summary`` and the
+rule ids that ran — stable keys, suitable for tooling.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintReport
+
+__all__ = ["format_text", "format_json", "format_rule_table"]
+
+
+def format_text(report: LintReport, *, show_hints: bool = True) -> str:
+    """Compiler-style text report with a one-line summary."""
+    lines: list[str] = []
+    for f in report.findings:
+        lines.append(f"{f.location()}: {f.rule_id} {f.severity}: {f.message}")
+        if show_hints and f.fix_hint:
+            lines.append(f"    hint: {f.fix_hint}")
+    n = len(report.findings)
+    if n == 0:
+        summary = f"reprolint: {report.files_checked} file(s) clean"
+    else:
+        per_rule = ", ".join(f"{rid} x{c}" for rid, c in report.counts_by_rule().items())
+        summary = f"reprolint: {n} finding(s) in {report.files_checked} file(s) [{per_rule}]"
+    if report.suppressed:
+        summary += f" ({report.suppressed} suppressed)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def format_json(report: LintReport) -> str:
+    """Machine-readable report (stable keys, sorted findings)."""
+    payload = {
+        "findings": [f.to_dict() for f in report.findings],
+        "summary": {
+            "files_checked": report.files_checked,
+            "n_findings": len(report.findings),
+            "suppressed": report.suppressed,
+            "by_rule": report.counts_by_rule(),
+            "ok": report.ok,
+        },
+        "rules_run": report.rules_run,
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def format_rule_table() -> str:
+    """The ``--list-rules`` output: id, severity, one-line summary."""
+    from repro.lint.rules import ALL_RULES
+
+    lines = []
+    for cls in ALL_RULES:
+        lines.append(f"{cls.rule_id}  {cls.severity.value:7s}  {cls.summary}")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""The pluggable rule registry for ``reprolint``.
+
+Adding a rule = writing a :class:`~repro.lint.rules.base.Rule` subclass
+in a module here and listing the class in :data:`ALL_RULES`.
+"""
+
+from __future__ import annotations
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity
+from repro.lint.rules.exceptions import ExceptionHygieneRule
+from repro.lint.rules.exports import AllConsistencyRule
+from repro.lint.rules.floatcmp import FloatEqualityRule
+from repro.lint.rules.mutation import AllocationMutationRule
+from repro.lint.rules.randomness import UnseededRandomnessRule
+from repro.lint.rules.validation import MissingValidationRule
+
+__all__ = [
+    "Finding",
+    "LintContext",
+    "Rule",
+    "Severity",
+    "UnseededRandomnessRule",
+    "FloatEqualityRule",
+    "AllocationMutationRule",
+    "MissingValidationRule",
+    "ExceptionHygieneRule",
+    "AllConsistencyRule",
+    "ALL_RULES",
+    "get_rules",
+]
+
+#: every shipped rule, in rule-id order
+ALL_RULES: tuple[type[Rule], ...] = (
+    UnseededRandomnessRule,
+    FloatEqualityRule,
+    AllocationMutationRule,
+    MissingValidationRule,
+    ExceptionHygieneRule,
+    AllConsistencyRule,
+)
+
+
+def get_rules(select: list[str] | None = None) -> list[Rule]:
+    """Instantiate the selected rules (all of them when ``select`` is None)."""
+    if select is None:
+        return [cls() for cls in ALL_RULES]
+    by_id = {cls.rule_id: cls for cls in ALL_RULES}
+    unknown = [rid for rid in select if rid not in by_id]
+    if unknown:
+        known = ", ".join(sorted(by_id))
+        raise ValueError(f"unknown rule id(s) {unknown}; known: {known}")
+    return [by_id[rid]() for rid in select]

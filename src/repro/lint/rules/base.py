@@ -1,0 +1,132 @@
+"""Rule framework shared by every ``reprolint`` check.
+
+A rule is a small class with a stable identifier (``R001`` ...), a severity,
+a one-line fix hint, and a :meth:`Rule.check` generator that walks one
+module's AST and yields :class:`Finding` objects.  Rules never read other
+modules — everything they need (source text, AST, dotted module name) is
+packaged into a :class:`LintContext` by the engine, which keeps each rule
+unit-testable on synthetic snippets.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+__all__ = ["Severity", "Finding", "LintContext", "Rule", "dotted_name"]
+
+
+class Severity(enum.Enum):
+    """How strongly a finding blocks a merge (all findings fail the gate)."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    severity: Severity = field(compare=False)
+    message: str
+    fix_hint: str = field(compare=False, default="")
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "severity": str(self.severity),
+            "message": self.message,
+            "fix_hint": self.fix_hint,
+        }
+
+
+@dataclass(frozen=True)
+class LintContext:
+    """Everything a rule may inspect about one module."""
+
+    path: str  # display path (as given to the engine)
+    module: str  # dotted module name, e.g. "repro.core.metrics"
+    tree: ast.Module
+    source: str
+
+    @property
+    def package(self) -> str:
+        """The sub-package one level below ``repro`` ("core", "grid", ...)."""
+        parts = self.module.split(".")
+        if len(parts) >= 2 and parts[0] == "repro":
+            return parts[1]
+        return parts[0]
+
+    def in_packages(self, packages: tuple[str, ...]) -> bool:
+        return self.package in packages
+
+
+class Rule:
+    """Base class for pluggable checks.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``packages`` limits a rule to sub-packages of ``repro`` (empty tuple =
+    applies everywhere); the engine still calls :meth:`check` on every
+    module so a rule may refine its own scoping.
+    """
+
+    rule_id: str = "R000"
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+    fix_hint: str = ""
+    packages: tuple[str, ...] = ()
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        return not self.packages or ctx.in_packages(self.packages)
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        ctx: LintContext,
+        node: ast.AST | tuple[int, int],
+        message: str,
+    ) -> Finding:
+        """Build a :class:`Finding` at ``node``'s location."""
+        if isinstance(node, tuple):
+            line, col = node
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=ctx.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            fix_hint=self.fix_hint,
+        )
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything non-trivial."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

@@ -1,0 +1,71 @@
+"""R005 — no bare ``except:`` and no swallowed invariant violations.
+
+:class:`repro.core.invariants.InvariantViolation` is the library saying
+"the tiling / conservation / tree-consistency contract is broken".  A
+handler that catches it (or a catch-all that would) and does nothing
+converts a loud, precise failure into silent corruption — the exact
+failure mode runtime invariants exist to prevent.  Broad handlers are
+allowed only when they re-raise or visibly do something with the error.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity, dotted_name
+
+__all__ = ["ExceptionHygieneRule"]
+
+#: exception names whose silent swallowing is flagged
+_GUARDED_EXCEPTIONS = frozenset(
+    {"InvariantViolation", "AssertionError", "Exception", "BaseException"}
+)
+
+
+def _caught_names(handler: ast.ExceptHandler) -> list[str]:
+    if handler.type is None:
+        return []
+    exprs = handler.type.elts if isinstance(handler.type, ast.Tuple) else [handler.type]
+    names: list[str] = []
+    for expr in exprs:
+        name = dotted_name(expr)
+        if name is not None:
+            names.append(name.rsplit(".", maxsplit=1)[-1])
+    return names
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler neither re-raises nor acts on the error."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return False
+        if isinstance(node, ast.Call):
+            return False  # logging / cleanup / fallback computation counts as acting
+    return True
+
+
+class ExceptionHygieneRule(Rule):
+    """Flag bare ``except:`` and silently-swallowed broad catches."""
+
+    rule_id = "R005"
+    severity = Severity.ERROR
+    summary = "no bare except:, no silently swallowed InvariantViolation"
+    fix_hint = "catch a precise exception, or re-raise / log inside the handler"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node, "bare 'except:' catches SystemExit/KeyboardInterrupt too"
+                )
+                continue
+            guarded = [n for n in _caught_names(node) if n in _GUARDED_EXCEPTIONS]
+            if guarded and _swallows(node):
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"handler catches {', '.join(guarded)} and silently swallows it",
+                )

@@ -1,0 +1,94 @@
+"""R006 — ``__all__`` tells the truth.
+
+The package ships a ``py.typed`` marker: downstream type checkers and
+``from repro.x import *`` users both read ``__all__`` as the public API.
+A name listed but never defined breaks star-imports at runtime; a public
+class or function defined but unlisted silently leaks or hides API.
+Modules that define public functions/classes must declare ``__all__``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity
+
+__all__ = ["AllConsistencyRule"]
+
+
+def _declared_all(tree: ast.Module) -> tuple[ast.stmt | None, list[str] | None]:
+    """The ``__all__`` statement and its literal names (None if absent/dynamic)."""
+    for stmt in tree.body:
+        targets: list[ast.expr] = []
+        value: ast.expr | None = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "__all__":
+                if isinstance(value, (ast.List, ast.Tuple)) and all(
+                    isinstance(e, ast.Constant) and isinstance(e.value, str)
+                    for e in value.elts
+                ):
+                    return stmt, [e.value for e in value.elts]
+                return stmt, None  # dynamic __all__ — leave it alone
+    return None, None
+
+
+def _top_level_names(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(all defined top-level names, public def/class names)."""
+    defined: set[str] = set()
+    public_defs: set[str] = set()
+    for stmt in tree.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(stmt.name)
+            if not stmt.name.startswith("_"):
+                public_defs.add(stmt.name)
+        elif isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            defined.add(stmt.target.id)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            for alias in stmt.names:
+                if alias.name == "*":
+                    continue
+                defined.add(alias.asname or alias.name.split(".")[0])
+    return defined, public_defs
+
+
+class AllConsistencyRule(Rule):
+    """Flag ``__all__`` entries that don't exist and public names left out."""
+
+    rule_id = "R006"
+    severity = Severity.ERROR
+    summary = "__all__ must match the module's actual public names"
+    fix_hint = "add/remove the name in __all__ (or underscore-prefix a private helper)"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        stmt, names = _declared_all(ctx.tree)
+        defined, public_defs = _top_level_names(ctx.tree)
+        if stmt is None:
+            if public_defs:
+                yield self.finding(
+                    ctx,
+                    (1, 0),
+                    f"module defines public names ({', '.join(sorted(public_defs))}) "
+                    "but no __all__",
+                )
+            return
+        if names is None:
+            return  # dynamically built __all__: out of scope for a static pass
+        for name in names:
+            if name not in defined:
+                yield self.finding(
+                    ctx, stmt, f"__all__ lists {name!r} which is not defined in the module"
+                )
+        listed = set(names)
+        for name in sorted(public_defs - listed):
+            yield self.finding(
+                ctx, stmt, f"public name {name!r} is missing from __all__"
+            )

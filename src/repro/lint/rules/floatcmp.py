@@ -1,0 +1,159 @@
+"""R002 — no float ``==`` / ``!=`` in cost-model code paths.
+
+The paper's strategy choice (diffusion vs scratch) and every reported
+improvement percentage are decided by comparing *times* — floating-point
+sums of per-message costs.  Exact equality on such values is
+topology-dependent noise: two mathematically equal plans can differ in
+the last ulp depending on summation order.  ``perfmodel``, ``mpisim``
+and ``core`` therefore must compare floats with a tolerance (or with
+``<=`` / ``>=`` against an exact sentinel), never ``==`` / ``!=``.
+
+Detection is a scoped, annotation-driven inference — no runtime types
+are available to a static pass, so an operand counts as "float" when it
+is:
+
+* a float literal (``x == 0.0``),
+* a call to ``float(...)`` or ``math.`` functions returning float,
+* a name bound in the enclosing function from one of the above, or
+  annotated ``float`` (parameter or ``x: float`` assignment),
+* ``self.<attr>`` where the enclosing class annotates ``<attr>: float``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity, dotted_name
+
+__all__ = ["FloatEqualityRule"]
+
+_FLOAT_RETURNING = frozenset(
+    {
+        "float",
+        "math.sqrt",
+        "math.exp",
+        "math.log",
+        "math.isclose",
+        "math.fsum",
+        "math.hypot",
+    }
+)
+
+
+def _is_float_annotation(node: ast.expr | None) -> bool:
+    return isinstance(node, ast.Name) and node.id == "float"
+
+
+def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk ``scope`` without descending into nested function/class scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+class FloatEqualityRule(Rule):
+    """Flag ``==``/``!=`` where either operand is statically float-like."""
+
+    rule_id = "R002"
+    severity = Severity.ERROR
+    summary = "no exact float equality in cost paths"
+    fix_hint = "use math.isclose(...) or an ordered comparison against the sentinel"
+    packages = ("perfmodel", "mpisim", "core")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not self.applies_to(ctx):
+            return
+        # class name -> attributes annotated float (dataclass fields etc.)
+        float_attrs: dict[str, set[str]] = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                attrs = {
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                    and _is_float_annotation(stmt.annotation)
+                }
+                float_attrs[node.name] = attrs
+
+        for scope, class_attrs in self._scopes(ctx.tree, float_attrs):
+            float_names = self._float_names(scope)
+            for node in _walk_scope(scope):
+                if not isinstance(node, ast.Compare):
+                    continue
+                if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                    continue
+                operands = [node.left, *node.comparators]
+                for operand in operands:
+                    if self._is_floatish(operand, float_names, class_attrs):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"float operand {ast.unparse(operand)!r} compared with ==/!=",
+                        )
+                        break
+
+    # -- scope plumbing ---------------------------------------------------
+
+    def _scopes(
+        self, tree: ast.Module, float_attrs: dict[str, set[str]]
+    ) -> Iterator[tuple[ast.AST, set[str]]]:
+        """Yield (function-or-module scope, float attrs of enclosing class)."""
+        yield tree, set()
+
+        def visit(body: list[ast.stmt], attrs: set[str]) -> Iterator[tuple[ast.AST, set[str]]]:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield stmt, attrs
+                    yield from visit(stmt.body, attrs)
+                elif isinstance(stmt, ast.ClassDef):
+                    yield from visit(stmt.body, float_attrs.get(stmt.name, set()))
+
+        yield from visit(tree.body, set())
+
+    def _float_names(self, scope: ast.AST) -> set[str]:
+        """Names statically known to hold floats inside ``scope``."""
+        names: set[str] = set()
+        if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = [*scope.args.posonlyargs, *scope.args.args, *scope.args.kwonlyargs]
+            names.update(a.arg for a in args if _is_float_annotation(a.annotation))
+        for node in _walk_scope(scope):
+            if isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
+                if _is_float_annotation(node.annotation):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and self._is_floatish(
+                    node.value, names, set()
+                ):
+                    names.add(target.id)
+        return names
+
+    def _is_floatish(
+        self, node: ast.expr, float_names: set[str], class_attrs: set[str]
+    ) -> bool:
+        if isinstance(node, ast.Constant):
+            return isinstance(node.value, float)
+        if isinstance(node, ast.Name):
+            return node.id in float_names
+        if isinstance(node, ast.Attribute):
+            return (
+                isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+                and node.attr in class_attrs
+            )
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            return name in _FLOAT_RETURNING
+        if isinstance(node, ast.BinOp):
+            return self._is_floatish(node.left, float_names, class_attrs) or self._is_floatish(
+                node.right, float_names, class_attrs
+            )
+        if isinstance(node, ast.UnaryOp):
+            return self._is_floatish(node.operand, float_names, class_attrs)
+        return False

@@ -1,0 +1,111 @@
+"""R003 — allocation geometry is edited only through the tree-edit API.
+
+The diffusion strategy's overlap guarantee (paper §IV-B: retained nests
+keep part of their old rectangle, bounding redistribution volume) holds
+because every geometry change flows through ``repro.tree.edit`` and is
+re-laid-out by ``repro.core``.  Code outside ``core`` and ``grid`` that
+pokes ``Allocation.rects`` or ``Rect`` coordinates directly silently
+voids that guarantee — both classes are frozen dataclasses, so such
+writes also imply an ``object.__setattr__`` end-run.
+
+Heuristics (a static pass has no runtime types):
+
+* stores / deletes / mutating calls on any ``<expr>.rects`` attribute,
+* ``object.__setattr__(x, "rects" | "tree" | "weights" | rect field, ...)``,
+* attribute stores to ``x0`` / ``y0``, or to ``w`` / ``h`` when the
+  receiver's name mentions ``rect``.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity, dotted_name
+
+__all__ = ["AllocationMutationRule"]
+
+_GUARDED_PACKAGES = ("core", "grid")
+_RECT_FIELDS = frozenset({"x0", "y0", "w", "h"})
+_FROZEN_ATTRS = _RECT_FIELDS | {"rects", "tree", "weights"}
+_MUTATING_METHODS = frozenset(
+    {"update", "pop", "popitem", "clear", "setdefault", "__setitem__", "__delitem__"}
+)
+
+
+def _receiver_mentions_rect(node: ast.expr) -> bool:
+    name = dotted_name(node)
+    return name is not None and "rect" in name.lower()
+
+
+class AllocationMutationRule(Rule):
+    """Flag direct mutation of allocation geometry outside core/grid."""
+
+    rule_id = "R003"
+    severity = Severity.ERROR
+    summary = "Allocation.rects / Rect fields are immutable outside core+grid"
+    fix_hint = "go through repro.tree.edit + Allocation.from_tree instead of mutating"
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.in_packages(_GUARDED_PACKAGES) or ctx.package == "lint":
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets: list[ast.expr]
+                if isinstance(node, ast.Assign):
+                    targets = node.targets
+                elif isinstance(node, ast.AugAssign):
+                    targets = [node.target]
+                else:
+                    targets = node.targets
+                for target in targets:
+                    yield from self._check_store(ctx, node, target)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    def _check_store(
+        self, ctx: LintContext, stmt: ast.stmt, target: ast.expr
+    ) -> Iterator[Finding]:
+        # alloc.rects[...] = ... / del alloc.rects[...]
+        if isinstance(target, ast.Subscript) and isinstance(target.value, ast.Attribute):
+            if target.value.attr == "rects":
+                yield self.finding(
+                    ctx, stmt, "subscript store into '.rects' mutates a frozen allocation"
+                )
+            return
+        if not isinstance(target, ast.Attribute):
+            return
+        # alloc.rects = ... / rect.w = ... / nest.x0 = ...
+        if target.attr == "rects":
+            yield self.finding(ctx, stmt, "attribute store to '.rects' outside core/grid")
+        elif target.attr in ("x0", "y0"):
+            yield self.finding(
+                ctx, stmt, f"store to Rect coordinate '.{target.attr}' outside core/grid"
+            )
+        elif target.attr in ("w", "h") and _receiver_mentions_rect(target.value):
+            yield self.finding(
+                ctx, stmt, f"store to Rect side '.{target.attr}' outside core/grid"
+            )
+
+    def _check_call(self, ctx: LintContext, call: ast.Call) -> Iterator[Finding]:
+        name = dotted_name(call.func)
+        if name == "object.__setattr__":
+            if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+                attr = call.args[1].value
+                if attr in _FROZEN_ATTRS:
+                    yield self.finding(
+                        ctx,
+                        call,
+                        f"object.__setattr__(..., {attr!r}, ...) bypasses frozen allocation state",
+                    )
+            return
+        # alloc.rects.update(...) etc.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr in _MUTATING_METHODS
+            and isinstance(call.func.value, ast.Attribute)
+            and call.func.value.attr == "rects"
+        ):
+            yield self.finding(
+                ctx, call, f"mutating call '.rects.{call.func.attr}(...)' outside core/grid"
+            )

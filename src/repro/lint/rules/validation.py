@@ -1,0 +1,107 @@
+"""R004 — public entry points of the typed core validate their arguments.
+
+``core``, ``tree`` and ``analysis`` take raw nest weights, grid sizes and
+cluster parameters straight from drivers and experiments.  A mis-shaped
+argument that survives into the middle of a diffusion step surfaces as a
+topology-dependent wrong answer, not a crash — the class of bug the
+paper's invariants exist to prevent.  Every public function there must
+either validate (via ``repro.util.validation`` / ``check_*`` helpers or
+an inline guarded ``raise``) or carry a docstring line starting with
+``Validation:`` explaining why validation is out of scope (e.g. all
+arguments are already-validated domain objects).
+
+Exempt by construction: private names, ``@property`` accessors,
+functions without real parameters, and trivial bodies (≤ 2 statements —
+pure delegation wrappers and abstract stubs).
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity, dotted_name
+
+__all__ = ["MissingValidationRule"]
+
+_TRIVIAL_BODY_LEN = 2
+_PROPERTY_DECORATORS = frozenset({"property", "cached_property", "abstractproperty"})
+
+
+def _decorator_names(func: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for deco in func.decorator_list:
+        target = deco.func if isinstance(deco, ast.Call) else deco
+        name = dotted_name(target)
+        if name is not None:
+            names.add(name.rsplit(".", maxsplit=1)[-1])
+    return names
+
+
+def _real_params(func: ast.FunctionDef | ast.AsyncFunctionDef) -> list[str]:
+    args = [*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs]
+    return [a.arg for a in args if a.arg not in ("self", "cls")]
+
+
+def _validates(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    for node in ast.walk(func):
+        if isinstance(node, ast.Raise):
+            return True
+        if isinstance(node, ast.Call):
+            name = dotted_name(node.func)
+            if name is not None and name.rsplit(".", maxsplit=1)[-1].startswith("check_"):
+                return True
+    return False
+
+
+def _documents_exemption(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+    doc = ast.get_docstring(func)
+    if not doc:
+        return False
+    return any(line.strip().startswith("Validation:") for line in doc.splitlines())
+
+
+class MissingValidationRule(Rule):
+    """Flag public core/tree/analysis functions with no validation story."""
+
+    rule_id = "R004"
+    severity = Severity.WARNING
+    summary = "public core/tree/analysis functions validate args or document why not"
+    fix_hint = "call repro.util.validation helpers, raise on bad input, or add a 'Validation:' docstring line"
+    packages = ("core", "tree", "analysis")
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if not self.applies_to(ctx):
+            return
+        yield from self._scan(ctx, ctx.tree.body, prefix="")
+
+    def _scan(
+        self, ctx: LintContext, body: list[ast.stmt], prefix: str
+    ) -> Iterator[Finding]:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                if not stmt.name.startswith("_"):
+                    yield from self._scan(ctx, stmt.body, prefix=f"{stmt.name}.")
+                continue
+            if not isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            name = stmt.name
+            if name.startswith("_") and name != "__post_init__":
+                continue
+            if not _real_params(stmt) and name != "__post_init__":
+                continue
+            decorators = _decorator_names(stmt)
+            if decorators & _PROPERTY_DECORATORS:
+                continue
+            if "abstractmethod" in decorators:
+                continue
+            if len(stmt.body) <= _TRIVIAL_BODY_LEN:
+                continue
+            if _validates(stmt) or _documents_exemption(stmt):
+                continue
+            yield self.finding(
+                ctx,
+                stmt,
+                f"public function {prefix}{name} neither validates its arguments "
+                "nor documents why not",
+            )

@@ -71,7 +71,7 @@ class CostModel:
         """One message over ``hops`` store-and-forward links, incl. packing."""
         if nbytes < 0:
             raise ValueError(f"nbytes must be >= 0, got {nbytes}")
-        if nbytes == 0:
+        if nbytes <= 0.0:
             return 0.0
         return self.alpha + (max(1, int(hops)) * self.beta + self.soft_beta) * nbytes
 

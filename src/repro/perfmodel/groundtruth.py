@@ -73,7 +73,7 @@ class ExecutionOracle:
     ) -> float:
         """One noisy measurement (what a real profiling run would record)."""
         mean = self.mean_time(nx, ny, px, py)
-        if self.noise_sigma == 0:
+        if self.noise_sigma <= 0.0:  # validated >= 0 in __post_init__
             return mean
         gen = make_rng(rng)
         return float(mean * np.exp(gen.normal(0.0, self.noise_sigma)))

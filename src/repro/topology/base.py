@@ -18,6 +18,8 @@ import abc
 
 import numpy as np
 
+from repro.util.rng import make_rng
+
 __all__ = ["Topology"]
 
 
@@ -73,7 +75,7 @@ class Topology(abc.ABC):
         if sample is None or sample >= n * n:
             src, dst = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
             return float(self.hops(src.ravel(), dst.ravel()).mean())
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         src = rng.integers(0, n, size=sample)
         dst = rng.integers(0, n, size=sample)
         return float(self.hops(src, dst).mean())

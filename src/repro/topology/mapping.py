@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.topology.base import Topology
 from repro.topology.torus import Torus3D
+from repro.util.rng import make_rng
 
 __all__ = ["ProcessMapping", "RowMajorMapping", "FoldedMapping", "RandomMapping"]
 
@@ -100,7 +101,7 @@ class RandomMapping(ProcessMapping):
     """Random permutation mapping (worst-case baseline for ablations)."""
 
     def __init__(self, topology: Topology, seed: int = 0) -> None:
-        rng = np.random.default_rng(seed)
+        rng = make_rng(seed)
         super().__init__(topology, rng.permutation(topology.nnodes))
 
 

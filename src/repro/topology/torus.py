@@ -14,7 +14,7 @@ import numpy as np
 
 from repro.topology.base import Topology
 
-__all__ = ["Torus3D", "Mesh2D"]
+__all__ = ["Torus3D", "Mesh2D", "Mesh3D"]
 
 # Directed link direction codes: one outgoing link per node per direction.
 _DIRS3D = ("+x", "-x", "+y", "-y", "+z", "-z")

@@ -155,6 +155,8 @@ class TreeNode:
 
     def pretty(self, indent: int = 0) -> str:
         """Human-readable multi-line rendering (for examples and debugging)."""
+        if indent < 0:
+            raise ValueError(f"indent must be >= 0, got {indent}")
         pad = "  " * indent
         if self.is_leaf:
             label = "free" if self.free else f"nest {self.nest_id}"

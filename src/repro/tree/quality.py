@@ -25,7 +25,11 @@ __all__ = ["weighted_path_length", "huffman_optimality_gap"]
 
 
 def weighted_path_length(root: TreeNode | None) -> float:
-    """Σ over nest leaves of ``weight · depth`` (root depth = 0)."""
+    """Σ over nest leaves of ``weight · depth`` (root depth = 0).
+
+    Validation: ``root`` is a structurally valid tree (or None = empty);
+    structure is enforced by :meth:`TreeNode.validate` at edit time.
+    """
     if root is None:
         return 0.0
     total = 0.0
@@ -47,6 +51,9 @@ def huffman_optimality_gap(root: TreeNode | None) -> float:
     1.0 means the tree is (path-length-)optimal for its current weights;
     1.3 means nests sit 30 % deeper than necessary on average.  Trees with
     fewer than two nests are trivially optimal.
+
+    Validation: ``root`` is a structurally valid tree (or None = empty);
+    structure is enforced by :meth:`TreeNode.validate` at edit time.
     """
     if root is None:
         return 1.0

@@ -28,7 +28,12 @@ def check_in_range(name: str, value: float, lo: float, hi: float) -> None:
 
 
 def check_type(name: str, value: object, typ: type | tuple[type, ...]) -> None:
-    """Raise :class:`TypeError` unless ``value`` is an instance of ``typ``."""
+    """Raise :class:`TypeError` unless ``value`` is an instance of ``typ``.
+
+    The error message names every accepted type ("x must be int or float,
+    got str") so a failing call is actionable without a stack-trace dive.
+    """
     if not isinstance(value, typ):
-        expected = typ.__name__ if isinstance(typ, type) else "/".join(t.__name__ for t in typ)
+        names = [t.__name__ for t in (typ if isinstance(typ, tuple) else (typ,))]
+        expected = " or ".join(names)
         raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")

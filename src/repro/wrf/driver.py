@@ -23,7 +23,7 @@ then re-interpolated from the parent onto the new ROI (regridding).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -32,7 +32,6 @@ from dataclasses import dataclass
 import numpy as np
 from scipy import ndimage
 
-from repro.analysis.records import SplitFile
 from repro.util.rng import make_rng
 from repro.wrf.fields import olr_field
 from repro.wrf.model import DomainConfig, WrfLikeModel

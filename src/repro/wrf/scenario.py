@@ -15,8 +15,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-import numpy as np
-
 from repro.util.rng import make_rng
 from repro.wrf.clouds import CloudSystem, random_system
 from repro.wrf.model import DomainConfig

@@ -10,7 +10,6 @@ from repro.core import (
     layout_quality,
 )
 from repro.grid import ProcessorGrid, Rect
-from repro.tree import build_huffman
 
 GRID = ProcessorGrid(32, 32)
 

@@ -5,7 +5,6 @@ import pytest
 
 from repro.analysis import (
     NNCConfig,
-    PDAConfig,
     SplitFile,
     SubdomainSummary,
     cluster_bounding_rect,

@@ -1,9 +1,8 @@
 """Tests for the PDA cost model (§III scaling claims)."""
 
 import numpy as np
-import pytest
 
-from repro.analysis import PDAConfig, pda_cost_profile
+from repro.analysis import pda_cost_profile
 from repro.analysis.records import SplitFile
 from repro.grid import ProcessorGrid, Rect
 

@@ -11,8 +11,8 @@ from repro.core import (
 from repro.core.strategy import ReallocationStrategy
 from repro.experiments import synthetic_workload
 from repro.experiments.runner import ExperimentContext, run_both_strategies, run_workload
-from repro.grid import ProcessorGrid, Rect
-from repro.topology import MACHINES, blue_gene_l
+from repro.grid import ProcessorGrid
+from repro.topology import MACHINES
 from repro.tree import build_huffman
 
 

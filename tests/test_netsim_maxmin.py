@@ -7,7 +7,6 @@ on arbitrary small topologies.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

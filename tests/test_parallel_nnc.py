@@ -6,7 +6,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.analysis import (
-    NNCConfig,
     count_distance_evaluations,
     nearest_neighbour_clustering,
     parallel_nnc,

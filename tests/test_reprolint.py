@@ -1,0 +1,615 @@
+"""Tests for the ``reprolint`` static-analysis subsystem.
+
+Two layers:
+
+* fixture-based unit tests per rule — each rule gets at least one snippet
+  that must fire and one that must stay clean;
+* the self-test — the engine over the real ``src/`` tree must report zero
+  findings (the repo's own code obeys its own lint).
+"""
+
+import json
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.lint import (
+    ALL_RULES,
+    LintEngine,
+    Severity,
+    format_json,
+    format_rule_table,
+    format_text,
+    get_rules,
+    lint_paths,
+    lint_source,
+)
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+
+def findings_for(source, module="repro.core.snippet", select=None):
+    report = lint_source(textwrap.dedent(source), module=module, select=select)
+    return report.findings
+
+
+def rule_ids(source, module="repro.core.snippet", select=None):
+    return sorted({f.rule_id for f in findings_for(source, module, select)})
+
+
+# ---------------------------------------------------------------------------
+# R001 — unseeded randomness
+# ---------------------------------------------------------------------------
+
+
+class TestR001Randomness:
+    def test_np_random_call_flagged(self):
+        src = """
+        import numpy as np
+        def f():
+            return np.random.default_rng(0)
+        """
+        assert "R001" in rule_ids(src, select=["R001"])
+
+    def test_stdlib_random_import_flagged(self):
+        assert "R001" in rule_ids("import random\n", select=["R001"])
+
+    def test_from_random_import_flagged(self):
+        assert "R001" in rule_ids("from random import shuffle\n", select=["R001"])
+
+    def test_stdlib_random_call_flagged(self):
+        src = """
+        def f(random):
+            return random.random()
+        """
+        assert "R001" in rule_ids(src, select=["R001"])
+
+    def test_make_rng_clean(self):
+        src = """
+        from repro.util.rng import make_rng
+        def f(seed):
+            return make_rng(seed).normal()
+        """
+        assert rule_ids(src, select=["R001"]) == []
+
+    def test_generator_annotation_clean(self):
+        src = """
+        import numpy as np
+        def f(rng: np.random.Generator) -> np.random.Generator:
+            if isinstance(rng, np.random.Generator):
+                return rng
+            return rng
+        """
+        assert rule_ids(src, select=["R001"]) == []
+
+    def test_rng_module_exempt(self):
+        src = """
+        import numpy as np
+        def make_rng(seed):
+            return np.random.default_rng(seed)
+        """
+        assert rule_ids(src, module="repro.util.rng", select=["R001"]) == []
+
+
+# ---------------------------------------------------------------------------
+# R002 — float equality in cost paths
+# ---------------------------------------------------------------------------
+
+
+class TestR002FloatEquality:
+    def test_float_literal_flagged(self):
+        src = """
+        def f(t):
+            return t == 0.0
+        """
+        assert "R002" in rule_ids(src, select=["R002"])
+
+    def test_annotated_param_flagged(self):
+        src = """
+        def f(t: float):
+            return t != 0
+        """
+        assert "R002" in rule_ids(src, select=["R002"])
+
+    def test_float_call_binding_flagged(self):
+        src = """
+        def f(values):
+            total = float(sum(values))
+            if total == 0:
+                return None
+            return total
+        """
+        assert "R002" in rule_ids(src, select=["R002"])
+
+    def test_self_attr_with_class_annotation_flagged(self):
+        src = """
+        class Oracle:
+            sigma: float = 0.0
+            def f(self):
+                return self.sigma == 0
+        """
+        assert "R002" in rule_ids(src, select=["R002"])
+
+    def test_int_comparison_clean(self):
+        src = """
+        def f(n: int, items):
+            return n == 0 or len(items) == 3
+        """
+        assert rule_ids(src, select=["R002"]) == []
+
+    def test_ordered_float_comparison_clean(self):
+        src = """
+        def f(t: float):
+            return t <= 0.0
+        """
+        assert rule_ids(src, select=["R002"]) == []
+
+    def test_outside_scoped_packages_clean(self):
+        src = """
+        def f(t: float):
+            return t == 0.0
+        """
+        assert rule_ids(src, module="repro.viz.snippet", select=["R002"]) == []
+
+    def test_each_scope_reported_once(self):
+        src = """
+        def f(t: float):
+            def g():
+                return t == 1.0
+            return g
+        """
+        assert len(findings_for(src, select=["R002"])) == 1
+
+
+# ---------------------------------------------------------------------------
+# R003 — allocation mutation outside core/grid
+# ---------------------------------------------------------------------------
+
+
+class TestR003Mutation:
+    def test_rects_subscript_store_flagged(self):
+        src = """
+        def f(alloc, rect):
+            alloc.rects[1] = rect
+        """
+        assert "R003" in rule_ids(src, module="repro.wrf.snippet", select=["R003"])
+
+    def test_rects_attribute_store_flagged(self):
+        src = """
+        def f(alloc):
+            alloc.rects = {}
+        """
+        assert "R003" in rule_ids(src, module="repro.wrf.snippet", select=["R003"])
+
+    def test_rects_mutating_call_flagged(self):
+        src = """
+        def f(alloc, other):
+            alloc.rects.update(other)
+        """
+        assert "R003" in rule_ids(src, module="repro.wrf.snippet", select=["R003"])
+
+    def test_rect_field_store_flagged(self):
+        src = """
+        def f(rect):
+            rect.x0 = 3
+        """
+        assert "R003" in rule_ids(src, module="repro.wrf.snippet", select=["R003"])
+
+    def test_object_setattr_bypass_flagged(self):
+        src = """
+        def f(alloc, rects):
+            object.__setattr__(alloc, "rects", rects)
+        """
+        assert "R003" in rule_ids(src, module="repro.wrf.snippet", select=["R003"])
+
+    def test_del_rects_entry_flagged(self):
+        src = """
+        def f(alloc):
+            del alloc.rects[1]
+        """
+        assert "R003" in rule_ids(src, module="repro.wrf.snippet", select=["R003"])
+
+    def test_read_access_clean(self):
+        src = """
+        def f(alloc):
+            return alloc.rects[1].area + alloc.rects[2].w
+        """
+        assert rule_ids(src, module="repro.wrf.snippet", select=["R003"]) == []
+
+    def test_core_package_exempt(self):
+        src = """
+        def f(alloc, rect):
+            alloc.rects[1] = rect
+        """
+        assert rule_ids(src, module="repro.core.snippet", select=["R003"]) == []
+
+    def test_unrelated_w_attribute_clean(self):
+        src = """
+        def f(widget):
+            widget.w = 3
+        """
+        assert rule_ids(src, module="repro.wrf.snippet", select=["R003"]) == []
+
+
+# ---------------------------------------------------------------------------
+# R004 — validation coverage in core/tree/analysis
+# ---------------------------------------------------------------------------
+
+
+class TestR004Validation:
+    def test_unvalidated_public_function_flagged(self):
+        src = """
+        def combine(weights, sizes):
+            a = dict(weights)
+            b = dict(sizes)
+            merged = {**a, **b}
+            return merged
+        """
+        assert "R004" in rule_ids(src, select=["R004"])
+
+    def test_check_call_passes(self):
+        src = """
+        from repro.util.validation import check_positive
+        def scale(x, factor):
+            check_positive("factor", factor)
+            y = x * factor
+            z = y + 1
+            return z
+        """
+        assert rule_ids(src, select=["R004"]) == []
+
+    def test_inline_raise_passes(self):
+        src = """
+        def scale(x, factor):
+            if factor <= 0:
+                raise ValueError("factor must be positive")
+            y = x * factor
+            return y
+        """
+        assert rule_ids(src, select=["R004"]) == []
+
+    def test_validation_docstring_passes(self):
+        src = '''
+        def render(allocation, width):
+            """Draw the allocation.
+
+            Validation: allocation is a frozen, already-validated object.
+            """
+            x = allocation
+            y = width
+            return (x, y)
+        '''
+        assert rule_ids(src, select=["R004"]) == []
+
+    def test_private_function_exempt(self):
+        src = """
+        def _helper(a, b):
+            c = a + b
+            d = c * 2
+            return d
+        """
+        assert rule_ids(src, select=["R004"]) == []
+
+    def test_trivial_delegation_exempt(self):
+        src = """
+        def wrap(x):
+            return inner(x)
+        """
+        assert rule_ids(src, select=["R004"]) == []
+
+    def test_property_exempt(self):
+        src = """
+        class C:
+            @property
+            def area(self, *extra):
+                a = 1
+                b = 2
+                return a + b
+        """
+        assert rule_ids(src, select=["R004"]) == []
+
+    def test_outside_scoped_packages_exempt(self):
+        src = """
+        def combine(weights, sizes):
+            a = dict(weights)
+            b = dict(sizes)
+            merged = {**a, **b}
+            return merged
+        """
+        assert rule_ids(src, module="repro.experiments.snippet", select=["R004"]) == []
+
+
+# ---------------------------------------------------------------------------
+# R005 — exception hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestR005Exceptions:
+    def test_bare_except_flagged(self):
+        src = """
+        def f():
+            try:
+                g()
+            except:
+                pass
+        """
+        assert "R005" in rule_ids(src, select=["R005"])
+
+    def test_swallowed_invariant_violation_flagged(self):
+        src = """
+        def f():
+            try:
+                g()
+            except InvariantViolation:
+                pass
+        """
+        assert "R005" in rule_ids(src, select=["R005"])
+
+    def test_swallowed_broad_exception_flagged(self):
+        src = """
+        def f():
+            try:
+                g()
+            except Exception:
+                result = None
+        """
+        assert "R005" in rule_ids(src, select=["R005"])
+
+    def test_reraise_clean(self):
+        src = """
+        def f():
+            try:
+                g()
+            except InvariantViolation as exc:
+                raise RuntimeError("invariant broke") from exc
+        """
+        assert rule_ids(src, select=["R005"]) == []
+
+    def test_logging_handler_clean(self):
+        src = """
+        def f(log):
+            try:
+                g()
+            except Exception as exc:
+                log.warning("step failed: %s", exc)
+        """
+        assert rule_ids(src, select=["R005"]) == []
+
+    def test_precise_exception_clean(self):
+        src = """
+        def f(d):
+            try:
+                return d["k"]
+            except KeyError:
+                return None
+        """
+        assert rule_ids(src, select=["R005"]) == []
+
+
+# ---------------------------------------------------------------------------
+# R006 — __all__ consistency
+# ---------------------------------------------------------------------------
+
+
+class TestR006Exports:
+    def test_undefined_name_in_all_flagged(self):
+        src = """
+        __all__ = ["missing"]
+        def present():
+            return 1
+        """
+        findings = findings_for(src, select=["R006"])
+        assert any("missing" in f.message for f in findings)
+
+    def test_public_def_not_listed_flagged(self):
+        src = """
+        __all__ = ["listed"]
+        def listed():
+            return 1
+        def leaked():
+            return 2
+        """
+        findings = findings_for(src, select=["R006"])
+        assert any("leaked" in f.message for f in findings)
+
+    def test_missing_all_with_public_defs_flagged(self):
+        src = """
+        def public_thing():
+            return 1
+        """
+        assert "R006" in rule_ids(src, select=["R006"])
+
+    def test_consistent_module_clean(self):
+        src = """
+        __all__ = ["Thing", "make_thing"]
+        class Thing:
+            pass
+        def make_thing():
+            return Thing()
+        def _private():
+            return None
+        """
+        assert rule_ids(src, select=["R006"]) == []
+
+    def test_reexport_via_import_clean(self):
+        src = """
+        from repro.grid.rect import Rect
+        __all__ = ["Rect"]
+        """
+        assert rule_ids(src, select=["R006"]) == []
+
+    def test_dynamic_all_ignored(self):
+        src = """
+        __all__ = [n for n in dir() if not n.startswith("_")]
+        def public_thing():
+            return 1
+        """
+        assert rule_ids(src, select=["R006"]) == []
+
+
+# ---------------------------------------------------------------------------
+# engine mechanics: suppression, selection, parse errors, reporting
+# ---------------------------------------------------------------------------
+
+
+class TestSuppression:
+    def test_line_suppression(self):
+        src = """
+        def f(t: float):
+            return t == 0.0  # reprolint: disable=R002
+        """
+        report = lint_source(
+            textwrap.dedent(src), module="repro.core.snippet", select=["R002"]
+        )
+        assert report.ok
+        assert report.suppressed == 1
+
+    def test_suppression_of_other_rule_does_not_hide(self):
+        src = """
+        def f(t: float):
+            return t == 0.0  # reprolint: disable=R001
+        """
+        assert "R002" in rule_ids(src)
+
+    def test_disable_all(self):
+        src = """
+        def f(t: float):
+            return t == 0.0  # reprolint: disable=all
+        """
+        assert rule_ids(src, select=["R001", "R002"]) == []
+
+    def test_multiple_ids(self):
+        src = """
+        import random  # reprolint: disable=R001,R006
+        """
+        assert rule_ids(src) == []
+
+
+class TestEngine:
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError, match="unknown rule id"):
+            get_rules(["R999"])
+
+    def test_selection_runs_only_selected(self):
+        report = lint_source("import random\n", module="repro.core.snippet", select=["R002"])
+        assert report.ok
+
+    def test_parse_error_reported_as_r000(self):
+        report = LintEngine().check_source("def broken(:\n", module="repro.core.snippet")
+        assert [f.rule_id for f in report.findings] == ["R000"]
+
+    def test_run_over_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "core"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("def f(t: float):\n    return t == 0.0\n")
+        (pkg / "good.py").write_text("__all__ = []\n")
+        report = lint_paths([tmp_path])
+        assert report.files_checked == 2
+        assert any(f.rule_id == "R002" for f in report.findings)
+        # module names derived from the path: the file is in repro.core
+        assert any("bad.py" in f.path for f in report.findings)
+
+    def test_missing_path_raises(self):
+        with pytest.raises(FileNotFoundError):
+            lint_paths(["/nonexistent/reprolint/target"])
+
+    def test_every_rule_has_id_severity_and_hint(self):
+        seen = set()
+        for cls in ALL_RULES:
+            assert cls.rule_id.startswith("R") and len(cls.rule_id) == 4
+            assert cls.rule_id not in seen
+            seen.add(cls.rule_id)
+            assert isinstance(cls.severity, Severity)
+            assert cls.summary
+            assert cls.fix_hint
+
+
+class TestReporting:
+    def _dirty_report(self):
+        return lint_source(
+            "def f(t: float):\n    return t == 0.0\n",
+            module="repro.core.snippet",
+            select=["R002"],
+        )
+
+    def test_text_format_has_location_and_rule(self):
+        text = format_text(self._dirty_report())
+        assert "R002" in text
+        assert ":2:" in text
+        assert "hint:" in text
+
+    def test_text_format_clean_summary(self):
+        report = lint_source("__all__ = []\n", module="repro.core.snippet")
+        assert "clean" in format_text(report)
+
+    def test_json_format_round_trips(self):
+        payload = json.loads(format_json(self._dirty_report()))
+        assert payload["summary"]["n_findings"] == 1
+        assert payload["findings"][0]["rule"] == "R002"
+        assert payload["findings"][0]["line"] == 2
+        assert payload["summary"]["ok"] is False
+
+    def test_rule_table_lists_all_rules(self):
+        table = format_rule_table()
+        for cls in ALL_RULES:
+            assert cls.rule_id in table
+
+
+# ---------------------------------------------------------------------------
+# the self-test and the CLI gate
+# ---------------------------------------------------------------------------
+
+
+class TestSelfTest:
+    def test_src_tree_is_clean(self):
+        report = lint_paths([SRC])
+        assert report.files_checked > 70
+        details = "\n".join(
+            f"{f.location()}: {f.rule_id} {f.message}" for f in report.findings
+        )
+        assert report.ok, f"reprolint findings in src/:\n{details}"
+
+
+class TestCli:
+    def _run(self, *args):
+        return subprocess.run(
+            [sys.executable, "-m", "repro", "lint", *args],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(SRC.parent), "PATH": "/usr/bin:/bin"},
+        )
+
+    def test_clean_tree_exits_zero(self):
+        proc = self._run(str(SRC / "grid"))
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        assert "clean" in proc.stdout
+
+    def test_seeded_violation_exits_nonzero(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("def f(t: float):\n    return t == 0.0\n")
+        proc = self._run(str(tmp_path))
+        assert proc.returncode == 1
+        assert "R002" in proc.stdout
+        assert "bad.py:2:" in proc.stdout
+
+    def test_json_output(self, tmp_path):
+        bad = tmp_path / "src" / "repro" / "core" / "bad.py"
+        bad.parent.mkdir(parents=True)
+        bad.write_text("import random\n")
+        proc = self._run(str(tmp_path), "--format", "json")
+        payload = json.loads(proc.stdout)
+        assert payload["summary"]["ok"] is False
+        assert payload["findings"][0]["rule"] == "R001"
+
+    def test_list_rules(self):
+        proc = self._run("--list-rules")
+        assert proc.returncode == 0
+        assert "R001" in proc.stdout and "R006" in proc.stdout
+
+    def test_bad_select_exits_two(self):
+        proc = self._run(str(SRC / "grid"), "--select", "R999")
+        assert proc.returncode == 2

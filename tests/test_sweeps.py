@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core import DiffusionStrategy, ScratchStrategy
-from repro.experiments.sweeps import Sweep, SweepRecord, improvement_sweep
+from repro.experiments.sweeps import Sweep, improvement_sweep
 from repro.experiments.workloads import synthetic_workload
 
 

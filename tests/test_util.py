@@ -103,20 +103,37 @@ class TestPercent:
 class TestValidation:
     def test_check_positive(self):
         check_positive("x", 1)
-        with pytest.raises(ValueError):
+        check_positive("x", 0.5)
+        with pytest.raises(ValueError, match="x must be positive, got 0"):
             check_positive("x", 0)
+        with pytest.raises(ValueError):
+            check_positive("x", -3.5)
+        with pytest.raises(ValueError):  # NaN is not > 0
+            check_positive("x", float("nan"))
 
     def test_check_non_negative(self):
         check_non_negative("x", 0)
-        with pytest.raises(ValueError):
+        check_non_negative("x", 2.5)
+        with pytest.raises(ValueError, match="x must be non-negative, got -1"):
             check_non_negative("x", -1)
+        with pytest.raises(ValueError):  # NaN is not >= 0
+            check_non_negative("x", float("nan"))
 
     def test_check_in_range(self):
         check_in_range("x", 5, 0, 10)
-        with pytest.raises(ValueError):
+        check_in_range("x", 0, 0, 10)  # bounds are inclusive
+        check_in_range("x", 10, 0, 10)
+        with pytest.raises(ValueError, match=r"x must be in \[0, 10\], got 11"):
             check_in_range("x", 11, 0, 10)
+        with pytest.raises(ValueError):
+            check_in_range("x", -0.1, 0, 10)
 
     def test_check_type(self):
         check_type("x", 5, int)
-        with pytest.raises(TypeError):
+        check_type("x", "s", (int, str))
+        with pytest.raises(TypeError, match="x must be int, got str"):
+            check_type("x", "s", int)
+
+    def test_check_type_names_all_alternatives(self):
+        with pytest.raises(TypeError, match="x must be int or float, got str"):
             check_type("x", "s", (int, float))
