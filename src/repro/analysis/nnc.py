@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from statistics import fmean
 
 from repro.analysis.records import SubdomainSummary
+from repro.obs import get_recorder
 
 __all__ = ["NNCConfig", "nearest_neighbour_clustering", "simple_two_hop_clustering"]
 
@@ -85,33 +86,34 @@ def nearest_neighbour_clustering(
     elements that survive the thresholds need to obey the ordering.
     """
     config = config or NNCConfig()
-    clusters: list[list[SubdomainSummary]] = []
-    last_accepted: SubdomainSummary | None = None
-    for element in qcloudinfo:
-        if not _passes_thresholds(element, config):
-            continue
-        if last_accepted is not None and last_accepted.qcloud < element.qcloud:
-            raise ValueError(
-                "qcloudinfo must be sorted in non-increasing QCLOUD order "
-                "(Algorithm 1 sorts before clustering)"
-            )
-        last_accepted = element
-        placed = False
-        # 1-hop ring first, then 2-hop — never 2-hop before 1-hop.
-        for hop in range(1, config.max_hops + 1):
-            for cluster in clusters:
-                if any(
-                    _distance_ok(element, member, cluster, hop, config.mean_deviation)
-                    for member in cluster
-                ):
-                    cluster.append(element)
-                    placed = True
+    with get_recorder().span("analysis.nnc", n_elements=len(qcloudinfo)):
+        clusters: list[list[SubdomainSummary]] = []
+        last_accepted: SubdomainSummary | None = None
+        for element in qcloudinfo:
+            if not _passes_thresholds(element, config):
+                continue
+            if last_accepted is not None and last_accepted.qcloud < element.qcloud:
+                raise ValueError(
+                    "qcloudinfo must be sorted in non-increasing QCLOUD order "
+                    "(Algorithm 1 sorts before clustering)"
+                )
+            last_accepted = element
+            placed = False
+            # 1-hop ring first, then 2-hop — never 2-hop before 1-hop.
+            for hop in range(1, config.max_hops + 1):
+                for cluster in clusters:
+                    if any(
+                        _distance_ok(element, member, cluster, hop, config.mean_deviation)
+                        for member in cluster
+                    ):
+                        cluster.append(element)
+                        placed = True
+                        break
+                if placed:
                     break
-            if placed:
-                break
-        if not placed:
-            clusters.append([element])
-    return clusters
+            if not placed:
+                clusters.append([element])
+        return clusters
 
 
 def simple_two_hop_clustering(

@@ -25,6 +25,7 @@ from repro.grid.block import split_evenly
 from repro.grid.procgrid import ProcessorGrid
 from repro.grid.rect import Rect
 from repro.mpisim.comm import SimComm
+from repro.obs import get_recorder
 
 __all__ = ["PDAConfig", "PDAResult", "parallel_data_analysis"]
 
@@ -108,31 +109,34 @@ def parallel_data_analysis(
             f"communicator size {comm.Get_size()} != n_analysis {n_analysis}"
         )
 
-    buckets = _assign_files(files, sim_grid, n_analysis)
+    with get_recorder().span(
+        "analysis.pda", n_files=len(files), n_analysis=n_analysis
+    ):
+        buckets = _assign_files(files, sim_grid, n_analysis)
 
-    # Per-rank analysis (Algorithm 1, lines 3–9).  An analysis rank only
-    # reports subdomains containing any low-OLR area — "some of the split
-    # files may not have regions with OLR <= 200, in which case the process
-    # owning these split files will send fewer than k values".
-    def analyse(rank: int) -> list[SubdomainSummary]:
-        out = []
-        for f in buckets[rank]:
-            summary = f.summarise(config.olr_threshold)
-            if summary.olr_fraction > 0:
-                out.append(summary)
-        return out
+        # Per-rank analysis (Algorithm 1, lines 3–9).  An analysis rank only
+        # reports subdomains containing any low-OLR area — "some of the split
+        # files may not have regions with OLR <= 200, in which case the
+        # process owning these split files will send fewer than k values".
+        def analyse(rank: int) -> list[SubdomainSummary]:
+            out = []
+            for f in buckets[rank]:
+                summary = f.summarise(config.olr_threshold)
+                if summary.olr_fraction > 0:
+                    out.append(summary)
+            return out
 
-    per_rank = comm.run(analyse)
+        per_rank = comm.run(analyse)
 
-    # Root gather (line 11) + sort (line 13) + NNC (line 14) + rectangles.
-    gathered = comm.gather(per_rank, root=0)
-    assert gathered is not None
-    qcloudinfo = sorted(gathered, key=lambda s: -s.qcloud)
-    clusters = nearest_neighbour_clustering(qcloudinfo, config.nnc)
-    rectangles = clusters_to_rectangles(clusters, config.min_roi_area)
-    return PDAResult(
-        rectangles=rectangles,
-        clusters=clusters,
-        summaries=qcloudinfo,
-        gathered_items=len(gathered),
-    )
+        # Root gather (line 11) + sort (line 13) + NNC (line 14) + rectangles.
+        gathered = comm.gather(per_rank, root=0)
+        assert gathered is not None
+        qcloudinfo = sorted(gathered, key=lambda s: -s.qcloud)
+        clusters = nearest_neighbour_clustering(qcloudinfo, config.nnc)
+        rectangles = clusters_to_rectangles(clusters, config.min_roi_area)
+        return PDAResult(
+            rectangles=rectangles,
+            clusters=clusters,
+            summaries=qcloudinfo,
+            gathered_items=len(gathered),
+        )

@@ -23,6 +23,18 @@ from collections.abc import Sequence
 __all__ = ["main", "build_parser"]
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree's."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        import repro
+
+        return str(getattr(repro, "__version__", "unknown"))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -31,6 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Strategy for Tracking Multiple Dynamically Varying Weather "
             "Phenomena' (ICPP 2013)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -105,8 +120,8 @@ def build_parser() -> argparse.ArgumentParser:
         description=(
             "Domain-aware static analysis: seeded-RNG policy, float-equality "
             "bans in cost paths, allocation immutability, validation coverage, "
-            "exception hygiene and __all__ consistency.  Exits non-zero when "
-            "any finding remains."
+            "exception hygiene, __all__ consistency and clock-read "
+            "centralisation.  Exits non-zero when any finding remains."
         ),
     )
     p.add_argument(
@@ -121,7 +136,87 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--no-hints", action="store_true", help="omit fix hints (text format)")
     p.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+
+    p = sub.add_parser(
+        "bench",
+        help="run the pinned performance-baseline suite",
+        description=(
+            "Times the reproduction's hot phases (PDA+NNC, tree edits, "
+            "transfer matrices, network simulation, data-plane round trip, "
+            "end-to-end comparison) on pinned inputs and writes per-phase "
+            "median/p95 statistics as JSON."
+        ),
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="smaller machine and fewer repeats (CI-friendly)",
+    )
+    p.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="timed repeats per phase (default: 3 quick, 5 full)",
+    )
+    p.add_argument(
+        "--output",
+        default=None,
+        help="baseline JSON path (default: BENCH_baseline.json)",
+    )
+    p.add_argument(
+        "--phases",
+        nargs="+",
+        default=None,
+        help="subset of phase names to run (default: all)",
+    )
+    p.add_argument(
+        "--trace",
+        default=None,
+        help="also write a Chrome trace-event JSON of one instrumented "
+        "comparison run to this path",
+    )
     return parser
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.obs.bench import (
+        DEFAULT_BASELINE_PATH,
+        format_bench,
+        run_bench,
+        write_baseline,
+    )
+
+    try:
+        result = run_bench(
+            quick=args.quick,
+            repeats=args.repeats,
+            phases=args.phases,
+            progress=lambda name: print(f"  timing {name} ...", file=sys.stderr),
+        )
+    except ValueError as exc:
+        print(f"repro bench: {exc}", file=sys.stderr)
+        return 2
+    print(format_bench(result))
+    path = args.output or DEFAULT_BASELINE_PATH
+    write_baseline(result, path)
+    print(f"\nbaseline -> {path}")
+    if args.trace:
+        from repro.obs import InMemoryRecorder, use_recorder, write_chrome_trace
+
+        recorder = InMemoryRecorder()
+        with use_recorder(recorder):
+            from repro.core import DiffusionStrategy
+            from repro.experiments import synthetic_workload
+            from repro.experiments.runner import ExperimentContext, run_workload
+            from repro.topology import MACHINES
+
+            ctx = ExperimentContext(MACHINES["bgl-256"])
+            run_workload(
+                synthetic_workload(seed=0, n_steps=10), DiffusionStrategy(), ctx
+            )
+        write_chrome_trace(recorder, args.trace)
+        print(f"chrome trace -> {args.trace}")
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -392,6 +487,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_sweep(args)
     elif cmd == "lint":
         return _cmd_lint(args)
+    elif cmd == "bench":
+        return _cmd_bench(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {cmd!r}")
     return 0

@@ -30,6 +30,7 @@ from repro.core.allocation import Allocation
 from repro.grid.block import BlockDecomposition
 from repro.grid.overlap import TransferMatrix, transfer_matrix
 from repro.grid.rect import Rect
+from repro.obs import get_recorder
 from repro.util.validation import check_positive
 
 __all__ = ["RankStore", "scatter_nest", "execute_redistribution", "gather_nest"]
@@ -106,19 +107,20 @@ def scatter_nest(
     if field_data.ndim != 2:
         raise ValueError(f"field_data must be 2-D (ny, nx), got shape {field_data.shape}")
     ny, nx = field_data.shape
-    decomp = allocation.decomposition(nest_id, nx, ny)
-    rect = allocation.rect_of(nest_id)
-    for j in range(rect.h):
-        for i in range(rect.w):
-            blk = decomp.block_of(i, j)
-            rank = allocation.grid.rank(rect.x0 + i, rect.y0 + j)
-            store.put(
-                rank,
-                nest_id,
-                field_data[blk.y0 : blk.y1, blk.x0 : blk.x1].copy(),
-                blk,
-            )
-    return decomp
+    with get_recorder().span("dataplane.scatter", nest=nest_id):
+        decomp = allocation.decomposition(nest_id, nx, ny)
+        rect = allocation.rect_of(nest_id)
+        for j in range(rect.h):
+            for i in range(rect.w):
+                blk = decomp.block_of(i, j)
+                rank = allocation.grid.rank(rect.x0 + i, rect.y0 + j)
+                store.put(
+                    rank,
+                    nest_id,
+                    field_data[blk.y0 : blk.y1, blk.x0 : blk.x1].copy(),
+                    blk,
+                )
+        return decomp
 
 
 def execute_redistribution(
@@ -138,6 +140,19 @@ def execute_redistribution(
     """
     check_positive("nx", nx)
     check_positive("ny", ny)
+    with get_recorder().span("dataplane.redistribute", nest=nest_id):
+        return _execute(store, nest_id, old, new, nx, ny)
+
+
+def _execute(
+    store: RankStore,
+    nest_id: int,
+    old: Allocation,
+    new: Allocation,
+    nx: int,
+    ny: int,
+) -> TransferMatrix:
+    """The data movement of :func:`execute_redistribution` (pre-validated)."""
     old_decomp = old.decomposition(nest_id, nx, ny)
     new_decomp = new.decomposition(nest_id, nx, ny)
     transfer = transfer_matrix(old_decomp, new_decomp, old.grid.px)
@@ -191,19 +206,20 @@ def gather_nest(store: RankStore, nest_id: int, nx: int, ny: int) -> np.ndarray:
     Raises :class:`ValueError` if the held blocks do not tile the nest
     exactly (a broken redistribution would be caught here).
     """
-    out = np.full((ny, nx), np.nan)
-    covered = 0
-    for rank in store.holders(nest_id):
-        block, rect = store.get(rank, nest_id)
-        region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
-        if not np.all(np.isnan(region)):
+    with get_recorder().span("dataplane.gather", nest=nest_id):
+        out = np.full((ny, nx), np.nan)
+        covered = 0
+        for rank in store.holders(nest_id):
+            block, rect = store.get(rank, nest_id)
+            region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
+            if not np.all(np.isnan(region)):
+                raise ValueError(
+                    f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
+                )
+            out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
+            covered += rect.area
+        if covered != nx * ny or np.isnan(out).any():
             raise ValueError(
-                f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
+                f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
             )
-        out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
-        covered += rect.area
-    if covered != nx * ny or np.isnan(out).any():
-        raise ValueError(
-            f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
-        )
-    return out
+        return out

@@ -18,6 +18,7 @@ from repro.core.redistribution import RedistributionPlan, plan_redistribution
 from repro.core.strategy import ReallocationStrategy
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
+from repro.obs import get_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.topology.machines import MachineSpec
 from repro.util.logging import get_logger
@@ -73,28 +74,39 @@ class ProcessorReallocator:
         for nid, (nx, ny) in nests.items():
             if nx < 1 or ny < 1:
                 raise ValueError(f"nest {nid} has invalid size {nx}x{ny}")
-        old = self.allocation
-        old_ids = set(old.rects) if old is not None else set()
-        weights = self.predictor.weights(nests, self.grid.nprocs)
-        new_alloc = self.strategy.reallocate(
-            old, weights, self.grid, nest_sizes=dict(nests)
-        )
-        plan: RedistributionPlan | None = None
-        if old is not None:
-            # Retained nests redistribute with their *new* size when the ROI
-            # moved: the paper redistributes the nest state onto the new
-            # rectangle; we conservatively use the current size for both
-            # decompositions (sizes of retained nests change slowly).
-            sizes = {**self.nest_sizes, **dict(nests)}
-            plan = plan_redistribution(
-                old,
-                new_alloc,
-                sizes,
-                self.machine,
-                self.cost,
-                self.simulator,
-                self.flow_level,
-            )
+        recorder = get_recorder()
+        recorder.gauge("realloc.n_nests", len(nests))
+        with recorder.span(
+            "realloc.step",
+            step=self.step_count,
+            strategy=self.strategy.name,
+            n_nests=len(nests),
+        ):
+            old = self.allocation
+            old_ids = set(old.rects) if old is not None else set()
+            with recorder.span("realloc.weights"):
+                weights = self.predictor.weights(nests, self.grid.nprocs)
+            with recorder.span("realloc.strategy", strategy=self.strategy.name):
+                new_alloc = self.strategy.reallocate(
+                    old, weights, self.grid, nest_sizes=dict(nests)
+                )
+            plan: RedistributionPlan | None = None
+            if old is not None:
+                # Retained nests redistribute with their *new* size when the
+                # ROI moved: the paper redistributes the nest state onto the
+                # new rectangle; we conservatively use the current size for
+                # both decompositions (sizes of retained nests change slowly).
+                sizes = {**self.nest_sizes, **dict(nests)}
+                with recorder.span("realloc.plan"):
+                    plan = plan_redistribution(
+                        old,
+                        new_alloc,
+                        sizes,
+                        self.machine,
+                        self.cost,
+                        self.simulator,
+                        self.flow_level,
+                    )
         self.allocation = new_alloc
         self.nest_sizes = dict(nests)
         self.step_count += 1

@@ -25,6 +25,7 @@ from repro.mpisim.alltoallv import (
 )
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
+from repro.obs import get_recorder
 from repro.perfmodel.redisttime import measure_redistribution_time
 from repro.topology.machines import MachineSpec
 
@@ -78,6 +79,7 @@ def plan_redistribution(
     data, exactly as in the paper.
     """
     simulator = simulator or NetworkSimulator(machine.mapping, cost)
+    recorder = get_recorder()
     retained = sorted(set(old.rects) & set(new.rects))
     moves: list[NestMove] = []
     per_nest_msgs: list[MessageSet] = []
@@ -87,23 +89,25 @@ def plan_redistribution(
         if nid not in nest_sizes:
             raise KeyError(f"no size recorded for retained nest {nid}")
         nx, ny = nest_sizes[nid]
-        t = transfer_matrix(
-            old.decomposition(nid, nx, ny),
-            new.decomposition(nid, nx, ny),
-            old.grid.px,
-        )
-        msgs = messages_from_transfer(t, cost.bytes_per_point)
+        with recorder.span("redist.transfer_matrix", nest=nid):
+            t = transfer_matrix(
+                old.decomposition(nid, nx, ny),
+                new.decomposition(nid, nx, ny),
+                old.grid.px,
+            )
+            msgs = messages_from_transfer(t, cost.bytes_per_point)
         moves.append(NestMove(nest_id=nid, transfer=t, messages=msgs))
         per_nest_msgs.append(msgs)
         total_points += t.total_points
         local_points += t.local_points
 
-    all_msgs = MessageSet.concat(per_nest_msgs)
-    hb_total, hb_avg = hop_bytes(all_msgs, machine.mapping)
-    predicted = sum(
-        predict_alltoallv_time(m, machine, cost) for m in per_nest_msgs
-    )
-    measured = measure_redistribution_time(per_nest_msgs, simulator, flow_level)
+    with recorder.span("redist.cost", n_moves=len(moves)):
+        all_msgs = MessageSet.concat(per_nest_msgs)
+        hb_total, hb_avg = hop_bytes(all_msgs, machine.mapping)
+        predicted = sum(
+            predict_alltoallv_time(m, machine, cost) for m in per_nest_msgs
+        )
+        measured = measure_redistribution_time(per_nest_msgs, simulator, flow_level)
     overlap = local_points / total_points if total_points else 1.0
     return RedistributionPlan(
         moves=moves,

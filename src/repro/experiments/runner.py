@@ -21,6 +21,7 @@ from repro.core.scratch import ScratchStrategy
 from repro.core.diffusion import DiffusionStrategy
 from repro.experiments.workloads import Workload
 from repro.mpisim.costmodel import CostModel
+from repro.obs import Recorder, Timeline, get_recorder, use_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.perfmodel.groundtruth import ExecutionOracle
 from repro.perfmodel.profiles import ProfileTable
@@ -32,13 +33,19 @@ __all__ = ["RunResult", "ExperimentContext", "run_workload", "run_both_strategie
 
 @dataclass
 class ExperimentContext:
-    """Shared fixtures of one experiment: machine, oracle, predictor, cost."""
+    """Shared fixtures of one experiment: machine, oracle, predictor, cost.
+
+    ``recorder`` opts the run into telemetry: when set, every workload
+    driven through this context records its spans there (the ambient
+    recorder is used otherwise, which defaults to the no-op one).
+    """
 
     machine: MachineSpec
     oracle: ExecutionOracle = field(default_factory=ExecutionOracle)
     cost: CostModel | None = None
     predictor: ExecTimePredictor | None = None
     profile_seed: int = 1234
+    recorder: Recorder | None = None
 
     def __post_init__(self) -> None:
         if self.cost is None:
@@ -109,38 +116,44 @@ def run_workload(
     rng = make_rng(exec_noise_seed)
     metrics: list[StepMetrics] = []
     allocations: list[Allocation] = []
-    for i, nests in enumerate(workload.steps):
-        result = realloc.step(nests)
-        alloc = result.allocation
-        plan = result.plan
-        exec_pred = (
-            max(
-                context.predictor.predict(nx, ny, alloc.rects[nid].area)
-                for nid, (nx, ny) in nests.items()
+    recorder = context.recorder if context.recorder is not None else get_recorder()
+    timeline = Timeline(recorder)
+    with use_recorder(recorder):
+        for i, nests in enumerate(workload.steps):
+            with timeline.adaptation_point(
+                step=i, strategy=strategy.name, n_nests=len(nests)
+            ):
+                result = realloc.step(nests)
+                alloc = result.allocation
+                plan = result.plan
+                exec_pred = (
+                    max(
+                        context.predictor.predict(nx, ny, alloc.rects[nid].area)
+                        for nid, (nx, ny) in nests.items()
+                    )
+                    if nests
+                    else 0.0
+                )
+                exec_actual = _actual_exec_time(alloc, nests, context.oracle, rng)
+            choice = ""
+            if isinstance(strategy, DynamicStrategy) and strategy.history:
+                choice = strategy.history[-1].chosen
+            metrics.append(
+                StepMetrics(
+                    step=i,
+                    n_nests=len(nests),
+                    n_retained=len(result.retained),
+                    predicted_redist=plan.predicted_time if plan else 0.0,
+                    measured_redist=plan.measured_time if plan else 0.0,
+                    hop_bytes_avg=plan.hop_bytes_avg if plan else 0.0,
+                    hop_bytes_total=plan.hop_bytes_total if plan else 0.0,
+                    overlap_fraction=plan.overlap_fraction if plan else 1.0,
+                    exec_predicted=exec_pred,
+                    exec_actual=exec_actual,
+                    strategy_choice=choice,
+                )
             )
-            if nests
-            else 0.0
-        )
-        exec_actual = _actual_exec_time(alloc, nests, context.oracle, rng)
-        choice = ""
-        if isinstance(strategy, DynamicStrategy) and strategy.history:
-            choice = strategy.history[-1].chosen
-        metrics.append(
-            StepMetrics(
-                step=i,
-                n_nests=len(nests),
-                n_retained=len(result.retained),
-                predicted_redist=plan.predicted_time if plan else 0.0,
-                measured_redist=plan.measured_time if plan else 0.0,
-                hop_bytes_avg=plan.hop_bytes_avg if plan else 0.0,
-                hop_bytes_total=plan.hop_bytes_total if plan else 0.0,
-                overlap_fraction=plan.overlap_fraction if plan else 1.0,
-                exec_predicted=exec_pred,
-                exec_actual=exec_actual,
-                strategy_choice=choice,
-            )
-        )
-        allocations.append(alloc)
+            allocations.append(alloc)
     return RunResult(
         workload=workload.name,
         strategy=strategy.name,

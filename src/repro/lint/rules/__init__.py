@@ -12,6 +12,7 @@ from repro.lint.rules.exports import AllConsistencyRule
 from repro.lint.rules.floatcmp import FloatEqualityRule
 from repro.lint.rules.mutation import AllocationMutationRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
+from repro.lint.rules.timing import DirectTimingRule
 from repro.lint.rules.validation import MissingValidationRule
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "MissingValidationRule",
     "ExceptionHygieneRule",
     "AllConsistencyRule",
+    "DirectTimingRule",
     "ALL_RULES",
     "get_rules",
 ]
@@ -37,6 +39,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MissingValidationRule,
     ExceptionHygieneRule,
     AllConsistencyRule,
+    DirectTimingRule,
 )
 
 

@@ -24,6 +24,7 @@ import numpy as np
 
 from repro.mpisim.alltoallv import MessageSet
 from repro.mpisim.costmodel import CostModel
+from repro.obs import get_recorder
 from repro.topology.mapping import ProcessMapping
 
 __all__ = ["NetworkSimulator"]
@@ -64,6 +65,7 @@ class NetworkSimulator:
         key = (src_rank, dst_rank)
         cached = self._route_cache.get(key)
         if cached is None:
+            get_recorder().count("netsim.route_cache_miss")
             table = self.mapping.table
             src, dst = int(table[src_rank]), int(table[dst_rank])
             if self.adaptive_routing:
@@ -75,6 +77,10 @@ class NetworkSimulator:
                 self._route_cache.clear()  # simple full flush; hits dominate
             self._route_cache[key] = cached
         return cached
+
+    def clear_route_cache(self) -> None:
+        """Drop every memoised route (cold-cache benchmarking)."""
+        self._route_cache.clear()
 
     def _routes(self, messages: MessageSet) -> list[list[int]]:
         """Physical route (link ids) of every message."""
@@ -125,9 +131,10 @@ class NetworkSimulator:
         """
         if len(messages) == 0:
             return 0.0
-        loads = self.link_loads(messages)
-        wire = max(loads.values()) * self.cost.beta if loads else 0.0
-        return wire + self._endpoint_overhead(messages, include_floor)
+        with get_recorder().span("netsim.bottleneck", n_messages=len(messages)):
+            loads = self.link_loads(messages)
+            wire = max(loads.values()) * self.cost.beta if loads else 0.0
+            return wire + self._endpoint_overhead(messages, include_floor)
 
     # ------------------------------------------------------------------
 
@@ -142,6 +149,11 @@ class NetworkSimulator:
         nflows = len(messages)
         if nflows == 0:
             return 0.0
+        with get_recorder().span("netsim.flow", n_messages=nflows):
+            return self._flow_time(messages, max_epochs)
+
+    def _flow_time(self, messages: MessageSet, max_epochs: int | None) -> float:
+        nflows = len(messages)
         routes = self._routes(messages)
         # Compact link ids.
         link_ids = sorted({l for r in routes for l in r})

@@ -1,0 +1,89 @@
+"""repro.obs — the telemetry subsystem (spans, counters, trace export).
+
+The library's only performance surface: nestable timed spans and
+counters/gauges behind a :class:`~repro.obs.recorder.Recorder` protocol
+(default: a true no-op), a per-adaptation-point
+:class:`~repro.obs.timeline.Timeline`, exporters (Chrome trace-event
+JSON, flat metrics snapshot, text report), and the ``repro bench``
+pinned perf-baseline suite.
+
+Quick start::
+
+    from repro.obs import InMemoryRecorder, format_report, use_recorder
+
+    rec = InMemoryRecorder()
+    with use_recorder(rec):
+        run_workload(workload, strategy, context)
+    print(format_report(rec))
+
+See ``docs/observability.md`` for the span API and the bench workflow.
+This package (and only this package) may read raw clocks — reprolint
+rule R007 keeps ``time.perf_counter()``/``time.time()`` out of the rest
+of the library.
+"""
+
+from __future__ import annotations
+
+from repro.obs.bench import (
+    BenchPhase,
+    BenchResult,
+    bench_phases,
+    format_bench,
+    run_bench,
+    write_baseline,
+)
+from repro.obs.export import (
+    chrome_trace,
+    format_report,
+    metrics_snapshot,
+    write_chrome_trace,
+)
+from repro.obs.recorder import (
+    NULL_RECORDER,
+    InMemoryRecorder,
+    NullRecorder,
+    Recorder,
+    SpanRecord,
+    TagValue,
+    get_recorder,
+    set_recorder,
+    use_recorder,
+)
+from repro.obs.stats import PhaseStats, percentile, summarise
+from repro.obs.timeline import (
+    ADAPTATION_SPAN,
+    Timeline,
+    per_step_phase_times,
+    phase_totals,
+    spans_with_tag,
+)
+
+__all__ = [
+    "ADAPTATION_SPAN",
+    "NULL_RECORDER",
+    "BenchPhase",
+    "BenchResult",
+    "InMemoryRecorder",
+    "NullRecorder",
+    "PhaseStats",
+    "Recorder",
+    "SpanRecord",
+    "TagValue",
+    "Timeline",
+    "bench_phases",
+    "chrome_trace",
+    "format_bench",
+    "format_report",
+    "get_recorder",
+    "metrics_snapshot",
+    "per_step_phase_times",
+    "percentile",
+    "phase_totals",
+    "run_bench",
+    "set_recorder",
+    "spans_with_tag",
+    "summarise",
+    "use_recorder",
+    "write_baseline",
+    "write_chrome_trace",
+]

@@ -1,0 +1,432 @@
+"""``repro bench`` — the pinned perf-baseline suite.
+
+Every phase is one hot path of the reproduction, set up once on pinned
+inputs (fixed seeds, fixed machine presets) and then timed over several
+repeats; the per-phase **median/p95** wall-clock stats land in
+``BENCH_baseline.json`` so any future change has a regression baseline
+to diff against (``repro bench`` again, compare the JSON).
+
+The suite covers the paper's whole latency argument end to end:
+
+==========================  ==================================================
+phase                       what it times
+==========================  ==================================================
+``analysis.pda``            Algorithm 1 + NNC over one step's split files
+``tree.scratch``            Huffman build + rectangle layout (§IV-A)
+``tree.diffusion``          Algorithm-3 tree edit + layout (§IV-B)
+``grid.transfer_matrix``    per-nest transfer-matrix construction
+``netsim.bottleneck``       contention-aware alltoallv timing
+``netsim.flow``             max-min-fair flow simulation
+``dataplane.roundtrip``     scatter → executed redistribution → gather
+``e2e.compare``             the ``repro compare`` path, scratch + diffusion
+==========================  ==================================================
+
+This module lives in ``repro.obs`` and is therefore allowed to read raw
+clocks (reprolint R007); every other module must report time through
+spans instead.  Heavyweight imports happen inside the phase setups so
+importing :mod:`repro.obs` stays cheap for instrumented hot paths.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.obs.stats import PhaseStats, summarise
+
+if TYPE_CHECKING:
+    from repro.core.allocation import Allocation
+    from repro.mpisim.alltoallv import MessageSet
+    from repro.mpisim.costmodel import CostModel
+    from repro.mpisim.netsim import NetworkSimulator
+    from repro.topology.machines import MachineSpec
+
+__all__ = [
+    "BENCH_SCHEMA",
+    "DEFAULT_BASELINE_PATH",
+    "BenchPhase",
+    "BenchResult",
+    "bench_phases",
+    "run_bench",
+    "format_bench",
+    "write_baseline",
+]
+
+BENCH_SCHEMA = 1
+DEFAULT_BASELINE_PATH = "BENCH_baseline.json"
+
+#: pinned inputs — changing any of these invalidates existing baselines
+_BENCH_SEED = 2005
+_FULL_MACHINE = "bgl-1024"
+_QUICK_MACHINE = "bgl-256"
+
+
+@dataclass(frozen=True)
+class BenchPhase:
+    """One benchmarkable hot path.
+
+    ``setup(quick)`` builds the pinned inputs once and returns the
+    zero-argument callable the harness times; setup cost is excluded
+    from the measurement.
+    """
+
+    name: str
+    description: str
+    setup: Callable[[bool], Callable[[], object]]
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """The outcome of one suite run."""
+
+    phases: dict[str, PhaseStats]
+    repeats: int
+    quick: bool
+    unix_time: float
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "schema": BENCH_SCHEMA,
+            "suite": "repro-bench",
+            "quick": self.quick,
+            "repeats": self.repeats,
+            "unix_time": self.unix_time,
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "phases": {name: st.to_dict() for name, st in sorted(self.phases.items())},
+        }
+
+
+# ---------------------------------------------------------------------------
+# phase setups (pinned inputs; heavyweight imports kept local)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _AllocationPair:
+    """Two consecutive pinned allocations plus the fixtures around them."""
+
+    machine: MachineSpec
+    cost: CostModel
+    simulator: NetworkSimulator
+    old: Allocation
+    new: Allocation
+    sizes: dict[int, tuple[int, int]]
+
+
+def _allocation_pair(quick: bool) -> _AllocationPair:
+    from repro.core import DiffusionStrategy, ProcessorReallocator
+    from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+    from repro.topology import MACHINES
+
+    machine = MACHINES[_QUICK_MACHINE if quick else _FULL_MACHINE]
+    predictor = ExecTimePredictor(ProfileTable(ExecutionOracle()))
+    realloc = ProcessorReallocator(machine, DiffusionStrategy(), predictor)
+    # pinned churn: nest 3 dies, 5 and 6 appear, and every retained nest
+    # changes size enough that its rectangle moves — the transfer matrices
+    # and message sets below are non-trivial on both machines
+    step1 = {1: (120, 120), 2: (90, 150), 3: (60, 60), 4: (150, 96)}
+    step2 = {1: (60, 60), 2: (180, 150), 4: (90, 60), 5: (150, 150), 6: (78, 84)}
+    old = realloc.step(step1).allocation
+    new = realloc.step(step2).allocation
+    return _AllocationPair(
+        machine=machine,
+        cost=realloc.cost,
+        simulator=realloc.simulator,
+        old=old,
+        new=new,
+        sizes={**step1, **step2},
+    )
+
+
+def _setup_pda(quick: bool) -> Callable[[], object]:
+    from repro.analysis import PDAConfig, parallel_data_analysis
+    from repro.wrf import WrfLikeModel, mumbai_2005_scenario
+
+    warmup_steps = 6 if quick else 14
+    scenario = mumbai_2005_scenario(seed=_BENCH_SEED, n_steps=warmup_steps + 2)
+    model = WrfLikeModel(
+        scenario.config, scenario.birth_fn, scenario.initial_systems
+    )
+    for _ in range(warmup_steps):
+        model.step()
+    files = model.write_split_files()
+    sim_grid = scenario.config.sim_grid
+    n_analysis = 16 if quick else 64
+    config = PDAConfig()
+
+    def run() -> object:
+        return parallel_data_analysis(files, sim_grid, n_analysis, config)
+
+    return run
+
+
+def _bench_weights(n: int) -> dict[int, float]:
+    """A pinned, irregular weight set (no RNG needed)."""
+    return {i: 1.0 + float((i * 37) % 13) for i in range(n)}
+
+
+def _setup_tree_scratch(quick: bool) -> Callable[[], object]:
+    from repro.grid.rect import Rect
+    from repro.tree import build_huffman, layout_tree
+
+    weights = _bench_weights(10 if quick else 24)
+    region = Rect(0, 0, 32, 32)
+
+    def run() -> object:
+        return layout_tree(build_huffman(weights), region)
+
+    return run
+
+
+def _setup_tree_diffusion(quick: bool) -> Callable[[], object]:
+    from repro.grid.rect import Rect
+    from repro.tree import build_huffman, diffusion_edit, layout_tree
+
+    n = 10 if quick else 24
+    weights = _bench_weights(n)
+    old = build_huffman(weights)
+    assert old is not None  # n >= 10 leaves
+    deleted = [0, 3]
+    retained = {i: w * 1.25 for i, w in weights.items() if i not in deleted}
+    new = {n: 3.0, n + 1: 1.5}
+    region = Rect(0, 0, 32, 32)
+
+    def run() -> object:
+        edited = diffusion_edit(old, deleted, retained, new)
+        return layout_tree(edited, region)
+
+    return run
+
+
+def _setup_transfer_matrix(quick: bool) -> Callable[[], object]:
+    from repro.grid.overlap import transfer_matrix
+
+    pair = _allocation_pair(quick)
+    old, new, sizes = pair.old, pair.new, pair.sizes
+    retained = sorted(set(old.rects) & set(new.rects))
+
+    def run() -> object:
+        return [
+            transfer_matrix(
+                old.decomposition(nid, *sizes[nid]),
+                new.decomposition(nid, *sizes[nid]),
+                old.grid.px,
+            )
+            for nid in retained
+        ]
+
+    return run
+
+
+def _message_fixture(quick: bool) -> tuple[NetworkSimulator, MessageSet]:
+    from repro.grid.overlap import transfer_matrix
+    from repro.mpisim.alltoallv import MessageSet, messages_from_transfer
+
+    pair = _allocation_pair(quick)
+    old, new, sizes = pair.old, pair.new, pair.sizes
+    per_nest = []
+    for nid in sorted(set(old.rects) & set(new.rects)):
+        t = transfer_matrix(
+            old.decomposition(nid, *sizes[nid]),
+            new.decomposition(nid, *sizes[nid]),
+            old.grid.px,
+        )
+        per_nest.append(messages_from_transfer(t, pair.cost.bytes_per_point))
+    return pair.simulator, MessageSet.concat(per_nest)
+
+
+def _setup_netsim_bottleneck(quick: bool) -> Callable[[], object]:
+    sim, msgs = _message_fixture(quick)
+
+    def run() -> object:
+        sim.clear_route_cache()  # time routing + contention, not cache hits
+        return sim.bottleneck_time(msgs)
+
+    return run
+
+
+def _setup_netsim_flow(quick: bool) -> Callable[[], object]:
+    sim, msgs = _message_fixture(True)  # flow sim is epoch-quadratic; keep small
+
+    def run() -> object:
+        return sim.flow_time(msgs)
+
+    return run
+
+
+def _setup_dataplane(quick: bool) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.core.dataplane import (
+        RankStore,
+        execute_redistribution,
+        gather_nest,
+        scatter_nest,
+    )
+
+    pair = _allocation_pair(quick)
+    old, new = pair.old, pair.new
+    nest_id = sorted(set(old.rects) & set(new.rects))[0]
+    nx, ny = pair.sizes[nest_id]
+    payload = np.arange(nx * ny, dtype=np.float64).reshape(ny, nx)
+    ncores = pair.machine.ncores
+
+    def run() -> object:
+        store = RankStore(ncores)
+        scatter_nest(store, nest_id, payload, old)
+        execute_redistribution(store, nest_id, old, new, nx, ny)
+        return gather_nest(store, nest_id, nx, ny)
+
+    return run
+
+
+def _setup_compare(quick: bool) -> Callable[[], object]:
+    from repro.core import DiffusionStrategy, ScratchStrategy
+    from repro.experiments import synthetic_workload
+    from repro.experiments.runner import ExperimentContext, run_workload
+    from repro.topology import MACHINES
+
+    context = ExperimentContext(MACHINES[_QUICK_MACHINE])
+    workload = synthetic_workload(seed=0, n_steps=6 if quick else 20)
+
+    def run() -> object:
+        scratch = run_workload(workload, ScratchStrategy(), context)
+        diffusion = run_workload(workload, DiffusionStrategy(), context)
+        return scratch.total("measured_redist"), diffusion.total("measured_redist")
+
+    return run
+
+
+def bench_phases() -> tuple[BenchPhase, ...]:
+    """The pinned suite, in dependency-layer order."""
+    return (
+        BenchPhase(
+            "analysis.pda",
+            "Algorithm 1 + NNC over one step's split files",
+            _setup_pda,
+        ),
+        BenchPhase(
+            "tree.scratch",
+            "Huffman build + rectangle layout",
+            _setup_tree_scratch,
+        ),
+        BenchPhase(
+            "tree.diffusion",
+            "Algorithm-3 diffusion edit + layout",
+            _setup_tree_diffusion,
+        ),
+        BenchPhase(
+            "grid.transfer_matrix",
+            "per-nest transfer-matrix construction",
+            _setup_transfer_matrix,
+        ),
+        BenchPhase(
+            "netsim.bottleneck",
+            "contention-aware alltoallv timing (cold route cache)",
+            _setup_netsim_bottleneck,
+        ),
+        BenchPhase(
+            "netsim.flow",
+            "max-min-fair flow simulation",
+            _setup_netsim_flow,
+        ),
+        BenchPhase(
+            "dataplane.roundtrip",
+            "scatter -> executed redistribution -> gather",
+            _setup_dataplane,
+        ),
+        BenchPhase(
+            "e2e.compare",
+            "the `repro compare` path, scratch + diffusion",
+            _setup_compare,
+        ),
+    )
+
+
+# ---------------------------------------------------------------------------
+# harness
+# ---------------------------------------------------------------------------
+
+
+def run_bench(
+    quick: bool = False,
+    repeats: int | None = None,
+    phases: Iterable[str] | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchResult:
+    """Run the suite and aggregate per-phase wall-clock stats.
+
+    Each phase is set up once, warmed up once (excluded), then timed
+    ``repeats`` times.  ``phases`` selects a subset by name; unknown
+    names raise ``ValueError``.
+    """
+    if repeats is None:
+        repeats = 3 if quick else 5
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    catalogue = {p.name: p for p in bench_phases()}
+    if phases is None:
+        selected = list(catalogue.values())
+    else:
+        wanted = list(phases)
+        unknown = [name for name in wanted if name not in catalogue]
+        if unknown:
+            raise ValueError(
+                f"unknown bench phase(s) {unknown}; known: {sorted(catalogue)}"
+            )
+        selected = [catalogue[name] for name in wanted]
+    results: dict[str, PhaseStats] = {}
+    for phase in selected:
+        if progress is not None:
+            progress(f"[{phase.name}] {phase.description}")
+        fn = phase.setup(quick)
+        fn()  # warm-up (caches, lazy imports, first-touch allocation)
+        durations: list[float] = []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            fn()
+            durations.append(time.perf_counter() - t0)
+        results[phase.name] = summarise(durations)
+    return BenchResult(
+        phases=results, repeats=repeats, quick=quick, unix_time=time.time()
+    )
+
+
+def write_baseline(
+    result: BenchResult, path: str | Path = DEFAULT_BASELINE_PATH
+) -> Path:
+    """Serialise ``result`` to JSON at ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(result.to_dict(), indent=2) + "\n", encoding="utf-8")
+    return out
+
+
+def format_bench(result: BenchResult) -> str:
+    """Human-readable per-phase stats table (milliseconds)."""
+    from repro.util.tables import format_table
+
+    rows = []
+    for name, st in sorted(result.phases.items()):
+        rows.append(
+            (
+                name,
+                str(st.count),
+                f"{st.median * 1e3:10.3f}",
+                f"{st.p95 * 1e3:10.3f}",
+                f"{st.min * 1e3:10.3f}",
+                f"{st.max * 1e3:10.3f}",
+            )
+        )
+    mode = "quick" if result.quick else "full"
+    return format_table(
+        ["phase", "repeats", "median ms", "p95 ms", "min ms", "max ms"],
+        rows,
+        title=f"repro bench ({mode} suite)",
+    )

@@ -1,0 +1,139 @@
+"""Exporters: Chrome trace-event JSON, flat metrics snapshot, text report.
+
+Three views of one :class:`~repro.obs.recorder.InMemoryRecorder`:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event format (balanced ``B``/``E`` duration events, microsecond
+  timestamps), loadable in Perfetto / ``chrome://tracing`` to see every
+  adaptation point's phase breakdown on a timeline;
+* :func:`metrics_snapshot` — a flat JSON-ready dict (per-phase duration
+  stats + counters + gauges) for machine-readable perf trajectories;
+* :func:`format_report` — the aggregated text table humans read after a
+  run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs.recorder import InMemoryRecorder
+from repro.obs.stats import summarise
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "metrics_snapshot",
+    "format_report",
+]
+
+
+def chrome_trace(recorder: InMemoryRecorder, process_name: str = "repro") -> dict[str, object]:
+    """The recording as a Chrome trace-event JSON document (dict form).
+
+    Every span becomes one ``B``/``E`` event pair on thread 0 with
+    microsecond timestamps relative to the recorder origin.  Events are
+    emitted in timestamp order; at equal timestamps ``E`` events come
+    first (innermost spans close before their parents) and ``B`` events
+    open parents before children, so the stream is always balanced and
+    properly nested for the viewer.
+    """
+    keyed: list[tuple[float, int, int, dict[str, object]]] = []
+    for span in recorder.spans:
+        begin_ts = span.start * 1e6
+        end_ts = span.end * 1e6
+        begin: dict[str, object] = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "B",
+            "ts": begin_ts,
+            "pid": 0,
+            "tid": 0,
+        }
+        if span.tags:
+            begin["args"] = dict(span.tags)
+        end: dict[str, object] = {
+            "name": span.name,
+            "cat": "repro",
+            "ph": "E",
+            "ts": end_ts,
+            "pid": 0,
+            "tid": 0,
+        }
+        # sort keys: E before B at ties; among Es deepest first, among Bs
+        # shallowest first — preserves nesting for zero-duration spans
+        keyed.append((begin_ts, 1, span.depth, begin))
+        keyed.append((end_ts, 0, -span.depth, end))
+    keyed.sort(key=lambda item: item[:3])
+    events: list[dict[str, object]] = [
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": 0,
+            "args": {"name": process_name},
+        }
+    ]
+    events.extend(item[3] for item in keyed)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    recorder: InMemoryRecorder, path: str | Path, process_name: str = "repro"
+) -> Path:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    out = Path(path)
+    out.write_text(json.dumps(chrome_trace(recorder, process_name)), encoding="utf-8")
+    return out
+
+
+def metrics_snapshot(recorder: InMemoryRecorder) -> dict[str, object]:
+    """A flat, JSON-ready snapshot of everything the recorder holds."""
+    names = sorted({s.name for s in recorder.spans})
+    spans = {
+        name: summarise(recorder.durations(name)).to_dict() for name in names
+    }
+    return {
+        "schema": 1,
+        "spans": spans,
+        "counters": dict(sorted(recorder.counters.items())),
+        "gauges": dict(sorted(recorder.gauges.items())),
+    }
+
+
+def format_report(recorder: InMemoryRecorder, title: str = "observed phases") -> str:
+    """Aggregated per-phase text report (milliseconds, like the paper)."""
+    from repro.util.tables import format_table
+
+    names = sorted({s.name for s in recorder.spans})
+    rows = []
+    for name in names:
+        st = summarise(recorder.durations(name))
+        rows.append(
+            (
+                name,
+                str(st.count),
+                f"{st.total * 1e3:10.3f}",
+                f"{st.median * 1e3:10.3f}",
+                f"{st.p95 * 1e3:10.3f}",
+                f"{st.max * 1e3:10.3f}",
+            )
+        )
+    parts = [
+        format_table(
+            ["phase", "count", "total ms", "median ms", "p95 ms", "max ms"],
+            rows,
+            title=title,
+        )
+    ]
+    if recorder.counters:
+        counter_rows = [
+            (name, f"{value:g}") for name, value in sorted(recorder.counters.items())
+        ]
+        parts.append(format_table(["counter", "value"], counter_rows))
+    if recorder.gauges:
+        gauge_rows = [
+            (name, f"{value:g}") for name, value in sorted(recorder.gauges.items())
+        ]
+        parts.append(format_table(["gauge", "last value"], gauge_rows))
+    return "\n\n".join(parts)

@@ -1,0 +1,73 @@
+"""Duration statistics shared by the exporters and ``repro bench``.
+
+Pure-python on purpose: the numbers feed regression baselines
+(``BENCH_baseline.json``), so the aggregation must be deterministic and
+free of dtype/platform variation.  Percentiles use linear interpolation
+between closest ranks (the same convention as ``numpy.percentile``'s
+default), which keeps medians exact for odd counts and intuitive for
+even ones.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+__all__ = ["PhaseStats", "percentile", "summarise"]
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0–100) of ``values``, linear interpolation."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return float(ordered[lo] * (1.0 - frac) + ordered[hi] * frac)
+
+
+@dataclass(frozen=True)
+class PhaseStats:
+    """Aggregate wall-clock statistics of one phase (seconds)."""
+
+    count: int
+    total: float
+    mean: float
+    median: float
+    p95: float
+    min: float
+    max: float
+
+    def to_dict(self) -> dict[str, float]:
+        """Flat JSON-ready mapping (counts included as floats-free ints)."""
+        return {
+            "count": self.count,
+            "total_s": self.total,
+            "mean_s": self.mean,
+            "median_s": self.median,
+            "p95_s": self.p95,
+            "min_s": self.min,
+            "max_s": self.max,
+        }
+
+
+def summarise(durations: Sequence[float]) -> PhaseStats:
+    """Aggregate a non-empty sequence of durations into :class:`PhaseStats`."""
+    if not durations:
+        raise ValueError("summarise needs at least one duration")
+    vals = [float(v) for v in durations]
+    return PhaseStats(
+        count=len(vals),
+        total=sum(vals),
+        mean=sum(vals) / len(vals),
+        median=percentile(vals, 50.0),
+        p95=percentile(vals, 95.0),
+        min=min(vals),
+        max=max(vals),
+    )

@@ -1,0 +1,74 @@
+"""The per-adaptation-point timeline over a recorder.
+
+The experiment runner wraps every adaptation point in
+:meth:`Timeline.adaptation_point`, which opens one umbrella span and
+*binds* the step index and strategy name as ambient tags — every nested
+span (strategy edit, layout, transfer matrices, network simulation, data
+plane) then carries ``step``/``strategy`` tags without the hot paths
+knowing about steps at all.  The aggregations below slice the recorded
+spans back into the per-step phase breakdowns the paper's Fig. 10–12
+arguments are made of, and let tests cross-check
+:class:`~repro.core.metrics.StepMetrics` against observed phase times.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.obs.recorder import InMemoryRecorder, Recorder, SpanRecord, TagValue
+
+__all__ = [
+    "ADAPTATION_SPAN",
+    "Timeline",
+    "per_step_phase_times",
+    "phase_totals",
+    "spans_with_tag",
+]
+
+#: name of the umbrella span opened around each adaptation point
+ADAPTATION_SPAN = "adaptation_point"
+
+
+@dataclass(frozen=True)
+class Timeline:
+    """Tags a recorder's spans with adaptation-point context."""
+
+    recorder: Recorder
+
+    @contextmanager
+    def adaptation_point(
+        self, step: int, strategy: str = "", **tags: TagValue
+    ) -> Iterator[None]:
+        """One adaptation point: umbrella span + ambient step/strategy tags."""
+        with self.recorder.bind(step=step, strategy=strategy):
+            with self.recorder.span(ADAPTATION_SPAN, **tags):
+                yield
+
+
+def spans_with_tag(recorder: InMemoryRecorder, key: str) -> list[SpanRecord]:
+    """Every recorded span carrying tag ``key``."""
+    return [s for s in recorder.spans if key in s.tags]
+
+
+def per_step_phase_times(
+    recorder: InMemoryRecorder,
+) -> dict[int, dict[str, float]]:
+    """``{step: {span name: summed seconds}}`` over all step-tagged spans."""
+    out: dict[int, dict[str, float]] = {}
+    for span in recorder.spans:
+        step = span.tags.get("step")
+        if not isinstance(step, int):
+            continue
+        phases = out.setdefault(step, {})
+        phases[span.name] = phases.get(span.name, 0.0) + span.duration
+    return out
+
+
+def phase_totals(recorder: InMemoryRecorder) -> dict[str, float]:
+    """``{span name: summed seconds}`` across the whole recording."""
+    out: dict[str, float] = {}
+    for span in recorder.spans:
+        out[span.name] = out.get(span.name, 0.0) + span.duration
+    return out

@@ -26,6 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
+from repro.obs import get_recorder
 from repro.tree.huffman import build_huffman
 from repro.tree.node import TreeNode
 
@@ -155,6 +156,25 @@ def diffusion_edit(
         if not w > 0:
             raise ValueError(f"nest {nid} has non-positive weight {w!r}")
 
+    with get_recorder().span(
+        "tree.diffusion_edit",
+        n_deleted=len(deleted),
+        n_retained=len(retained_weights),
+        n_new=len(new_weights),
+    ):
+        return _diffusion_edit(
+            oldtree, deleted, retained_weights, new_weights, insertion
+        )
+
+
+def _diffusion_edit(
+    oldtree: TreeNode,
+    deleted: list[int],
+    retained_weights: Mapping[int, float],
+    new_weights: Mapping[int, float],
+    insertion: str,
+) -> TreeNode | None:
+    """The edit steps of :func:`diffusion_edit` (pre-validated arguments)."""
     root = oldtree.clone()
 
     # 1. mark deleted leaves free, collapse sibling free slots

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Mapping, Sequence
 
+from repro.obs import get_recorder
 from repro.tree.node import TreeNode
 
 __all__ = ["build_huffman"]
@@ -56,29 +57,31 @@ def build_huffman(
     if not items:
         return None
 
-    # Heap entries: (weight, creation_seq, node).  Leaves enter in ascending
-    # (weight, nest_id) order so equal-weight leaves pop deterministically.
-    heap: list[tuple[float, int, TreeNode]] = []
-    seq = 0
-    seqs: dict[int, int] = {}
-    for nest_id, w in sorted(items, key=lambda kv: (kv[1], kv[0])):
-        node = TreeNode(w, nest_id=nest_id)
-        heap.append((w, seq, node))
-        seqs[id(node)] = seq
-        seq += 1
-    heapq.heapify(heap)
+    with get_recorder().span("tree.huffman", n_nests=len(items)):
+        # Heap entries: (weight, creation_seq, node).  Leaves enter in
+        # ascending (weight, nest_id) order so equal-weight leaves pop
+        # deterministically.
+        heap: list[tuple[float, int, TreeNode]] = []
+        seq = 0
+        seqs: dict[int, int] = {}
+        for nest_id, w in sorted(items, key=lambda kv: (kv[1], kv[0])):
+            node = TreeNode(w, nest_id=nest_id)
+            heap.append((w, seq, node))
+            seqs[id(node)] = seq
+            seq += 1
+        heapq.heapify(heap)
 
-    while len(heap) > 1:
-        wa, sa, a = heapq.heappop(heap)
-        wb, sb, b = heapq.heappop(heap)
-        if _left_first(a, b, sa, sb):
-            left, right = a, b
-        else:
-            left, right = b, a
-        merged = TreeNode(wa + wb, left=left, right=right)
-        heapq.heappush(heap, (merged.weight, seq, merged))
-        seq += 1
+        while len(heap) > 1:
+            wa, sa, a = heapq.heappop(heap)
+            wb, sb, b = heapq.heappop(heap)
+            if _left_first(a, b, sa, sb):
+                left, right = a, b
+            else:
+                left, right = b, a
+            merged = TreeNode(wa + wb, left=left, right=right)
+            heapq.heappush(heap, (merged.weight, seq, merged))
+            seq += 1
 
-    root = heap[0][2]
-    root.update_weights()
-    return root
+        root = heap[0][2]
+        root.update_weights()
+        return root

@@ -12,7 +12,11 @@ reproduces the paper's Table I exactly:
 
 Sides are integral, so a child's share is rounded; each child containing at
 least one leaf is guaranteed a non-empty rectangle with area at least its
-leaf count whenever geometrically possible.
+leaf count whenever geometrically possible.  Every cut is checked for
+*recursive* guillotine feasibility — a skewed tree (say one forcing a 3:1
+leaf split of a 2x2 corner) walks to the nearest feasible share, or the
+other cut direction, instead of starving a deep subtree; the proportional
+share is kept untouched whenever it is feasible, which pins Table I.
 """
 
 from __future__ import annotations
@@ -20,6 +24,7 @@ from __future__ import annotations
 import math
 
 from repro.grid.rect import Rect
+from repro.obs import get_recorder
 from repro.tree.node import TreeNode
 
 __all__ = ["layout_tree"]
@@ -54,7 +59,88 @@ def _split_share(extent: int, w_left: float, w_total: float, min_left: int, min_
     return max(lo, min(share, hi))
 
 
-def _layout(node: TreeNode, region: Rect, out: dict[int, Rect]) -> None:
+_FeasMemo = dict[tuple[int, int, int], bool]
+
+
+def _feasible(node: TreeNode, w: int, h: int, memo: _FeasMemo) -> bool:
+    """Can ``node``'s leaves guillotine-tile a ``w x h`` region?
+
+    Area alone is not enough: a subtree forcing a 3:1 leaf split cannot be
+    cut out of a 2x2 region with one straight cut, whichever way it runs.
+    """
+    n = _count_leaves(node)
+    if n == 0:
+        return True
+    if w < 1 or h < 1 or w * h < n:
+        return False
+    if node.is_leaf:
+        return True
+    key = (id(node), w, h)
+    cached = memo.get(key)
+    if cached is not None:
+        return cached
+    left, right = node.left, node.right
+    assert left is not None and right is not None
+    if _count_leaves(left) == 0:
+        result = _feasible(right, w, h, memo)
+    elif _count_leaves(right) == 0:
+        result = _feasible(left, w, h, memo)
+    else:
+        result = any(
+            _feasible(left, a, h, memo) and _feasible(right, w - a, h, memo)
+            for a in range(1, w)
+        ) or any(
+            _feasible(left, w, b, memo) and _feasible(right, w, h - b, memo)
+            for b in range(1, h)
+        )
+    memo[key] = result
+    return result
+
+
+def _choose_split(
+    node: TreeNode,
+    left: TreeNode,
+    right: TreeNode,
+    nl: int,
+    nr: int,
+    region: Rect,
+    memo: _FeasMemo,
+) -> tuple[Rect, Rect]:
+    """The children's rectangles: proportional share, feasibility-checked.
+
+    The preferred cut (across the longer side, at the weight-proportional
+    clamped share) is kept whenever both children can recursively tile
+    their halves — so well-conditioned trees lay out exactly as the
+    paper's Table I pins down.  Only when that share would starve a
+    subtree does the search walk outward to the nearest feasible share,
+    falling back to the other cut direction last.
+    """
+    prefer_vertical = region.w >= region.h
+    for vertical in (prefer_vertical, not prefer_vertical):
+        extent, other = (
+            (region.w, region.h) if vertical else (region.h, region.w)
+        )
+        if extent < 2:
+            continue  # this direction cannot be cut at all
+        # Each side must keep enough columns/rows for its leaves.
+        min_l = -(-nl // other)  # ceil(nl / other)
+        min_r = -(-nr // other)
+        preferred = _split_share(extent, left.weight, node.weight, min_l, min_r)
+        for share in sorted(range(1, extent), key=lambda s: (abs(s - preferred), s)):
+            a, b = (
+                region.split_vertical(share)
+                if vertical
+                else region.split_horizontal(share)
+            )
+            if _feasible(left, a.w, a.h, memo) and _feasible(right, b.w, b.h, memo):
+                return a, b
+    raise ValueError(
+        f"region {region} cannot be guillotine-cut between subtrees "
+        f"with {nl} and {nr} nests"
+    )
+
+
+def _layout(node: TreeNode, region: Rect, out: dict[int, Rect], memo: _FeasMemo) -> None:
     if node.is_leaf:
         if not node.free:
             if region.is_empty:
@@ -68,24 +154,14 @@ def _layout(node: TreeNode, region: Rect, out: dict[int, Rect]) -> None:
     assert left is not None and right is not None
     nl, nr = _count_leaves(left), _count_leaves(right)
     if nl == 0:  # all-free subtree: give everything to the other child
-        _layout(right, region, out)
+        _layout(right, region, out, memo)
         return
     if nr == 0:
-        _layout(left, region, out)
+        _layout(left, region, out, memo)
         return
-    if region.w >= region.h:
-        # Each side must keep enough columns for its leaves to get >= 1 proc.
-        min_l = -(-nl // region.h)  # ceil(nl / h)
-        min_r = -(-nr // region.h)
-        share = _split_share(region.w, left.weight, node.weight, min_l, min_r)
-        a, b = region.split_vertical(share)
-    else:
-        min_l = -(-nl // region.w)
-        min_r = -(-nr // region.w)
-        share = _split_share(region.h, left.weight, node.weight, min_l, min_r)
-        a, b = region.split_horizontal(share)
-    _layout(left, a, out)
-    _layout(right, b, out)
+    a, b = _choose_split(node, left, right, nl, nr, region, memo)
+    _layout(left, a, out, memo)
+    _layout(right, b, out, memo)
 
 
 def layout_tree(root: TreeNode | None, region: Rect) -> dict[int, Rect]:
@@ -105,6 +181,7 @@ def layout_tree(root: TreeNode | None, region: Rect) -> dict[int, Rect]:
         raise ValueError(
             f"region {region} has {region.area} processors for {nleaves} nests"
         )
-    root.update_weights()
-    _layout(root, region, out)
-    return out
+    with get_recorder().span("tree.layout", n_leaves=nleaves):
+        root.update_weights()
+        _layout(root, region, out, {})
+        return out

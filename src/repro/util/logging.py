@@ -8,11 +8,17 @@ for scripts and examples:
 
     from repro.util.logging import configure_logging
     configure_logging("debug")   # watch every adaptation point
+
+The default level comes from the ``REPRO_LOG_LEVEL`` environment variable
+(falling back to ``info``), so scripts can be made chatty without edits::
+
+    REPRO_LOG_LEVEL=debug python -m repro track
 """
 
 from __future__ import annotations
 
 import logging
+import os
 
 __all__ = ["configure_logging", "get_logger"]
 
@@ -23,7 +29,10 @@ _LEVELS = {
     "info": logging.INFO,
     "warning": logging.WARNING,
     "error": logging.ERROR,
+    "critical": logging.CRITICAL,
 }
+
+_LEVEL_ENV_VAR = "REPRO_LOG_LEVEL"
 
 
 def get_logger(name: str) -> logging.Logger:
@@ -33,12 +42,17 @@ def get_logger(name: str) -> logging.Logger:
     return logging.getLogger(name)
 
 
-def configure_logging(level: str = "info") -> logging.Logger:
+def configure_logging(level: str | None = None) -> logging.Logger:
     """Attach a console handler to the ``repro`` root logger.
 
-    Calling again replaces the previous configuration (safe in notebooks).
-    Returns the configured root ``repro`` logger.
+    ``level`` defaults to the ``REPRO_LOG_LEVEL`` environment variable when
+    unset (and to ``info`` when that is unset too); passing an explicit
+    level always wins over the environment.  Calling again replaces the
+    previous configuration (safe in notebooks).  Returns the configured
+    root ``repro`` logger.
     """
+    if level is None:
+        level = os.environ.get(_LEVEL_ENV_VAR, "info").lower()
     if level not in _LEVELS:
         raise ValueError(f"unknown level {level!r}; choose from {sorted(_LEVELS)}")
     root = logging.getLogger("repro")

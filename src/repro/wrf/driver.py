@@ -39,6 +39,7 @@ from repro.core.reallocator import ProcessorReallocator, StepResult
 from repro.core.strategy import ReallocationStrategy
 from repro.grid.rect import Rect
 from repro.mpisim.costmodel import CostModel
+from repro.obs import get_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.perfmodel.groundtruth import ExecutionOracle
 from repro.perfmodel.profiles import ProfileTable
@@ -115,13 +116,14 @@ class CoupledSimulation:
     # ------------------------------------------------------------------
 
     def _detect(self) -> list[Rect]:
-        files = self.model.write_split_files()
-        result = parallel_data_analysis(
-            files, self.config.sim_grid, self.n_analysis, self.pda_config
-        )
-        rois = sorted(result.rectangles, key=lambda r: -r.area)[: self.max_nests]
-        lo, hi = self.roi_side_range
-        return [_clamp_roi(r, lo, hi, self.config.nx, self.config.ny) for r in rois]
+        with get_recorder().span("driver.detect"):
+            files = self.model.write_split_files()
+            result = parallel_data_analysis(
+                files, self.config.sim_grid, self.n_analysis, self.pda_config
+            )
+            rois = sorted(result.rectangles, key=lambda r: -r.area)[: self.max_nests]
+            lo, hi = self.roi_side_range
+            return [_clamp_roi(r, lo, hi, self.config.nx, self.config.ny) for r in rois]
 
     def _payload_for(self, nest: Nest) -> np.ndarray:
         """A nest's field payload: QCLOUD interpolated onto the fine grid."""
@@ -130,7 +132,15 @@ class CoupledSimulation:
 
     def step(self) -> CoupledStepResult:
         """Advance one adaptation interval end to end."""
-        self.model.step()
+        recorder = get_recorder()
+        with recorder.bind(step=self.step_count + 1):
+            with recorder.span("driver.step"):
+                return self._step()
+
+    def _step(self) -> CoupledStepResult:
+        recorder = get_recorder()
+        with recorder.span("driver.model"):
+            self.model.step()
         self.step_count += 1
         rois = self._detect()
         retained, deleted_ids, new = self.tracker.update(rois)
@@ -161,28 +171,32 @@ class CoupledSimulation:
         verified: list[int] = []
         # 1. physically move retained nests' payloads
         if old_alloc is not None:
-            for nid in result.retained:
-                nx, ny = self._payload_size[nid]
-                checksum = None
-                if self.verify_data:
-                    checksum = gather_nest(self.store, nid, nx, ny)
-                transfer = execute_redistribution(
-                    self.store, nid, old_alloc, new_alloc, nx, ny
-                )
-                moved += transfer.network_points * self.reallocator.cost.bytes_per_point
-                if self.verify_data:
-                    after = gather_nest(self.store, nid, nx, ny)
-                    if not np.array_equal(checksum, after):
-                        raise RuntimeError(
-                            f"nest {nid}: payload corrupted during redistribution"
-                        )
-                    verified.append(nid)
-                    logger.debug(
-                        "step %d: nest %d payload verified after moving %d points",
-                        self.step_count,
-                        nid,
-                        transfer.network_points,
+            with recorder.span("driver.dataplane", n_retained=len(result.retained)):
+                for nid in result.retained:
+                    nx, ny = self._payload_size[nid]
+                    checksum = None
+                    if self.verify_data:
+                        checksum = gather_nest(self.store, nid, nx, ny)
+                    transfer = execute_redistribution(
+                        self.store, nid, old_alloc, new_alloc, nx, ny
                     )
+                    moved += (
+                        transfer.network_points
+                        * self.reallocator.cost.bytes_per_point
+                    )
+                    if self.verify_data:
+                        after = gather_nest(self.store, nid, nx, ny)
+                        if not np.array_equal(checksum, after):
+                            raise RuntimeError(
+                                f"nest {nid}: payload corrupted during redistribution"
+                            )
+                        verified.append(nid)
+                        logger.debug(
+                            "step %d: nest %d payload verified after moving %d points",
+                            self.step_count,
+                            nid,
+                            transfer.network_points,
+                        )
 
         # 2. regrid retained nests whose ROI geometry changed, and scatter
         #    the payloads of freshly spawned nests

@@ -18,6 +18,20 @@ class TestParser:
         args = build_parser().parse_args(["table4", "--seeds", "1", "2", "--steps", "9"])
         assert args.seeds == [1, 2] and args.steps == 9
 
+    def test_version(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
+
+    def test_bench_args(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--repeats", "2", "--phases", "tree.scratch"]
+        )
+        assert args.quick and args.repeats == 2 and args.phases == ["tree.scratch"]
+
 
 class TestCommands:
     def test_table1(self, capsys):
@@ -105,3 +119,25 @@ class TestCommands:
     def test_workload_bad_action(self):
         with pytest.raises(SystemExit):
             main(["workload", "munge", "x.json"])
+
+    def test_bench_quick_subset(self, capsys, tmp_path):
+        import json
+
+        out_path = str(tmp_path / "bench.json")
+        code = main([
+            "bench", "--quick", "--repeats", "1",
+            "--phases", "tree.scratch", "tree.diffusion",
+            "--output", out_path,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "repro bench" in out and "tree.scratch" in out
+        payload = json.loads((tmp_path / "bench.json").read_text())
+        assert set(payload["phases"]) == {"tree.scratch", "tree.diffusion"}
+
+    def test_bench_unknown_phase(self, capsys, tmp_path):
+        code = main([
+            "bench", "--quick", "--phases", "no.such.phase",
+            "--output", str(tmp_path / "bench.json"),
+        ])
+        assert code == 2

@@ -31,6 +31,35 @@ class TestConfigureLogging:
         with pytest.raises(ValueError):
             configure_logging("verbose")
 
+    def test_critical_level(self):
+        root = configure_logging("critical")
+        assert root.level == logging.CRITICAL
+
+    def test_env_var_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "warning")
+        root = configure_logging()
+        assert root.level == logging.WARNING
+
+    def test_env_var_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "CRITICAL")
+        root = configure_logging()
+        assert root.level == logging.CRITICAL
+
+    def test_explicit_level_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "error")
+        root = configure_logging("debug")
+        assert root.level == logging.DEBUG
+
+    def test_env_unset_defaults_to_info(self, monkeypatch):
+        monkeypatch.delenv("REPRO_LOG_LEVEL", raising=False)
+        root = configure_logging()
+        assert root.level == logging.INFO
+
+    def test_bad_env_level_raises(self, monkeypatch):
+        monkeypatch.setenv("REPRO_LOG_LEVEL", "chatty")
+        with pytest.raises(ValueError):
+            configure_logging()
+
     def test_debug_messages_flow(self, caplog):
         from repro.core import ScratchStrategy
         from repro.core.reallocator import ProcessorReallocator

@@ -451,6 +451,78 @@ class TestR006Exports:
 
 
 # ---------------------------------------------------------------------------
+# R007 — direct wall-clock reads
+# ---------------------------------------------------------------------------
+
+
+class TestR007Timing:
+    def test_perf_counter_call_flagged(self):
+        src = """
+        import time
+        def f():
+            return time.perf_counter()
+        """
+        assert "R007" in rule_ids(src, select=["R007"])
+
+    def test_time_time_call_flagged(self):
+        src = """
+        import time
+        def f():
+            return time.time()
+        """
+        assert "R007" in rule_ids(src, select=["R007"])
+
+    def test_monotonic_ns_call_flagged(self):
+        src = """
+        import time
+        def f():
+            return time.monotonic_ns()
+        """
+        assert "R007" in rule_ids(src, select=["R007"])
+
+    def test_from_time_import_clock_flagged(self):
+        assert "R007" in rule_ids(
+            "from time import perf_counter\n", select=["R007"]
+        )
+
+    def test_time_sleep_clean(self):
+        src = """
+        import time
+        def f():
+            time.sleep(0.1)
+        """
+        assert rule_ids(src, select=["R007"]) == []
+
+    def test_from_time_import_sleep_clean(self):
+        assert rule_ids("from time import sleep\n", select=["R007"]) == []
+
+    def test_recorder_span_clean(self):
+        src = """
+        from repro.obs import get_recorder
+        def f():
+            with get_recorder().span("phase"):
+                return 1
+        """
+        assert rule_ids(src, select=["R007"]) == []
+
+    def test_obs_package_exempt(self):
+        src = """
+        import time
+        def f():
+            return time.perf_counter()
+        """
+        assert rule_ids(src, module="repro.obs.recorder", select=["R007"]) == []
+
+    def test_obs_prefix_not_substring_matched(self):
+        src = """
+        import time
+        def f():
+            return time.perf_counter()
+        """
+        assert "R007" in rule_ids(src, module="repro.observatory", select=["R007"])
+
+
+# ---------------------------------------------------------------------------
 # engine mechanics: suppression, selection, parse errors, reporting
 # ---------------------------------------------------------------------------
 
