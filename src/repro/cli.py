@@ -175,6 +175,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write a Chrome trace-event JSON of one instrumented "
         "comparison run to this path",
     )
+    p.add_argument(
+        "--compare",
+        default=None,
+        metavar="BASELINE.json",
+        help="compare against a saved baseline instead of writing one; "
+        "exits 1 on regression, 2 when not like-for-like",
+    )
+    p.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="relative regression threshold on per-phase medians "
+        "(default 2.0 = flag only >2x slowdowns)",
+    )
+    p.add_argument(
+        "--abs-floor",
+        type=float,
+        default=None,
+        help="absolute regression floor in seconds (default 0.005); both "
+        "the threshold and the floor must be exceeded to flag",
+    )
+
+    p = sub.add_parser(
+        "obs",
+        help="observability reports: flight recorder, audit trail, comm ledger",
+        description=(
+            "Render the second observability layer: the flight-recorder "
+            "event ring, the adaptation audit trail (predicted scratch vs. "
+            "diffusion costs and the observed outcome at every adaptation "
+            "point), and the per-rank communication ledger."
+        ),
+    )
+    obs_sub = p.add_subparsers(dest="obs_command", required=True)
+    p = obs_sub.add_parser(
+        "report",
+        help="run an instrumented comparison and render flight+audit+ledger",
+    )
+    p.add_argument("--machine", default="bgl-256")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--steps", type=int, default=12)
+    p.add_argument(
+        "--html", default=None, help="also write a standalone HTML report here"
+    )
+    p.add_argument(
+        "--flight-jsonl",
+        default=None,
+        help="replay an exported flight log through the exporters instead "
+        "of running a workload",
+    )
+    p.add_argument(
+        "--export-flight",
+        default=None,
+        help="write the run's flight ring as JSONL here",
+    )
+    p.add_argument(
+        "--tail", type=int, default=20, help="flight events to show (default 20)"
+    )
     return parser
 
 
@@ -185,7 +242,21 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         run_bench,
         write_baseline,
     )
+    from repro.obs.compare import (
+        DEFAULT_ABS_FLOOR,
+        DEFAULT_THRESHOLD,
+        compare_bench,
+        format_comparison,
+        load_bench_json,
+    )
 
+    baseline = None
+    if args.compare is not None:
+        try:
+            baseline = load_bench_json(args.compare)
+        except (OSError, ValueError) as exc:
+            print(f"repro bench: cannot load baseline: {exc}", file=sys.stderr)
+            return 2
     try:
         result = run_bench(
             quick=args.quick,
@@ -197,9 +268,34 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         print(f"repro bench: {exc}", file=sys.stderr)
         return 2
     print(format_bench(result))
-    path = args.output or DEFAULT_BASELINE_PATH
-    write_baseline(result, path)
-    print(f"\nbaseline -> {path}")
+    exit_code = 0
+    if baseline is not None:
+        try:
+            comparison = compare_bench(
+                baseline,
+                result.to_dict(),
+                threshold=(
+                    args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+                ),
+                abs_floor=(
+                    args.abs_floor if args.abs_floor is not None else DEFAULT_ABS_FLOOR
+                ),
+            )
+        except ValueError as exc:
+            print(f"repro bench: {exc}", file=sys.stderr)
+            return 2
+        print()
+        print(format_comparison(comparison))
+        exit_code = comparison.exit_code
+        # comparing never overwrites the baseline it compared against;
+        # write the current numbers only where explicitly asked
+        if args.output:
+            write_baseline(result, args.output)
+            print(f"\ncurrent run -> {args.output}")
+    else:
+        path = args.output or DEFAULT_BASELINE_PATH
+        write_baseline(result, path)
+        print(f"\nbaseline -> {path}")
     if args.trace:
         from repro.obs import InMemoryRecorder, use_recorder, write_chrome_trace
 
@@ -216,7 +312,103 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             )
         write_chrome_trace(recorder, args.trace)
         print(f"chrome trace -> {args.trace}")
+    return exit_code
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        format_report,
+        html_report,
+        load_flight_jsonl,
+        replay_flight,
+    )
+
+    sections: list[tuple[str, str]]
+    if args.flight_jsonl:
+        try:
+            events = load_flight_jsonl(args.flight_jsonl)
+        except (OSError, ValueError) as exc:
+            print(f"repro obs report: {exc}", file=sys.stderr)
+            return 2
+        replayed = replay_flight(events)
+        sections = [
+            (
+                f"replayed flight log ({args.flight_jsonl}, {len(events)} events)",
+                format_report(replayed, title="replayed flight events"),
+            )
+        ]
+    else:
+        sections = _instrumented_obs_sections(args)
+    for heading, text in sections:
+        print(f"== {heading} ==")
+        print(text)
+        print()
+    if args.html:
+        Path(args.html).write_text(
+            html_report(sections, title="repro obs report"), encoding="utf-8"
+        )
+        print(f"html report -> {args.html}")
     return 0
+
+
+def _instrumented_obs_sections(args: argparse.Namespace) -> list[tuple[str, str]]:
+    """Run the three strategies instrumented and build the report sections."""
+    from repro.core import DiffusionStrategy, ScratchStrategy
+    from repro.experiments import synthetic_workload
+    from repro.experiments.runner import ExperimentContext, run_workload
+    from repro.mpisim.ledger import CommLedger, format_ledger
+    from repro.obs import (
+        AuditTrail,
+        FlightRecorder,
+        InMemoryRecorder,
+        format_flight,
+        format_report,
+        use_flight_recorder,
+    )
+    from repro.topology import MACHINES
+
+    machine = MACHINES[args.machine]
+    recorder = InMemoryRecorder()
+    trail = AuditTrail()
+    flight = FlightRecorder()
+    workload = synthetic_workload(seed=args.seed, n_steps=args.steps)
+    context = ExperimentContext(machine, recorder=recorder, audit=trail)
+    ledgers: dict[str, CommLedger] = {}
+    with use_flight_recorder(flight):
+        for strategy in (
+            ScratchStrategy(),
+            DiffusionStrategy(),
+            context.make_dynamic_strategy(),
+        ):
+            ledger = CommLedger(machine.ncores)
+            context.ledger = ledger
+            run = run_workload(workload, strategy, context)
+            ledgers[run.strategy] = ledger
+    if args.export_flight:
+        flight.write_jsonl(args.export_flight)
+        print(f"flight log -> {args.export_flight}", file=sys.stderr)
+    sections = [
+        (
+            "observed phases",
+            format_report(
+                recorder,
+                title=f"observed phases — {machine.name}, seed {args.seed}, "
+                f"{args.steps} steps x 3 strategies",
+            ),
+        ),
+        ("flight recorder", format_flight(flight, tail=args.tail)),
+        ("adaptation audit trail", trail.accuracy_report()),
+    ]
+    for name, ledger in ledgers.items():
+        sections.append(
+            (
+                f"communication ledger — {name}",
+                format_ledger(ledger, title=f"{name} on {machine.name}"),
+            )
+        )
+    return sections
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -305,12 +497,13 @@ def _cmd_compare(args: argparse.Namespace) -> None:
     from repro.core import DiffusionStrategy, ScratchStrategy
     from repro.experiments import synthetic_workload
     from repro.experiments.runner import ExperimentContext, run_workload
+    from repro.obs import AuditTrail
     from repro.topology import MACHINES
     from repro.util.tables import format_table, percent
     from repro.viz import sparkline
 
     machine = MACHINES[args.machine]
-    ctx = ExperimentContext(machine)
+    ctx = ExperimentContext(machine, audit=AuditTrail())
     wl = synthetic_workload(seed=args.seed, n_steps=args.steps)
     runs = [
         run_workload(wl, s, ctx)
@@ -338,6 +531,9 @@ def _cmd_compare(args: argparse.Namespace) -> None:
         f"\ndiffusion vs scratch improvement: "
         f"{percent(runs[1].total('measured_redist'), runs[0].total('measured_redist')):.1f}%"
     )
+    assert ctx.audit is not None
+    print()
+    print(ctx.audit.accuracy_report())
 
 
 def _cmd_sweep(args: argparse.Namespace) -> None:
@@ -489,6 +685,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_lint(args)
     elif cmd == "bench":
         return _cmd_bench(args)
+    elif cmd == "obs":
+        return _cmd_obs_report(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {cmd!r}")
     return 0

@@ -25,10 +25,17 @@ from repro.core.scratch import ScratchStrategy
 from repro.core.strategy import ReallocationStrategy
 from repro.grid.procgrid import ProcessorGrid
 from repro.mpisim.costmodel import CostModel
+from repro.obs import get_flight_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.topology.machines import MachineSpec
 
-__all__ = ["DynamicStrategy", "DynamicChoice"]
+__all__ = [
+    "DynamicStrategy",
+    "DynamicChoice",
+    "CandidateCosts",
+    "predict_candidate_costs",
+    "predicted_exec_time",
+]
 
 
 @dataclass(frozen=True)
@@ -50,6 +57,87 @@ class DynamicChoice:
         return self.diffusion_exec + self.diffusion_redist
 
 
+@dataclass(frozen=True)
+class CandidateCosts:
+    """Both candidate allocations with their §IV-C predicted costs."""
+
+    choice: DynamicChoice
+    scratch: Allocation
+    diffusion: Allocation
+
+    @property
+    def chosen_allocation(self) -> Allocation:
+        return self.scratch if self.choice.chosen == "scratch" else self.diffusion
+
+
+def predicted_exec_time(
+    predictor: ExecTimePredictor,
+    allocation: Allocation,
+    nest_sizes: dict[int, tuple[int, int]],
+) -> float:
+    """Slowest-nest predicted execution time for an allocation."""
+    if allocation.is_empty:
+        return 0.0
+    missing = set(allocation.rects) - set(nest_sizes)
+    if missing:
+        raise ValueError(f"nest_sizes missing allocated nests {sorted(missing)}")
+    return max(
+        predictor.predict(*nest_sizes[nid], allocation.rects[nid].area)
+        for nid in allocation.rects
+    )
+
+
+def predict_candidate_costs(
+    old: Allocation | None,
+    weights: dict[int, float],
+    grid: ProcessorGrid,
+    nest_sizes: dict[int, tuple[int, int]],
+    machine: MachineSpec,
+    cost: CostModel,
+    predictor: ExecTimePredictor,
+) -> CandidateCosts:
+    """Compute both candidate allocations and the §IV-C decision inputs.
+
+    This is the dynamic strategy's decision procedure, exposed so the
+    adaptation audit trail can record *what the predictions were* at an
+    adaptation point even when the run's strategy never computed them
+    (scratch- and diffusion-only runs).  The winner rule matches
+    :class:`DynamicStrategy` exactly: strict inequality, ties keep
+    diffusion (which preserves overlap for free).
+    """
+    missing = set(weights) - set(nest_sizes)
+    if missing:
+        raise KeyError(f"nest_sizes missing for nests {sorted(missing)}")
+    scratch_alloc = ScratchStrategy().reallocate(old, weights, grid)
+    diffusion_alloc = DiffusionStrategy().reallocate(old, weights, grid)
+
+    def redist_prediction(candidate: Allocation) -> float:
+        if old is None:
+            return 0.0
+        plan = plan_redistribution(old, candidate, nest_sizes, machine, cost)
+        return plan.predicted_time
+
+    s_exec = predicted_exec_time(predictor, scratch_alloc, nest_sizes)
+    d_exec = predicted_exec_time(predictor, diffusion_alloc, nest_sizes)
+    s_redist = redist_prediction(scratch_alloc)
+    d_redist = redist_prediction(diffusion_alloc)
+    # Strict inequality: on a predicted tie (frequently the two trees
+    # coincide exactly) keep the diffusion allocation, which preserves
+    # overlap for free.
+    chosen = "scratch" if s_exec + s_redist < d_exec + d_redist else "diffusion"
+    return CandidateCosts(
+        choice=DynamicChoice(
+            chosen=chosen,
+            scratch_exec=s_exec,
+            scratch_redist=s_redist,
+            diffusion_exec=d_exec,
+            diffusion_redist=d_redist,
+        ),
+        scratch=scratch_alloc,
+        diffusion=diffusion_alloc,
+    )
+
+
 class DynamicStrategy(ReallocationStrategy):
     """Select scratch or diffusion by predicted total time, per step."""
 
@@ -64,23 +152,13 @@ class DynamicStrategy(ReallocationStrategy):
         self.machine = machine
         self.cost = cost
         self.predictor = predictor
-        self._scratch = ScratchStrategy()
-        self._diffusion = DiffusionStrategy()
         self.history: list[DynamicChoice] = []
 
     def predicted_exec_time(
         self, allocation: Allocation, nest_sizes: dict[int, tuple[int, int]]
     ) -> float:
         """Slowest-nest predicted execution time for an allocation."""
-        if allocation.is_empty:
-            return 0.0
-        missing = set(allocation.rects) - set(nest_sizes)
-        if missing:
-            raise ValueError(f"nest_sizes missing allocated nests {sorted(missing)}")
-        return max(
-            self.predictor.predict(*nest_sizes[nid], allocation.rects[nid].area)
-            for nid in allocation.rects
-        )
+        return predicted_exec_time(self.predictor, allocation, nest_sizes)
 
     def reallocate(
         self,
@@ -93,35 +171,17 @@ class DynamicStrategy(ReallocationStrategy):
             raise ValueError(
                 "DynamicStrategy needs nest_sizes to predict redistribution"
             )
-        missing = set(weights) - set(nest_sizes)
-        if missing:
-            raise KeyError(f"nest_sizes missing for nests {sorted(missing)}")
-        scratch_alloc = self._scratch.reallocate(old, weights, grid)
-        diffusion_alloc = self._diffusion.reallocate(old, weights, grid)
-
-        def redist_prediction(candidate: Allocation) -> float:
-            if old is None:
-                return 0.0
-            plan = plan_redistribution(
-                old, candidate, nest_sizes, self.machine, self.cost
-            )
-            return plan.predicted_time
-
-        s_exec = self.predicted_exec_time(scratch_alloc, nest_sizes)
-        d_exec = self.predicted_exec_time(diffusion_alloc, nest_sizes)
-        s_redist = redist_prediction(scratch_alloc)
-        d_redist = redist_prediction(diffusion_alloc)
-        # Strict inequality: on a predicted tie (frequently the two trees
-        # coincide exactly) keep the diffusion allocation, which preserves
-        # overlap for free.
-        chosen = "scratch" if s_exec + s_redist < d_exec + d_redist else "diffusion"
-        self.history.append(
-            DynamicChoice(
-                chosen=chosen,
-                scratch_exec=s_exec,
-                scratch_redist=s_redist,
-                diffusion_exec=d_exec,
-                diffusion_redist=d_redist,
-            )
+        candidates = predict_candidate_costs(
+            old, weights, grid, nest_sizes, self.machine, self.cost, self.predictor
         )
-        return scratch_alloc if chosen == "scratch" else diffusion_alloc
+        choice = candidates.choice
+        self.history.append(choice)
+        get_flight_recorder().emit(
+            "dynamic.choice",
+            chosen=choice.chosen,
+            scratch_exec=choice.scratch_exec,
+            scratch_redist=choice.scratch_redist,
+            diffusion_exec=choice.diffusion_exec,
+            diffusion_redist=choice.diffusion_redist,
+        )
+        return candidates.chosen_allocation

@@ -18,7 +18,7 @@ from repro.core.redistribution import RedistributionPlan, plan_redistribution
 from repro.core.strategy import ReallocationStrategy
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
-from repro.obs import get_recorder
+from repro.obs import get_flight_recorder, get_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.topology.machines import MachineSpec
 from repro.util.logging import get_logger
@@ -75,7 +75,14 @@ class ProcessorReallocator:
             if nx < 1 or ny < 1:
                 raise ValueError(f"nest {nid} has invalid size {nx}x{ny}")
         recorder = get_recorder()
+        flight = get_flight_recorder()
         recorder.gauge("realloc.n_nests", len(nests))
+        flight.emit(
+            "adapt.start",
+            step=self.step_count,
+            strategy=self.strategy.name,
+            n_nests=len(nests),
+        )
         with recorder.span(
             "realloc.step",
             step=self.step_count,
@@ -107,6 +114,22 @@ class ProcessorReallocator:
                         self.simulator,
                         self.flow_level,
                     )
+        for nid in sorted(set(nests) - old_ids):
+            nx, ny = nests[nid]
+            flight.emit("nest.insert", step=self.step_count, nest=nid, nx=nx, ny=ny)
+        for nid in sorted(old_ids & set(nests)):
+            nx, ny = nests[nid]
+            flight.emit("nest.retain", step=self.step_count, nest=nid, nx=nx, ny=ny)
+        for nid in sorted(old_ids - set(nests)):
+            flight.emit("nest.delete", step=self.step_count, nest=nid)
+        flight.emit(
+            "adapt.end",
+            step=self.step_count,
+            strategy=self.strategy.name,
+            n_nests=len(nests),
+            redist_predicted=plan.predicted_time if plan else 0.0,
+            redist_measured=plan.measured_time if plan else 0.0,
+        )
         self.allocation = new_alloc
         self.nest_sizes = dict(nests)
         self.step_count += 1

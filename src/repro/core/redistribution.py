@@ -25,7 +25,7 @@ from repro.mpisim.alltoallv import (
 )
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
-from repro.obs import get_recorder
+from repro.obs import get_flight_recorder, get_recorder
 from repro.perfmodel.redisttime import measure_redistribution_time
 from repro.topology.machines import MachineSpec
 
@@ -100,6 +100,13 @@ def plan_redistribution(
         per_nest_msgs.append(msgs)
         total_points += t.total_points
         local_points += t.local_points
+        get_flight_recorder().emit(
+            "redist.round",
+            nest=nid,
+            n_messages=len(msgs),
+            network_bytes=msgs.total_bytes,
+            overlap=t.overlap_fraction,
+        )
 
     with recorder.span("redist.cost", n_moves=len(moves)):
         all_msgs = MessageSet.concat(per_nest_msgs)

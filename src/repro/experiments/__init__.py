@@ -26,6 +26,7 @@ from repro.experiments.report import (
     fig12_report,
     real_trace_report,
     prediction_accuracy_report,
+    comm_skew_report,
 )
 
 __all__ = [
@@ -52,4 +53,5 @@ __all__ = [
     "fig12_report",
     "real_trace_report",
     "prediction_accuracy_report",
+    "comm_skew_report",
 ]

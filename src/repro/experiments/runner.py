@@ -13,15 +13,25 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.allocation import Allocation
-from repro.core.dynamic import DynamicStrategy
+from repro.core.dynamic import DynamicChoice, DynamicStrategy, predict_candidate_costs
 from repro.core.metrics import StepMetrics
-from repro.core.reallocator import ProcessorReallocator
+from repro.core.reallocator import ProcessorReallocator, StepResult
 from repro.core.strategy import ReallocationStrategy
 from repro.core.scratch import ScratchStrategy
 from repro.core.diffusion import DiffusionStrategy
 from repro.experiments.workloads import Workload
+from repro.grid.procgrid import ProcessorGrid
+from repro.mpisim.alltoallv import MessageSet
 from repro.mpisim.costmodel import CostModel
-from repro.obs import Recorder, Timeline, get_recorder, use_recorder
+from repro.mpisim.ledger import CommLedger
+from repro.obs import (
+    AdaptationAudit,
+    AuditTrail,
+    Recorder,
+    Timeline,
+    get_recorder,
+    use_recorder,
+)
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.perfmodel.groundtruth import ExecutionOracle
 from repro.perfmodel.profiles import ProfileTable
@@ -38,6 +48,12 @@ class ExperimentContext:
     ``recorder`` opts the run into telemetry: when set, every workload
     driven through this context records its spans there (the ambient
     recorder is used otherwise, which defaults to the no-op one).
+    ``audit`` opts the run into the adaptation audit trail: every
+    adaptation point appends one :class:`~repro.obs.audit.AdaptationAudit`
+    with both candidates' predicted costs and the observed outcome (for
+    non-dynamic strategies the candidates are computed on the side — extra
+    prediction work, so it is off by default).  ``ledger`` opts into
+    per-rank traffic accounting of every executed redistribution.
     """
 
     machine: MachineSpec
@@ -46,6 +62,8 @@ class ExperimentContext:
     predictor: ExecTimePredictor | None = None
     profile_seed: int = 1234
     recorder: Recorder | None = None
+    audit: AuditTrail | None = None
+    ledger: CommLedger | None = None
 
     def __post_init__(self) -> None:
         if self.cost is None:
@@ -120,6 +138,7 @@ def run_workload(
     timeline = Timeline(recorder)
     with use_recorder(recorder):
         for i, nests in enumerate(workload.steps):
+            old_alloc = realloc.allocation
             with timeline.adaptation_point(
                 step=i, strategy=strategy.name, n_nests=len(nests)
             ):
@@ -138,6 +157,21 @@ def run_workload(
             choice = ""
             if isinstance(strategy, DynamicStrategy) and strategy.history:
                 choice = strategy.history[-1].chosen
+            if context.audit is not None:
+                _record_audit(
+                    context,
+                    strategy,
+                    old_alloc,
+                    result,
+                    step=i,
+                    nests=nests,
+                    exec_pred=exec_pred,
+                    exec_actual=exec_actual,
+                    chosen=choice,
+                    grid=realloc.grid,
+                )
+            if context.ledger is not None and result.plan is not None:
+                _feed_ledger(context.ledger, result, realloc)
             metrics.append(
                 StepMetrics(
                     step=i,
@@ -160,6 +194,88 @@ def run_workload(
         metrics=metrics,
         allocations=allocations,
     )
+
+
+def _candidate_choice(
+    context: ExperimentContext,
+    strategy: ReallocationStrategy,
+    old_alloc: Allocation | None,
+    result: StepResult,
+    nests: dict[int, tuple[int, int]],
+    grid: ProcessorGrid,
+) -> DynamicChoice:
+    """Both candidates' predicted costs at this adaptation point.
+
+    The dynamic strategy already computed them (its last history entry);
+    for scratch/diffusion runs they are recomputed on the side so the
+    audit can still answer "what *would* the other method have cost".
+    """
+    if isinstance(strategy, DynamicStrategy) and strategy.history:
+        return strategy.history[-1]
+    assert context.predictor is not None and context.cost is not None
+    return predict_candidate_costs(
+        old_alloc,
+        result.weights,
+        grid,
+        dict(nests),
+        context.machine,
+        context.cost,
+        context.predictor,
+    ).choice
+
+
+def _record_audit(
+    context: ExperimentContext,
+    strategy: ReallocationStrategy,
+    old_alloc: Allocation | None,
+    result: StepResult,
+    step: int,
+    nests: dict[int, tuple[int, int]],
+    exec_pred: float,
+    exec_actual: float,
+    chosen: str,
+    grid: ProcessorGrid,
+) -> None:
+    """Append one AdaptationAudit and gauge the per-step prediction errors."""
+    assert context.audit is not None
+    cand = _candidate_choice(context, strategy, old_alloc, result, nests, grid)
+    plan = result.plan
+    record = context.audit.record(
+        AdaptationAudit(
+            step=step,
+            strategy=strategy.name,
+            chosen=chosen or strategy.name,
+            n_nests=len(nests),
+            predicted_scratch_exec=cand.scratch_exec,
+            predicted_scratch_redist=cand.scratch_redist,
+            predicted_diffusion_exec=cand.diffusion_exec,
+            predicted_diffusion_redist=cand.diffusion_redist,
+            predicted_exec=exec_pred,
+            predicted_redist=plan.predicted_time if plan else 0.0,
+            observed_exec=exec_actual,
+            observed_redist=plan.measured_time if plan else 0.0,
+        )
+    )
+    recorder = get_recorder()
+    recorder.gauge("audit.exec_error", record.exec_error)
+    recorder.gauge("audit.redist_error", record.redist_error)
+
+
+def _feed_ledger(
+    ledger: CommLedger, result: StepResult, realloc: ProcessorReallocator
+) -> None:
+    """Account one adaptation point's executed transfers in the ledger."""
+    plan = result.plan
+    assert plan is not None
+    mapping = realloc.machine.mapping
+    for move in plan.moves:
+        ledger.add_messages(move.messages, mapping)
+    all_msgs = MessageSet.concat([m.messages for m in plan.moves])
+    if len(all_msgs):
+        _link, load, contributions = realloc.simulator.busiest_link_contributions(
+            all_msgs
+        )
+        ledger.add_busiest_link(load, contributions)
 
 
 def run_both_strategies(

@@ -11,6 +11,7 @@ from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.exports import AllConsistencyRule
 from repro.lint.rules.floatcmp import FloatEqualityRule
 from repro.lint.rules.mutation import AllocationMutationRule
+from repro.lint.rules.printing import BarePrintRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
 from repro.lint.rules.timing import DirectTimingRule
 from repro.lint.rules.validation import MissingValidationRule
@@ -27,6 +28,7 @@ __all__ = [
     "ExceptionHygieneRule",
     "AllConsistencyRule",
     "DirectTimingRule",
+    "BarePrintRule",
     "ALL_RULES",
     "get_rules",
 ]
@@ -40,6 +42,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     ExceptionHygieneRule,
     AllConsistencyRule,
     DirectTimingRule,
+    BarePrintRule,
 )
 
 

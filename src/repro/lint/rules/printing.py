@@ -1,0 +1,57 @@
+"""R008 — bare ``print()`` stays in the CLI and report layers.
+
+Library code that prints directly is invisible to callers: the output
+cannot be captured, silenced, redirected into the HTML report, or tested
+without monkeypatching stdout.  Everything user-facing flows through the
+report layer (``repro.experiments.report``, ``repro.obs.export``,
+``repro.lint.reporting`` return strings) and the CLI decides what to
+print; diagnostics go through :mod:`repro.util.logging`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.rules.base import Finding, LintContext, Rule, Severity
+
+__all__ = ["BarePrintRule"]
+
+#: modules that own user-facing output (the CLI prints, the report layer
+#: renders; everything else returns strings or logs)
+_EXEMPT_MODULES = frozenset(
+    {
+        "repro.cli",
+        "repro.obs.export",
+        "repro.lint.reporting",
+        "repro.experiments.report",
+    }
+)
+
+
+class BarePrintRule(Rule):
+    """Flag bare ``print()`` calls outside the CLI/report layer."""
+
+    rule_id = "R008"
+    severity = Severity.ERROR
+    summary = "bare print() outside the CLI/report layer"
+    fix_hint = (
+        "return the string (report layer renders it) or use "
+        "repro.util.logging for diagnostics"
+    )
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        if ctx.module in _EXEMPT_MODULES:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "bare print() in library code — output belongs to the "
+                    "CLI/report layer, diagnostics to repro.util.logging",
+                )

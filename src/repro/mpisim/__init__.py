@@ -12,6 +12,9 @@ the same observable quantities:
 * :mod:`repro.mpisim.netsim` — a link-level network simulator that routes
   every message over the physical topology and accounts for contention,
   producing the *measured* redistribution times;
+* :mod:`repro.mpisim.ledger` — a per-rank communication ledger (bytes
+  sent/received, hop-bytes, busiest-link share per rank pair) with
+  Gini/max-mean skew digests for diagnosing transfer imbalance;
 * :mod:`repro.mpisim.costmodel` — latency/bandwidth parameters per machine;
 * :mod:`repro.mpisim.comm` — a tiny SPMD harness used to run the parallel
   data analysis (Algorithm 1) as N simulated analysis processes.
@@ -25,6 +28,7 @@ from repro.mpisim.alltoallv import (
     hop_bytes,
 )
 from repro.mpisim.netsim import NetworkSimulator
+from repro.mpisim.ledger import CommLedger, SkewSummary, format_ledger, gini
 from repro.mpisim.collectives import (
     CollectiveSchedule,
     schedule_concurrent,
@@ -42,6 +46,10 @@ __all__ = [
     "predict_alltoallv_time",
     "hop_bytes",
     "NetworkSimulator",
+    "CommLedger",
+    "SkewSummary",
+    "format_ledger",
+    "gini",
     "CollectiveSchedule",
     "schedule_concurrent",
     "schedule_direct",

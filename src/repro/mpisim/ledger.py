@@ -1,0 +1,247 @@
+"""Per-rank communication ledger — who sent what to whom, and how far.
+
+Aggregate redistribution metrics (total bytes, hop-bytes, bottleneck time)
+hide *skew*: a handful of rank pairs usually carries most of the traffic,
+and the busiest link's load decides the §IV-C "measured" time.  The
+:class:`CommLedger` keeps the pre-aggregation view: bytes sent and
+received per rank, hop-bytes attributed to the sender, bytes exchanged
+per (src, dst) rank pair, and — fed by
+:meth:`~repro.mpisim.netsim.NetworkSimulator.busiest_link_contributions`
+— how much each pair pushed through the most loaded link.
+
+:func:`gini` and :class:`SkewSummary` condense a per-rank series into the
+numbers that matter for diagnosis: max, mean, max/mean imbalance, and the
+Gini coefficient (0 = perfectly even, →1 = one rank does everything).
+The ledger feeds the skew report in :mod:`repro.experiments.report` and
+the ``repro obs report`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.mpisim.alltoallv import MessageSet
+from repro.topology.mapping import ProcessMapping
+
+__all__ = ["CommLedger", "SkewSummary", "gini", "format_ledger"]
+
+
+def gini(values: np.ndarray) -> float:
+    """Gini coefficient of a nonnegative series (0 even … →1 concentrated).
+
+    Computed over *all* entries including zeros — an idle rank is exactly
+    the imbalance this measures.  Returns 0.0 for empty or all-zero input.
+    """
+    x = np.sort(np.asarray(values, dtype=np.float64))
+    if x.size == 0:
+        return 0.0
+    if bool((x < 0).any()):
+        raise ValueError("gini requires nonnegative values")
+    total = float(x.sum())
+    if total <= 0.0:
+        return 0.0
+    n = x.size
+    ranks = np.arange(1, n + 1, dtype=np.float64)
+    return float(2.0 * np.sum(ranks * x) / (n * total) - (n + 1) / n)
+
+
+@dataclass(frozen=True)
+class SkewSummary:
+    """Distribution shape of one per-rank series (bytes)."""
+
+    label: str
+    total: float
+    max: float
+    mean: float
+    nonzero_ranks: int
+    nranks: int
+    gini: float
+
+    @property
+    def max_over_mean(self) -> float:
+        """Imbalance factor (1.0 = perfectly even; 0 when nothing moved)."""
+        return self.max / self.mean if self.mean > 0 else 0.0
+
+    def to_dict(self) -> dict[str, float | int | str]:
+        return {
+            "label": self.label,
+            "total": self.total,
+            "max": self.max,
+            "mean": self.mean,
+            "max_over_mean": self.max_over_mean,
+            "nonzero_ranks": self.nonzero_ranks,
+            "nranks": self.nranks,
+            "gini": self.gini,
+        }
+
+
+def _summarise(label: str, values: np.ndarray) -> SkewSummary:
+    return SkewSummary(
+        label=label,
+        total=float(values.sum()),
+        max=float(values.max()) if values.size else 0.0,
+        mean=float(values.mean()) if values.size else 0.0,
+        nonzero_ranks=int(np.count_nonzero(values)),
+        nranks=int(values.size),
+        gini=gini(values),
+    )
+
+
+class CommLedger:
+    """Accumulates per-rank traffic across redistributions.
+
+    Feed it every :class:`~repro.mpisim.alltoallv.MessageSet` that goes
+    over the wire (:meth:`add_messages`), and the busiest-link breakdown
+    from the simulator (:meth:`add_busiest_link`); read back per-rank
+    arrays, per-pair byte totals, and :class:`SkewSummary` digests.
+    """
+
+    def __init__(self, nranks: int) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        self.nranks = nranks
+        self.sent = np.zeros(nranks, dtype=np.float64)
+        self.received = np.zeros(nranks, dtype=np.float64)
+        #: hop-bytes attributed to the sending rank (Σ hops·bytes per src)
+        self.hop_bytes = np.zeros(nranks, dtype=np.float64)
+        #: bytes exchanged per (src, dst) rank pair
+        self.pair_bytes: dict[tuple[int, int], float] = {}
+        #: bytes each pair pushed through the busiest link, per observation
+        self.busiest_pair_bytes: dict[tuple[int, int], float] = {}
+        #: summed load of the busiest link across observations
+        self.busiest_link_load = 0.0
+        self.n_messages = 0
+        self.n_collectives = 0
+
+    def add_messages(
+        self, messages: MessageSet, mapping: ProcessMapping | None = None
+    ) -> None:
+        """Account one collective's messages (hop-bytes need ``mapping``)."""
+        self.n_collectives += 1
+        n = len(messages)
+        if n == 0:
+            return
+        self.n_messages += n
+        np.add.at(self.sent, messages.src, messages.nbytes)
+        np.add.at(self.received, messages.dst, messages.nbytes)
+        if mapping is not None:
+            hops = mapping.rank_hops(messages.src, messages.dst).astype(np.float64)
+            np.add.at(self.hop_bytes, messages.src, hops * messages.nbytes)
+        for s, d, b in zip(messages.src, messages.dst, messages.nbytes):
+            key = (int(s), int(d))
+            self.pair_bytes[key] = self.pair_bytes.get(key, 0.0) + float(b)
+
+    def add_busiest_link(
+        self, link_load: float, contributions: dict[tuple[int, int], float]
+    ) -> None:
+        """Account one collective's busiest-link breakdown (from
+        :meth:`~repro.mpisim.netsim.NetworkSimulator.busiest_link_contributions`).
+        """
+        self.busiest_link_load += float(link_load)
+        for pair, nbytes in contributions.items():
+            self.busiest_pair_bytes[pair] = (
+                self.busiest_pair_bytes.get(pair, 0.0) + float(nbytes)
+            )
+
+    # -- digests --------------------------------------------------------
+
+    def skew(self, which: str = "sent") -> SkewSummary:
+        """Skew digest of one per-rank series: sent, received, hop_bytes."""
+        series = {
+            "sent": self.sent,
+            "received": self.received,
+            "hop_bytes": self.hop_bytes,
+        }
+        if which not in series:
+            raise ValueError(f"unknown series {which!r}; known: {sorted(series)}")
+        return _summarise(which, series[which])
+
+    def top_pairs(self, n: int = 10) -> list[tuple[tuple[int, int], float]]:
+        """The ``n`` heaviest rank pairs by total bytes, descending."""
+        ranked = sorted(self.pair_bytes.items(), key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def busiest_link_shares(self, n: int = 10) -> list[tuple[tuple[int, int], float]]:
+        """Rank pairs' shares of the accumulated busiest-link load.
+
+        Shares are fractions of :attr:`busiest_link_load`; they sum to at
+        most 1 (a pair routed off the busiest link contributes nothing).
+        """
+        if self.busiest_link_load <= 0.0:
+            return []
+        ranked = sorted(
+            self.busiest_pair_bytes.items(), key=lambda kv: (-kv[1], kv[0])
+        )
+        return [(pair, b / self.busiest_link_load) for pair, b in ranked[:n]]
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready digest (summaries + top pairs, not the raw arrays)."""
+        return {
+            "nranks": self.nranks,
+            "n_messages": self.n_messages,
+            "n_collectives": self.n_collectives,
+            "sent": self.skew("sent").to_dict(),
+            "received": self.skew("received").to_dict(),
+            "hop_bytes": self.skew("hop_bytes").to_dict(),
+            "top_pairs": [
+                {"src": s, "dst": d, "bytes": b} for (s, d), b in self.top_pairs()
+            ],
+            "busiest_link_shares": [
+                {"src": s, "dst": d, "share": share}
+                for (s, d), share in self.busiest_link_shares()
+            ],
+        }
+
+
+def format_ledger(ledger: CommLedger, title: str = "communication ledger") -> str:
+    """Human-readable skew + heavy-hitter tables."""
+    from repro.util.tables import format_table
+
+    skew_rows = []
+    for which in ("sent", "received", "hop_bytes"):
+        s = ledger.skew(which)
+        skew_rows.append(
+            (
+                s.label,
+                f"{s.total:.3e}",
+                f"{s.max:.3e}",
+                f"{s.mean:.3e}",
+                f"{s.max_over_mean:6.2f}",
+                f"{s.gini:5.3f}",
+                f"{s.nonzero_ranks}/{s.nranks}",
+            )
+        )
+    parts = [
+        format_table(
+            ["series", "total", "max", "mean", "max/mean", "Gini", "active ranks"],
+            skew_rows,
+            title=(
+                f"{title} — {ledger.n_messages} messages over "
+                f"{ledger.n_collectives} collectives"
+            ),
+        )
+    ]
+    pairs = ledger.top_pairs()
+    if pairs:
+        parts.append(
+            format_table(
+                ["src rank", "dst rank", "bytes"],
+                [(str(s), str(d), f"{b:.3e}") for (s, d), b in pairs],
+                title="heaviest rank pairs",
+            )
+        )
+    shares = ledger.busiest_link_shares()
+    if shares:
+        parts.append(
+            format_table(
+                ["src rank", "dst rank", "share of busiest link"],
+                [
+                    (str(s), str(d), f"{share * 100:6.2f}%")
+                    for (s, d), share in shares
+                ],
+                title="busiest-link contributions",
+            )
+        )
+    return "\n\n".join(parts)

@@ -58,6 +58,8 @@ class NetworkSimulator:
         # same rank pairs exchange at every adaptation point), so memoise.
         self._route_cache: dict[tuple[int, int], list[int]] = {}
         self._route_cache_size = route_cache_size
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     # ------------------------------------------------------------------
 
@@ -65,6 +67,7 @@ class NetworkSimulator:
         key = (src_rank, dst_rank)
         cached = self._route_cache.get(key)
         if cached is None:
+            self.route_cache_misses += 1
             get_recorder().count("netsim.route_cache_miss")
             table = self.mapping.table
             src, dst = int(table[src_rank]), int(table[dst_rank])
@@ -76,11 +79,17 @@ class NetworkSimulator:
             if len(self._route_cache) >= self._route_cache_size:
                 self._route_cache.clear()  # simple full flush; hits dominate
             self._route_cache[key] = cached
+        else:
+            self.route_cache_hits += 1
+            get_recorder().count("netsim.route_cache_hit")
         return cached
 
     def clear_route_cache(self) -> None:
-        """Drop every memoised route (cold-cache benchmarking)."""
+        """Drop every memoised route and reset the hit/miss counters
+        (cold-cache benchmarking)."""
         self._route_cache.clear()
+        self.route_cache_hits = 0
+        self.route_cache_misses = 0
 
     def _routes(self, messages: MessageSet) -> list[list[int]]:
         """Physical route (link ids) of every message."""
@@ -96,6 +105,35 @@ class NetworkSimulator:
             for link in route:
                 loads[link] = loads.get(link, 0.0) + float(nbytes)
         return loads
+
+    def busiest_link_contributions(
+        self, messages: MessageSet
+    ) -> tuple[int, float, dict[tuple[int, int], float]]:
+        """The most loaded link and which rank pairs load it.
+
+        Returns ``(link_id, link_load_bytes, {(src, dst): bytes})`` where
+        the dict holds every message routed *through* that link keyed by
+        its endpoint ranks — the per-pair breakdown a
+        :class:`~repro.mpisim.ledger.CommLedger` accumulates to show who
+        is responsible for the wire-phase bottleneck.  Returns
+        ``(-1, 0.0, {})`` for an empty message set or all-local routes.
+        """
+        routes = self._routes(messages)
+        loads: dict[int, float] = {}
+        for route, nbytes in zip(routes, messages.nbytes):
+            for link in route:
+                loads[link] = loads.get(link, 0.0) + float(nbytes)
+        if not loads:
+            return -1, 0.0, {}
+        busiest = max(loads, key=lambda link: (loads[link], -link))
+        contributions: dict[tuple[int, int], float] = {}
+        for route, s, d, nbytes in zip(
+            routes, messages.src, messages.dst, messages.nbytes
+        ):
+            if busiest in route:
+                pair = (int(s), int(d))
+                contributions[pair] = contributions.get(pair, 0.0) + float(nbytes)
+        return busiest, loads[busiest], contributions
 
     def _endpoint_overhead(self, messages: MessageSet, include_floor: bool = True) -> float:
         """Software phase: busiest endpoint's packing + per-message latency,

@@ -3,9 +3,12 @@
 The library's only performance surface: nestable timed spans and
 counters/gauges behind a :class:`~repro.obs.recorder.Recorder` protocol
 (default: a true no-op), a per-adaptation-point
-:class:`~repro.obs.timeline.Timeline`, exporters (Chrome trace-event
-JSON, flat metrics snapshot, text report), and the ``repro bench``
-pinned perf-baseline suite.
+:class:`~repro.obs.timeline.Timeline`, an always-on bounded
+:class:`~repro.obs.flight.FlightRecorder` event ring, the
+:class:`~repro.obs.audit.AuditTrail` of per-adaptation-point strategy
+decisions, exporters (Chrome trace-event JSON, flat metrics snapshot,
+text/HTML reports), and the ``repro bench`` pinned perf-baseline suite
+with its :func:`~repro.obs.compare.compare_bench` regression gate.
 
 Quick start::
 
@@ -16,14 +19,15 @@ Quick start::
         run_workload(workload, strategy, context)
     print(format_report(rec))
 
-See ``docs/observability.md`` for the span API and the bench workflow.
-This package (and only this package) may read raw clocks — reprolint
-rule R007 keeps ``time.perf_counter()``/``time.time()`` out of the rest
-of the library.
+See ``docs/observability.md`` for the span API, the flight recorder,
+the audit trail, and the bench workflow.  This package (and only this
+package) may read raw clocks — reprolint rule R007 keeps
+``time.perf_counter()``/``time.time()`` out of the rest of the library.
 """
 
 from __future__ import annotations
 
+from repro.obs.audit import AdaptationAudit, AuditTrail, pearson
 from repro.obs.bench import (
     BenchPhase,
     BenchResult,
@@ -32,11 +36,31 @@ from repro.obs.bench import (
     run_bench,
     write_baseline,
 )
+from repro.obs.compare import (
+    BenchComparison,
+    PhaseDelta,
+    compare_bench,
+    format_comparison,
+    load_bench_json,
+)
 from repro.obs.export import (
     chrome_trace,
     format_report,
+    html_report,
     metrics_snapshot,
     write_chrome_trace,
+)
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+    format_flight,
+    get_flight_recorder,
+    load_flight_jsonl,
+    replay_flight,
+    set_flight_recorder,
+    use_flight_recorder,
 )
 from repro.obs.recorder import (
     NULL_RECORDER,
@@ -60,11 +84,19 @@ from repro.obs.timeline import (
 
 __all__ = [
     "ADAPTATION_SPAN",
+    "DEFAULT_FLIGHT_CAPACITY",
     "NULL_RECORDER",
+    "AdaptationAudit",
+    "AuditTrail",
+    "BenchComparison",
     "BenchPhase",
     "BenchResult",
+    "FlightEvent",
+    "FlightRecorder",
     "InMemoryRecorder",
+    "NullFlightRecorder",
     "NullRecorder",
+    "PhaseDelta",
     "PhaseStats",
     "Recorder",
     "SpanRecord",
@@ -72,17 +104,28 @@ __all__ = [
     "Timeline",
     "bench_phases",
     "chrome_trace",
+    "compare_bench",
     "format_bench",
+    "format_comparison",
+    "format_flight",
     "format_report",
+    "get_flight_recorder",
     "get_recorder",
+    "html_report",
+    "load_bench_json",
+    "load_flight_jsonl",
     "metrics_snapshot",
+    "pearson",
     "per_step_phase_times",
     "percentile",
     "phase_totals",
+    "replay_flight",
     "run_bench",
+    "set_flight_recorder",
     "set_recorder",
     "spans_with_tag",
     "summarise",
+    "use_flight_recorder",
     "use_recorder",
     "write_baseline",
     "write_chrome_trace",

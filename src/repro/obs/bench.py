@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import json
 import platform
+import subprocess
 import sys
 import time
 from collections.abc import Callable, Iterable
@@ -53,12 +54,15 @@ __all__ = [
     "BenchPhase",
     "BenchResult",
     "bench_phases",
+    "git_describe",
     "run_bench",
     "format_bench",
     "write_baseline",
 ]
 
-BENCH_SCHEMA = 1
+#: schema 2 added the ``machine`` preset and ``git_describe`` header
+#: fields so compared baselines are provably like-for-like
+BENCH_SCHEMA = 2
 DEFAULT_BASELINE_PATH = "BENCH_baseline.json"
 
 #: pinned inputs — changing any of these invalidates existing baselines
@@ -81,6 +85,22 @@ class BenchPhase:
     setup: Callable[[bool], Callable[[], object]]
 
 
+def git_describe() -> str:
+    """``git describe`` of the working tree ("unknown" outside a repo)."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty", "--tags"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    described = out.stdout.strip()
+    return described if out.returncode == 0 and described else "unknown"
+
+
 @dataclass(frozen=True)
 class BenchResult:
     """The outcome of one suite run."""
@@ -89,6 +109,8 @@ class BenchResult:
     repeats: int
     quick: bool
     unix_time: float
+    machine: str = ""
+    git_describe: str = "unknown"
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -97,6 +119,8 @@ class BenchResult:
             "quick": self.quick,
             "repeats": self.repeats,
             "unix_time": self.unix_time,
+            "machine": self.machine,
+            "git_describe": self.git_describe,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "phases": {name: st.to_dict() for name, st in sorted(self.phases.items())},
@@ -395,7 +419,12 @@ def run_bench(
             durations.append(time.perf_counter() - t0)
         results[phase.name] = summarise(durations)
     return BenchResult(
-        phases=results, repeats=repeats, quick=quick, unix_time=time.time()
+        phases=results,
+        repeats=repeats,
+        quick=quick,
+        unix_time=time.time(),
+        machine=_QUICK_MACHINE if quick else _FULL_MACHINE,
+        git_describe=git_describe(),
     )
 
 
@@ -425,8 +454,9 @@ def format_bench(result: BenchResult) -> str:
             )
         )
     mode = "quick" if result.quick else "full"
+    tag = f", {result.machine}" if result.machine else ""
     return format_table(
         ["phase", "repeats", "median ms", "p95 ms", "min ms", "max ms"],
         rows,
-        title=f"repro bench ({mode} suite)",
+        title=f"repro bench ({mode} suite{tag}, {result.git_describe})",
     )

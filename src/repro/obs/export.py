@@ -25,6 +25,7 @@ __all__ = [
     "write_chrome_trace",
     "metrics_snapshot",
     "format_report",
+    "html_report",
 ]
 
 
@@ -137,3 +138,37 @@ def format_report(recorder: InMemoryRecorder, title: str = "observed phases") ->
         ]
         parts.append(format_table(["gauge", "last value"], gauge_rows))
     return "\n\n".join(parts)
+
+
+def html_report(sections: list[tuple[str, str]], title: str = "repro obs report") -> str:
+    """Wrap preformatted text sections into one standalone HTML page.
+
+    ``sections`` is a list of ``(heading, body)`` pairs where each body is
+    the output of a text formatter (:func:`format_report`,
+    :func:`~repro.obs.flight.format_flight`,
+    :meth:`~repro.obs.audit.AuditTrail.accuracy_report`,
+    :func:`~repro.mpisim.ledger.format_ledger`, …).  The tables are
+    monospace art already, so the page just escapes and ``<pre>``-wraps
+    them — zero dependencies, one file, opens anywhere.
+    """
+    import html as _html
+
+    body: list[str] = [
+        "<!DOCTYPE html>",
+        "<html><head>",
+        '<meta charset="utf-8">',
+        f"<title>{_html.escape(title)}</title>",
+        "<style>",
+        "body{font-family:sans-serif;margin:2em;background:#fafafa;color:#222}",
+        "pre{background:#fff;border:1px solid #ddd;border-radius:4px;"
+        "padding:1em;overflow-x:auto;font-size:13px;line-height:1.35}",
+        "h1{font-size:1.4em}h2{font-size:1.1em;margin-top:2em}",
+        "</style>",
+        "</head><body>",
+        f"<h1>{_html.escape(title)}</h1>",
+    ]
+    for heading, text in sections:
+        body.append(f"<h2>{_html.escape(heading)}</h2>")
+        body.append(f"<pre>{_html.escape(text)}</pre>")
+    body.append("</body></html>")
+    return "\n".join(body) + "\n"

@@ -1,0 +1,328 @@
+"""The flight recorder: an always-on, bounded ring buffer of typed events.
+
+Spans answer *how long* a phase took; the flight recorder answers *what
+happened*, in order, right before something looked wrong.  Hot paths emit
+small structured events — adaptation start/end, nest insert/delete/retain,
+tree edit operations, redistribution rounds, cache clears — into a
+fixed-capacity :class:`FlightRecorder` ring (oldest events fall off the
+back, so memory stays bounded no matter how long a run is).  Unlike the
+span recorder there is no disabled default: the ring is cheap enough
+(one clock read plus a ``deque`` append per event, at adaptation-point
+granularity) to leave on permanently, which is the whole point of a
+flight recorder — the record already exists when a run goes sideways.
+
+The ring exports to JSONL (one event per line) and loads back with
+:func:`load_flight_jsonl`; :func:`replay_flight` converts a sequence of
+events into an :class:`~repro.obs.recorder.InMemoryRecorder` so the
+existing text/Chrome exporters can render a flight log with no extra
+code paths: paired ``*.start`` / ``*.end`` events become spans, point
+events become zero-duration spans, and every kind is counted.
+
+This module lives in ``repro.obs`` and therefore may read raw clocks
+(reprolint R007); emitting code outside never touches a clock.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from collections.abc import Iterable, Iterator
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.recorder import InMemoryRecorder, SpanRecord, TagValue
+
+__all__ = [
+    "DEFAULT_FLIGHT_CAPACITY",
+    "FlightEvent",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "get_flight_recorder",
+    "set_flight_recorder",
+    "use_flight_recorder",
+    "load_flight_jsonl",
+    "replay_flight",
+    "format_flight",
+]
+
+#: default ring size — generous for hundreds of adaptation points, yet
+#: bounded (~a few hundred KiB) however long the process runs
+DEFAULT_FLIGHT_CAPACITY = 4096
+
+
+@dataclass(frozen=True)
+class FlightEvent:
+    """One recorded event: a sequence number, a timestamp, a kind, data.
+
+    ``seq`` is assigned monotonically by the owning recorder and never
+    reset by ring eviction, so gaps in an exported log reveal exactly how
+    many events were dropped.  ``t`` is seconds relative to the
+    recorder's origin, the same convention as
+    :class:`~repro.obs.recorder.SpanRecord`.
+    """
+
+    seq: int
+    t: float
+    kind: str
+    data: dict[str, TagValue] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"seq": self.seq, "t": self.t, "kind": self.kind, "data": self.data},
+            sort_keys=True,
+        )
+
+
+class FlightRecorder:
+    """Bounded ring buffer of :class:`FlightEvent` (oldest evicted first)."""
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.origin = time.perf_counter()
+        self._events: deque[FlightEvent] = deque(maxlen=capacity)
+        self._seq = 0
+
+    def emit(self, kind: str, **data: TagValue) -> None:
+        """Append one event; evicts the oldest when the ring is full."""
+        event = FlightEvent(
+            seq=self._seq,
+            t=time.perf_counter() - self.origin,
+            kind=kind,
+            data=dict(data),
+        )
+        self._seq += 1
+        self._events.append(event)
+
+    # -- inspection -----------------------------------------------------
+
+    def events(self) -> list[FlightEvent]:
+        """The retained events, oldest first."""
+        return list(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def total_emitted(self) -> int:
+        """How many events were ever emitted (including evicted ones)."""
+        return self._seq
+
+    @property
+    def dropped(self) -> int:
+        """How many events the ring has evicted."""
+        return self._seq - len(self._events)
+
+    def reset(self) -> None:
+        """Drop every event, restart the clock origin and the sequence."""
+        self._events.clear()
+        self._seq = 0
+        self.origin = time.perf_counter()
+
+    # -- JSONL export ---------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        """The retained events as JSON Lines (one event per line)."""
+        return "".join(ev.to_json() + "\n" for ev in self._events)
+
+    def write_jsonl(self, path: str | Path) -> Path:
+        """Serialise the ring to ``path``; returns the path."""
+        out = Path(path)
+        out.write_text(self.to_jsonl(), encoding="utf-8")
+        return out
+
+
+class NullFlightRecorder(FlightRecorder):
+    """A disabled flight recorder: ``emit`` is a no-op (for perf tests)."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    def emit(self, kind: str, **data: TagValue) -> None:
+        return None
+
+
+#: the process-wide flight recorder — always on, bounded by construction
+_ACTIVE_FLIGHT: FlightRecorder = FlightRecorder()
+
+
+def get_flight_recorder() -> FlightRecorder:
+    """The process-wide flight recorder (an always-on bounded ring)."""
+    return _ACTIVE_FLIGHT
+
+
+def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
+    """Install ``recorder`` as the active ring; returns the previous one."""
+    global _ACTIVE_FLIGHT
+    previous = _ACTIVE_FLIGHT
+    _ACTIVE_FLIGHT = recorder
+    return previous
+
+
+@contextmanager
+def use_flight_recorder(recorder: FlightRecorder) -> Iterator[FlightRecorder]:
+    """Scope ``recorder`` as the active ring, restoring the previous on exit."""
+    previous = set_flight_recorder(recorder)
+    try:
+        yield recorder
+    finally:
+        set_flight_recorder(previous)
+
+
+# ---------------------------------------------------------------------------
+# load + replay
+# ---------------------------------------------------------------------------
+
+
+def _event_from_dict(payload: dict[str, object], lineno: int) -> FlightEvent:
+    try:
+        seq = payload["seq"]
+        t = payload["t"]
+        kind = payload["kind"]
+        data = payload.get("data", {})
+    except KeyError as exc:
+        raise ValueError(f"flight JSONL line {lineno}: missing key {exc}") from exc
+    if not isinstance(seq, int) or not isinstance(t, (int, float)):
+        raise ValueError(f"flight JSONL line {lineno}: bad seq/t types")
+    if not isinstance(kind, str) or not isinstance(data, dict):
+        raise ValueError(f"flight JSONL line {lineno}: bad kind/data types")
+    tags: dict[str, TagValue] = {}
+    for key, value in data.items():
+        if not isinstance(key, str) or not isinstance(value, (str, int, float)):
+            raise ValueError(
+                f"flight JSONL line {lineno}: data entry {key!r} is not a tag value"
+            )
+        tags[key] = value
+    return FlightEvent(seq=seq, t=float(t), kind=kind, data=tags)
+
+
+def load_flight_jsonl(path: str | Path) -> list[FlightEvent]:
+    """Load an exported flight log back into :class:`FlightEvent` objects."""
+    events: list[FlightEvent] = []
+    for lineno, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            payload = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"flight JSONL line {lineno}: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError(f"flight JSONL line {lineno}: not a JSON object")
+        events.append(_event_from_dict(payload, lineno))
+    return events
+
+
+def replay_flight(events: Iterable[FlightEvent]) -> InMemoryRecorder:
+    """Replay events into an :class:`InMemoryRecorder` for the exporters.
+
+    Pairing rule: an event whose kind ends in ``.start`` opens a pseudo
+    span named after the prefix; the next event with the matching
+    ``.end`` kind closes it (tags merged, start's winning on clashes).
+    Every other event becomes a zero-duration span at its timestamp, and
+    every kind is tallied into the ``flight.<kind>`` counters — so
+    :func:`~repro.obs.export.format_report` and
+    :func:`~repro.obs.export.chrome_trace` render a flight log directly.
+    Unmatched ``.start`` events (their ``.end`` fell off the ring or the
+    run stopped mid-flight) are emitted as zero-duration spans tagged
+    ``unclosed=1``.
+    """
+    recorder = InMemoryRecorder()
+    open_starts: list[FlightEvent] = []
+    for event in events:
+        recorder.count(f"flight.{event.kind}")
+        if event.kind.endswith(".start"):
+            open_starts.append(event)
+            continue
+        if event.kind.endswith(".end"):
+            prefix = event.kind[: -len(".end")]
+            match: FlightEvent | None = None
+            for candidate in reversed(open_starts):
+                if candidate.kind == prefix + ".start":
+                    match = candidate
+                    break
+            if match is not None:
+                open_starts.remove(match)
+                tags: dict[str, TagValue] = dict(event.data)
+                tags.update(match.data)
+                recorder.spans.append(
+                    SpanRecord(
+                        name=prefix,
+                        start=match.t,
+                        end=event.t,
+                        depth=len(open_starts),
+                        tags=tags,
+                    )
+                )
+                continue
+            # an end without its start: record it as a point event below
+        recorder.spans.append(
+            SpanRecord(
+                name=event.kind,
+                start=event.t,
+                end=event.t,
+                depth=len(open_starts),
+                tags=dict(event.data),
+            )
+        )
+    for leftover in open_starts:
+        tags = dict(leftover.data)
+        tags["unclosed"] = 1
+        recorder.spans.append(
+            SpanRecord(
+                name=leftover.kind[: -len(".start")],
+                start=leftover.t,
+                end=leftover.t,
+                depth=0,
+                tags=tags,
+            )
+        )
+    return recorder
+
+
+def format_flight(recorder: FlightRecorder, tail: int = 20) -> str:
+    """Human-readable flight summary: per-kind counts plus the last events."""
+    from repro.util.tables import format_table
+
+    events = recorder.events()
+    counts: dict[str, int] = {}
+    for event in events:
+        counts[event.kind] = counts.get(event.kind, 0) + 1
+    count_rows = [(kind, str(n)) for kind, n in sorted(counts.items())]
+    parts = [
+        format_table(
+            ["event kind", "count"],
+            count_rows,
+            title=(
+                f"flight recorder — {len(events)} events retained, "
+                f"{recorder.dropped} dropped (capacity {recorder.capacity})"
+            ),
+        )
+    ]
+    if events:
+        tail_rows = [
+            (
+                str(ev.seq),
+                f"{ev.t * 1e3:10.3f}",
+                ev.kind,
+                ", ".join(f"{k}={v}" for k, v in sorted(ev.data.items())),
+            )
+            for ev in events[-tail:]
+        ]
+        parts.append(
+            format_table(
+                ["seq", "t ms", "kind", "data"],
+                tail_rows,
+                title=f"last {len(tail_rows)} events",
+            )
+        )
+    return "\n\n".join(parts)

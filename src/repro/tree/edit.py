@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Mapping
 
-from repro.obs import get_recorder
+from repro.obs import get_flight_recorder, get_recorder
 from repro.tree.huffman import build_huffman
 from repro.tree.node import TreeNode
 
@@ -175,6 +175,7 @@ def _diffusion_edit(
     insertion: str,
 ) -> TreeNode | None:
     """The edit steps of :func:`diffusion_edit` (pre-validated arguments)."""
+    flight = get_flight_recorder()
     root = oldtree.clone()
 
     # 1. mark deleted leaves free, collapse sibling free slots
@@ -183,6 +184,7 @@ def _diffusion_edit(
         leaf.free = True
         leaf.nest_id = None
         leaf.weight = 0.0
+        flight.emit("tree.free", nest=nest_id)
     root = _collapse_free_siblings(root)
 
     # 2. re-weight retained leaves and internal sums
@@ -210,6 +212,7 @@ def _diffusion_edit(
         filled = _fill_slot(best, TreeNode(w, nest_id=nest_id))
         if was_root:
             root = filled
+        flight.emit("tree.fill_slot", nest=nest_id, policy=insertion)
 
     # 4. surplus new nests become a Huffman subtree at the last free slot
     if pending:
@@ -221,6 +224,7 @@ def _diffusion_edit(
             filled = _fill_slot(slot, subtree)
             if was_root:
                 root = filled
+            flight.emit("tree.huffman_fill", n_nests=len(pending))
             pending = []
         else:
             # 6. pure insertion: pair each new nest with the closest-weight leaf
@@ -236,10 +240,12 @@ def _diffusion_edit(
                 else:
                     _attach_beside(target, new_leaf)
                 root.update_weights()
+                flight.emit("tree.pair_insert", nest=nest_id)
             pending = []
 
     # 5. prune surplus free slots
     for slot in free_slots:
+        flight.emit("tree.prune_slot")
         new_root = _splice_out(root, slot)
         if new_root is None:
             return None

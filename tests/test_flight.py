@@ -1,0 +1,258 @@
+"""Tests for the flight recorder (``repro.obs.flight``).
+
+Covers the acceptance criteria: the ring is bounded (capacity test), the
+JSONL export round-trips through the replay loader, and instrumented runs
+emit the adaptation/nest/tree/redistribution event stream.
+"""
+
+import math
+
+import pytest
+
+from repro.core import DiffusionStrategy, ScratchStrategy
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext, run_workload
+from repro.obs import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightEvent,
+    FlightRecorder,
+    NullFlightRecorder,
+    format_flight,
+    get_flight_recorder,
+    load_flight_jsonl,
+    replay_flight,
+    set_flight_recorder,
+    use_flight_recorder,
+)
+from repro.obs.export import chrome_trace, format_report
+from repro.topology import MACHINES
+
+
+class TestRing:
+    def test_capacity_bounds_memory(self):
+        ring = FlightRecorder(capacity=8)
+        for i in range(20):
+            ring.emit("tick", i=i)
+        assert len(ring) == 8
+        assert ring.total_emitted == 20
+        assert ring.dropped == 12
+        # oldest events evicted first; seq keeps counting across eviction
+        assert [ev.seq for ev in ring.events()] == list(range(12, 20))
+        assert [ev.data["i"] for ev in ring.events()] == list(range(12, 20))
+
+    def test_default_capacity_and_validation(self):
+        assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(capacity=0)
+
+    def test_timestamps_monotonic(self):
+        ring = FlightRecorder()
+        for _ in range(5):
+            ring.emit("tick")
+        ts = [ev.t for ev in ring.events()]
+        assert ts == sorted(ts)
+        assert all(t >= 0.0 for t in ts)
+
+    def test_reset(self):
+        ring = FlightRecorder(capacity=4)
+        for _ in range(10):
+            ring.emit("tick")
+        ring.reset()
+        assert len(ring) == 0
+        assert ring.total_emitted == 0
+        assert ring.dropped == 0
+        ring.emit("tick")
+        assert ring.events()[0].seq == 0
+
+    def test_null_recorder_is_noop(self):
+        ring = NullFlightRecorder()
+        assert not ring.enabled
+        ring.emit("tick", a=1)
+        assert len(ring) == 0 and ring.total_emitted == 0
+
+
+class TestAmbient:
+    def test_always_on_by_default(self):
+        ring = get_flight_recorder()
+        assert isinstance(ring, FlightRecorder)
+        assert ring.enabled
+
+    def test_use_scopes_and_restores(self):
+        before = get_flight_recorder()
+        mine = FlightRecorder(capacity=16)
+        with use_flight_recorder(mine) as active:
+            assert active is mine
+            assert get_flight_recorder() is mine
+            get_flight_recorder().emit("scoped")
+        assert get_flight_recorder() is before
+        assert [ev.kind for ev in mine.events()] == ["scoped"]
+
+    def test_set_returns_previous(self):
+        before = get_flight_recorder()
+        mine = FlightRecorder()
+        try:
+            assert set_flight_recorder(mine) is before
+            assert get_flight_recorder() is mine
+        finally:
+            set_flight_recorder(before)
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        ring = FlightRecorder(capacity=8)
+        ring.emit("adapt.start", step=0, strategy="scratch")
+        ring.emit("nest.insert", nest=3, nx=60, ny=90)
+        ring.emit("adapt.end", step=0, redist_predicted=0.125)
+        path = ring.write_jsonl(tmp_path / "flight.jsonl")
+        loaded = load_flight_jsonl(path)
+        assert loaded == ring.events()
+
+    def test_round_trip_after_eviction_keeps_seq(self, tmp_path):
+        ring = FlightRecorder(capacity=4)
+        for i in range(10):
+            ring.emit("tick", i=i)
+        loaded = load_flight_jsonl(ring.write_jsonl(tmp_path / "f.jsonl"))
+        assert [ev.seq for ev in loaded] == [6, 7, 8, 9]
+
+    def test_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('\n{"seq": 0, "t": 0.5, "kind": "tick", "data": {}}\n\n')
+        events = load_flight_jsonl(path)
+        assert events == [FlightEvent(seq=0, t=0.5, kind="tick", data={})]
+
+    @pytest.mark.parametrize(
+        "line",
+        [
+            "not json",
+            "[1, 2]",
+            '{"t": 0.0, "kind": "x", "data": {}}',  # missing seq
+            '{"seq": "0", "t": 0.0, "kind": "x", "data": {}}',  # bad seq type
+            '{"seq": 0, "t": 0.0, "kind": 5, "data": {}}',  # bad kind type
+            '{"seq": 0, "t": 0.0, "kind": "x", "data": {"k": [1]}}',  # bad tag
+        ],
+    )
+    def test_malformed_lines_rejected_with_line_number(self, tmp_path, line):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"seq": 0, "t": 0.0, "kind": "ok", "data": {}}\n' + line + "\n")
+        with pytest.raises(ValueError, match="line 2"):
+            load_flight_jsonl(path)
+
+
+class TestReplay:
+    def test_pairs_start_end_into_spans(self):
+        events = [
+            FlightEvent(0, 0.0, "adapt.start", {"step": 0, "strategy": "scratch"}),
+            FlightEvent(1, 0.25, "adapt.end", {"step": 0, "redist": 1}),
+            FlightEvent(2, 0.5, "nest.insert", {"nest": 4}),
+        ]
+        rec = replay_flight(events)
+        spans = {s.name: s for s in rec.spans}
+        adapt = spans["adapt"]
+        assert adapt.start == 0.0 and adapt.end == 0.25
+        # tags merged from both ends, the start event winning on clashes
+        assert adapt.tags["strategy"] == "scratch" and adapt.tags["redist"] == 1
+        point = spans["nest.insert"]
+        assert point.duration == 0.0 and point.tags == {"nest": 4}
+        assert rec.counters == {
+            "flight.adapt.start": 1.0,
+            "flight.adapt.end": 1.0,
+            "flight.nest.insert": 1.0,
+        }
+
+    def test_start_tags_win_on_clash(self):
+        events = [
+            FlightEvent(0, 0.0, "a.start", {"who": "start"}),
+            FlightEvent(1, 1.0, "a.end", {"who": "end"}),
+        ]
+        rec = replay_flight(events)
+        assert rec.spans[0].tags["who"] == "start"
+
+    def test_unclosed_start_tagged(self):
+        events = [FlightEvent(0, 0.5, "adapt.start", {"step": 7})]
+        rec = replay_flight(events)
+        (span,) = rec.spans
+        assert span.name == "adapt"
+        assert span.tags["unclosed"] == 1 and span.tags["step"] == 7
+        assert span.duration == 0.0
+
+    def test_end_without_start_is_point_event(self):
+        rec = replay_flight([FlightEvent(0, 0.5, "adapt.end", {})])
+        (span,) = rec.spans
+        assert span.name == "adapt.end" and span.duration == 0.0
+
+    def test_nested_pairs_match_innermost(self):
+        events = [
+            FlightEvent(0, 0.0, "a.start", {"n": 0}),
+            FlightEvent(1, 1.0, "a.start", {"n": 1}),
+            FlightEvent(2, 2.0, "a.end", {}),
+            FlightEvent(3, 3.0, "a.end", {}),
+        ]
+        rec = replay_flight(events)
+        by_start = sorted(rec.spans, key=lambda s: s.start)
+        assert [s.tags["n"] for s in by_start] == [0, 1]
+        assert by_start[0].end == 3.0 and by_start[1].end == 2.0
+
+    def test_replayed_recorder_feeds_exporters(self):
+        events = [
+            FlightEvent(0, 0.0, "adapt.start", {"step": 0}),
+            FlightEvent(1, 0.1, "adapt.end", {}),
+            FlightEvent(2, 0.2, "nest.delete", {"nest": 2}),
+        ]
+        rec = replay_flight(events)
+        report = format_report(rec, title="replayed")
+        assert "adapt" in report
+        trace = chrome_trace(rec)
+        assert any(ev.get("name") == "adapt" for ev in trace["traceEvents"])
+
+
+class TestFormatFlight:
+    def test_counts_and_tail(self):
+        ring = FlightRecorder(capacity=4)
+        for i in range(6):
+            ring.emit("tick", i=i)
+        text = format_flight(ring, tail=2)
+        assert "4 events retained" in text
+        assert "2 dropped" in text
+        assert "tick" in text and "i=5" in text
+
+    def test_empty_ring(self):
+        text = format_flight(FlightRecorder())
+        assert "0 events retained" in text
+
+
+class TestInstrumentedRun:
+    """A real run populates the ring with the documented event kinds."""
+
+    def _run(self, strategy):
+        ring = FlightRecorder()
+        ctx = ExperimentContext(MACHINES["bgl-256"])
+        with use_flight_recorder(ring):
+            run_workload(synthetic_workload(seed=0, n_steps=6), strategy, ctx)
+        return ring
+
+    def test_adaptation_events_emitted(self):
+        ring = self._run(ScratchStrategy())
+        kinds = {ev.kind for ev in ring.events()}
+        assert {"adapt.start", "adapt.end"} <= kinds
+        starts = [ev for ev in ring.events() if ev.kind == "adapt.start"]
+        assert len(starts) == 6
+        assert starts[0].data["strategy"] == "scratch"
+        assert {"nest.insert"} <= kinds  # the workload grows nests
+
+    def test_diffusion_emits_tree_edit_and_redist_events(self):
+        ring = self._run(DiffusionStrategy())
+        kinds = {ev.kind for ev in ring.events()}
+        assert "redist.round" in kinds
+        assert kinds & {"tree.free", "tree.fill_slot", "tree.pair_insert"}
+
+    def test_run_round_trips_through_replay(self, tmp_path):
+        ring = self._run(ScratchStrategy())
+        loaded = load_flight_jsonl(ring.write_jsonl(tmp_path / "run.jsonl"))
+        assert loaded == ring.events()
+        rec = replay_flight(loaded)
+        # every adapt.start paired with its adapt.end: no unclosed spans
+        adapt_spans = [s for s in rec.spans if s.name == "adapt"]
+        assert len(adapt_spans) == 6
+        assert all("unclosed" not in s.tags for s in adapt_spans)
+        assert all(s.duration >= 0.0 for s in adapt_spans)
+        assert not any(math.isnan(s.duration) for s in rec.spans)

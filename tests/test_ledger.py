@@ -1,0 +1,241 @@
+"""Tests for the per-rank communication ledger (``repro.mpisim.ledger``)
+and the route-cache counters / busiest-link breakdown it feeds on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.mpisim import (
+    CommLedger,
+    CostModel,
+    MessageSet,
+    NetworkSimulator,
+    SkewSummary,
+    format_ledger,
+    gini,
+)
+from repro.topology import blue_gene_l
+
+
+def msgset(triples):
+    src, dst, b = zip(*triples)
+    return MessageSet(
+        np.asarray(src, dtype=np.int64),
+        np.asarray(dst, dtype=np.int64),
+        np.asarray(b, dtype=np.float64),
+    )
+
+
+EMPTY = MessageSet.concat([])
+
+
+class TestGini:
+    def test_empty_and_all_zero(self):
+        assert gini(np.array([])) == 0.0
+        assert gini(np.zeros(8)) == 0.0
+
+    def test_uniform_is_zero(self):
+        assert gini(np.full(16, 3.5)) == pytest.approx(0.0)
+
+    def test_single_hot_rank(self):
+        # one rank carries everything: G = (n-1)/n
+        x = np.zeros(10)
+        x[3] = 100.0
+        assert gini(x) == pytest.approx(0.9)
+
+    def test_order_invariant(self):
+        x = np.array([1.0, 5.0, 2.0, 8.0])
+        assert gini(x) == pytest.approx(gini(x[::-1]))
+
+    def test_known_value(self):
+        # [0, 1]: G = 2*(1*0 + 2*1)/(2*1) - 3/2 = 1/2
+        assert gini(np.array([0.0, 1.0])) == pytest.approx(0.5)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="nonnegative"):
+            gini(np.array([1.0, -1.0]))
+
+
+class TestCommLedger:
+    def test_nranks_validated(self):
+        with pytest.raises(ValueError, match="nranks"):
+            CommLedger(0)
+
+    def test_accumulation_matches_hand_count(self):
+        ledger = CommLedger(4)
+        ledger.add_messages(msgset([(0, 1, 100.0), (0, 2, 50.0), (3, 0, 25.0)]))
+        ledger.add_messages(msgset([(0, 1, 10.0)]))
+        assert ledger.n_collectives == 2
+        assert ledger.n_messages == 4
+        assert ledger.sent.tolist() == [160.0, 0.0, 0.0, 25.0]
+        assert ledger.received.tolist() == [25.0, 110.0, 50.0, 0.0]
+        assert ledger.pair_bytes == {
+            (0, 1): 110.0,
+            (0, 2): 50.0,
+            (3, 0): 25.0,
+        }
+        # no mapping given: hop-bytes stay untouched
+        assert ledger.hop_bytes.tolist() == [0.0, 0.0, 0.0, 0.0]
+
+    def test_empty_collective_counted_but_harmless(self):
+        ledger = CommLedger(2)
+        ledger.add_messages(EMPTY)
+        assert ledger.n_collectives == 1 and ledger.n_messages == 0
+        assert float(ledger.sent.sum()) == 0.0
+
+    def test_hop_bytes_attributed_to_sender(self):
+        machine = blue_gene_l(64)
+        mapping = machine.mapping
+        msgs = msgset([(0, 5, 1000.0), (5, 0, 200.0)])
+        ledger = CommLedger(mapping.nranks)
+        ledger.add_messages(msgs, mapping)
+        hops = mapping.rank_hops(msgs.src, msgs.dst).astype(np.float64)
+        assert ledger.hop_bytes[0] == pytest.approx(hops[0] * 1000.0)
+        assert ledger.hop_bytes[5] == pytest.approx(hops[1] * 200.0)
+        assert float(ledger.hop_bytes.sum()) == pytest.approx(
+            float((hops * msgs.nbytes).sum())
+        )
+
+    def test_skew_summary_values(self):
+        ledger = CommLedger(4)
+        ledger.add_messages(msgset([(0, 1, 300.0), (2, 1, 100.0)]))
+        s = ledger.skew("sent")
+        assert isinstance(s, SkewSummary)
+        assert s.label == "sent"
+        assert s.total == pytest.approx(400.0)
+        assert s.max == pytest.approx(300.0)
+        assert s.mean == pytest.approx(100.0)
+        assert s.max_over_mean == pytest.approx(3.0)
+        assert s.nonzero_ranks == 2 and s.nranks == 4
+        assert 0.0 < s.gini < 1.0
+        recv = ledger.skew("received")
+        assert recv.max == pytest.approx(400.0)
+        assert recv.nonzero_ranks == 1
+
+    def test_skew_unknown_series(self):
+        with pytest.raises(ValueError, match="unknown series"):
+            CommLedger(2).skew("latency")
+
+    def test_skew_to_dict_round_trips(self):
+        ledger = CommLedger(2)
+        ledger.add_messages(msgset([(0, 1, 10.0)]))
+        d = ledger.skew("sent").to_dict()
+        assert d["total"] == pytest.approx(10.0)
+        assert d["max_over_mean"] == pytest.approx(2.0)
+
+    def test_top_pairs_ordering(self):
+        ledger = CommLedger(4)
+        ledger.add_messages(
+            msgset([(0, 1, 10.0), (1, 2, 30.0), (2, 3, 20.0), (0, 1, 5.0)])
+        )
+        pairs = ledger.top_pairs(2)
+        assert pairs == [((1, 2), 30.0), ((2, 3), 20.0)]
+
+    def test_busiest_link_shares(self):
+        ledger = CommLedger(4)
+        assert ledger.busiest_link_shares() == []
+        ledger.add_busiest_link(100.0, {(0, 1): 60.0, (2, 3): 40.0})
+        ledger.add_busiest_link(100.0, {(0, 1): 20.0})
+        shares = ledger.busiest_link_shares()
+        assert shares[0] == ((0, 1), pytest.approx(0.4))
+        assert shares[1] == ((2, 3), pytest.approx(0.2))
+        assert sum(share for _, share in shares) <= 1.0 + 1e-12
+
+    def test_to_dict_is_json_shaped(self):
+        import json
+
+        ledger = CommLedger(4)
+        ledger.add_messages(msgset([(0, 1, 10.0)]))
+        ledger.add_busiest_link(10.0, {(0, 1): 10.0})
+        d = ledger.to_dict()
+        assert json.loads(json.dumps(d))["n_messages"] == 1
+        assert d["top_pairs"] == [{"src": 0, "dst": 1, "bytes": 10.0}]
+        assert d["busiest_link_shares"] == [{"src": 0, "dst": 1, "share": 1.0}]
+
+    def test_format_ledger_renders(self):
+        ledger = CommLedger(4)
+        ledger.add_messages(msgset([(0, 1, 10.0), (2, 3, 90.0)]))
+        ledger.add_busiest_link(90.0, {(2, 3): 90.0})
+        text = format_ledger(ledger, title="unit")
+        assert "unit" in text and "Gini" in text
+        assert "heaviest rank pairs" in text
+        assert "busiest-link contributions" in text
+
+
+def _sim():
+    machine = blue_gene_l(64)
+    return NetworkSimulator(machine.mapping, CostModel.for_machine(machine)), machine
+
+
+class TestBusiestLinkContributions:
+    def test_empty_messages(self):
+        sim, _ = _sim()
+        assert sim.busiest_link_contributions(EMPTY) == (-1, 0.0, {})
+
+    def test_single_message_owns_the_link(self):
+        sim, _ = _sim()
+        msgs = msgset([(0, 1, 500.0)])
+        link, load, contributions = sim.busiest_link_contributions(msgs)
+        assert link >= 0
+        assert load == pytest.approx(500.0)
+        assert contributions == {(0, 1): 500.0}
+
+    def test_matches_link_loads(self):
+        sim, _ = _sim()
+        msgs = msgset([(0, 1, 100.0), (0, 5, 300.0), (7, 2, 50.0), (1, 0, 100.0)])
+        link, load, contributions = sim.busiest_link_contributions(msgs)
+        loads = sim.link_loads(msgs)
+        assert load == pytest.approx(max(loads.values()))
+        assert loads[link] == pytest.approx(load)
+        # each pair's contribution is bounded by what it sent in total
+        total_by_pair = {}
+        for s, d, b in zip(msgs.src, msgs.dst, msgs.nbytes):
+            key = (int(s), int(d))
+            total_by_pair[key] = total_by_pair.get(key, 0.0) + float(b)
+        for pair, nbytes in contributions.items():
+            assert nbytes <= total_by_pair[pair] + 1e-9
+        # the pairs routed through the busiest link account for its load
+        assert sum(contributions.values()) == pytest.approx(load)
+
+
+class TestRouteCacheCounters:
+    """Satellite: hit/miss counters, reset by clear_route_cache()."""
+
+    def test_miss_then_hit(self):
+        sim, _ = _sim()
+        assert sim.route_cache_hits == 0 and sim.route_cache_misses == 0
+        msgs = msgset([(0, 9, 10.0)])
+        sim.bottleneck_time(msgs)
+        assert sim.route_cache_misses == 1
+        assert sim.route_cache_hits == 0
+        sim.bottleneck_time(msgs)  # same pair again: served from cache
+        assert sim.route_cache_misses == 1
+        assert sim.route_cache_hits == 1
+
+    def test_clear_resets_counters(self):
+        sim, _ = _sim()
+        msgs = msgset([(0, 9, 10.0), (3, 4, 10.0)])
+        sim.bottleneck_time(msgs)
+        sim.bottleneck_time(msgs)
+        assert sim.route_cache_misses == 2 and sim.route_cache_hits == 2
+        sim.clear_route_cache()
+        assert sim.route_cache_hits == 0
+        assert sim.route_cache_misses == 0
+        sim.bottleneck_time(msgs)  # cache is genuinely cold again
+        assert sim.route_cache_misses == 2 and sim.route_cache_hits == 0
+
+
+class TestCommSkewReport:
+    def test_report_runs_both_strategies(self):
+        from repro.experiments import comm_skew_report
+
+        report = comm_skew_report(seed=0, n_steps=6, machine_key="bgl-256")
+        assert set(report.ledgers) == {"scratch", "diffusion"}
+        for ledger in report.ledgers.values():
+            assert ledger.n_messages > 0
+            assert float(ledger.sent.sum()) == pytest.approx(
+                float(ledger.received.sum())
+            )
+            assert float(ledger.hop_bytes.sum()) > 0.0
+        assert "Gini" in report.text
+        assert "scratch" in report.text and "diffusion" in report.text

@@ -414,8 +414,10 @@ class TestBench:
 
         path = write_baseline(result, tmp_path / "bench.json")
         payload = json.loads(path.read_text(encoding="utf-8"))
-        assert payload["schema"] == 1
+        assert payload["schema"] == 2
         assert payload["suite"] == "repro-bench"
+        assert payload["machine"] == "bgl-256"
+        assert isinstance(payload["git_describe"], str) and payload["git_describe"]
         for stats in payload["phases"].values():
             assert stats["median_s"] >= 0.0 and stats["p95_s"] >= stats["median_s"]
 
@@ -448,3 +450,71 @@ class TestBench:
             "e2e.compare",
         }
         assert required <= {p.name for p in bench_phases()}
+
+
+class TestExporterEdgeCases:
+    """Exporters must not choke on empty, unclosed or span-free recorders."""
+
+    def test_empty_recorder_everywhere(self):
+        rec = InMemoryRecorder()
+        doc = chrome_trace(rec)
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]  # metadata only
+        snap = metrics_snapshot(rec)
+        assert snap["spans"] == {} and snap["counters"] == {} and snap["gauges"] == {}
+        text = format_report(rec, title="empty")
+        assert "empty" in text and "phase" in text
+
+    def test_open_span_is_invisible_until_closed(self):
+        rec = InMemoryRecorder()
+        handle = rec.span("never.closed")
+        handle.__enter__()
+        # the recorder only exports *completed* spans; an open one must
+        # neither appear nor crash the exporters
+        assert rec.spans == []
+        events = chrome_trace(rec)["traceEvents"]
+        assert all(e["name"] != "never.closed" for e in events)
+        assert "never.closed" not in format_report(rec)
+        assert metrics_snapshot(rec)["spans"] == {}
+        handle.__exit__(None, None, None)
+        assert "never.closed" in metrics_snapshot(rec)["spans"]
+
+    def test_counters_and_gauges_only(self):
+        rec = InMemoryRecorder()
+        rec.count("netsim.route_cache_miss", 3)
+        rec.gauge("nests.live", 7)
+        doc = json.loads(json.dumps(chrome_trace(rec)))
+        assert [e["ph"] for e in doc["traceEvents"]] == ["M"]
+        snap = metrics_snapshot(rec)
+        assert snap["spans"] == {}
+        assert snap["counters"] == {"netsim.route_cache_miss": 3}
+        assert snap["gauges"] == {"nests.live": 7}
+        text = format_report(rec)
+        assert "netsim.route_cache_miss" in text and "nests.live" in text
+
+    def test_write_chrome_trace_empty(self, tmp_path):
+        path = write_chrome_trace(InMemoryRecorder(), tmp_path / "empty.json")
+        doc = json.loads(path.read_text(encoding="utf-8"))
+        assert doc["traceEvents"][0]["ph"] == "M"
+
+
+class TestHtmlReport:
+    def test_sections_escaped_and_wrapped(self):
+        from repro.obs import html_report
+
+        page = html_report(
+            [("phases <1>", "a | b\n--+--"), ("audit & trail", "x < y")],
+            title="repro obs <report>",
+        )
+        assert page.startswith("<!DOCTYPE html>")
+        assert "<title>repro obs &lt;report&gt;</title>" in page
+        assert "<h2>phases &lt;1&gt;</h2>" in page
+        assert "<h2>audit &amp; trail</h2>" in page
+        assert "x &lt; y" in page
+        assert "<1>" not in page  # raw unescaped text must not leak
+
+    def test_empty_sections(self):
+        from repro.obs import html_report
+
+        page = html_report([])
+        assert "<h1>repro obs report</h1>" in page
+        assert page.endswith("</body></html>\n")

@@ -523,6 +523,73 @@ class TestR007Timing:
 
 
 # ---------------------------------------------------------------------------
+# R008 — bare print() outside the CLI/report layer
+# ---------------------------------------------------------------------------
+
+
+class TestR008Printing:
+    def test_print_in_library_code_flagged(self):
+        src = """
+        def f(x):
+            print("debug", x)
+            return x
+        """
+        assert "R008" in rule_ids(src, select=["R008"])
+
+    def test_print_at_module_level_flagged(self):
+        assert "R008" in rule_ids('print("hello")\n', select=["R008"])
+
+    def test_cli_module_exempt(self):
+        src = 'print("usage: repro ...")\n'
+        assert rule_ids(src, module="repro.cli", select=["R008"]) == []
+
+    @pytest.mark.parametrize(
+        "module",
+        ["repro.obs.export", "repro.lint.reporting", "repro.experiments.report"],
+    )
+    def test_report_layer_exempt(self, module):
+        assert rule_ids('print("x")\n', module=module, select=["R008"]) == []
+
+    def test_exemption_is_exact_not_prefix(self):
+        # a sibling of an exempt module must not inherit the exemption
+        assert "R008" in rule_ids(
+            'print("x")\n', module="repro.obs.export_helpers", select=["R008"]
+        )
+        assert "R008" in rule_ids(
+            'print("x")\n', module="repro.cli_utils", select=["R008"]
+        )
+
+    def test_print_mentioned_in_docstring_clean(self):
+        src = '''
+        def f():
+            """Render the table; the CLI may print(format_report(rec))."""
+            return 1
+        '''
+        assert rule_ids(src, select=["R008"]) == []
+
+    def test_shadowed_attribute_print_clean(self):
+        src = """
+        def f(logger):
+            logger.print("not the builtin")
+        """
+        assert rule_ids(src, select=["R008"]) == []
+
+    def test_returning_strings_clean(self):
+        src = """
+        def render(rows):
+            return "\\n".join(str(r) for r in rows)
+        """
+        assert rule_ids(src, select=["R008"]) == []
+
+    def test_line_suppression_works(self):
+        src = """
+        def f():
+            print("intentional")  # reprolint: disable=R008
+        """
+        assert rule_ids(src, select=["R008"]) == []
+
+
+# ---------------------------------------------------------------------------
 # engine mechanics: suppression, selection, parse errors, reporting
 # ---------------------------------------------------------------------------
 
