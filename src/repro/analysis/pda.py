@@ -12,11 +12,22 @@ The analysis runs on the :class:`~repro.mpisim.comm.SimComm` SPMD harness —
 different set of processors than the processors running the WRF simulation"
 — so the division of files, the per-rank loop and the root-side gather are
 structured exactly as published.
+
+Degraded mode (:mod:`repro.faults`): a production analysis step must survive
+missing split files (a crashed writer leaves nothing behind), truncated or
+corrupt files (non-finite payloads), and failed analysis ranks.  The entry
+point therefore accepts ``None`` entries in ``files``, detects non-finite
+fields, and skips the buckets of failed :class:`SimComm` ranks; the result
+is flagged ``partial`` with per-cause counts, and the aggregate low-OLR
+fraction is renormalised over the *reporting* subdomain area rather than
+the whole domain, so thresholds stay comparable whatever was lost.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.analysis.nnc import NNCConfig, nearest_neighbour_clustering
 from repro.analysis.records import SplitFile, SubdomainSummary
@@ -25,7 +36,7 @@ from repro.grid.block import split_evenly
 from repro.grid.procgrid import ProcessorGrid
 from repro.grid.rect import Rect
 from repro.mpisim.comm import SimComm
-from repro.obs import get_recorder
+from repro.obs import get_flight_recorder, get_recorder
 
 __all__ = ["PDAConfig", "PDAResult", "parallel_data_analysis"]
 
@@ -47,30 +58,49 @@ class PDAResult:
     clusters: list[list[SubdomainSummary]]
     summaries: list[SubdomainSummary]  # sorted qcloudinfo the root saw
     gathered_items: int  # elements gathered at the root
+    #: True when any split file or analysis rank failed to report
+    partial: bool = False
+    n_files_missing: int = 0  # ``None`` entries (lost / truncated writers)
+    n_files_corrupt: int = 0  # files with non-finite QCLOUD/OLR payloads
+    n_ranks_failed: int = 0  # failed analysis ranks (their buckets unread)
+    #: reporting subdomain area / full domain area (1.0 when complete)
+    coverage: float = 1.0
+    #: area-weighted low-OLR fraction over *reporting* subdomains only
+    low_olr_fraction: float = 0.0
 
 
 def _assign_files(
-    files: list[SplitFile], sim_grid: ProcessorGrid, n_analysis: int
+    files: list[SplitFile | None], sim_grid: ProcessorGrid, n_analysis: int
 ) -> list[list[SplitFile]]:
     """Divide the P split files among N analysis ranks (Algorithm 1, 1–2).
 
     The subsets are rectangular blocks of the simulation's ``(Px, Py)``
     decomposition: the analysis grid is the most square factorisation of
     ``N`` and each analysis rank receives a contiguous block of subdomains.
+    Missing files (``None`` entries) are simply absent from every bucket.
     """
     ag = ProcessorGrid.square_like(n_analysis)
     xb = split_evenly(sim_grid.px, ag.px)
     yb = split_evenly(sim_grid.py, ag.py)
     buckets: list[list[SplitFile]] = [[] for _ in range(n_analysis)]
     for f in files:
+        if f is None:
+            continue
         ax = int(max(0, (xb[1:] <= f.block_x).sum()))
         ay = int(max(0, (yb[1:] <= f.block_y).sum()))
         buckets[ay * ag.px + ax].append(f)
     return buckets
 
 
+def _is_corrupt(f: SplitFile) -> bool:
+    """A truncated/garbled payload shows up as non-finite field values."""
+    return not (
+        bool(np.isfinite(f.qcloud).all()) and bool(np.isfinite(f.olr).all())
+    )
+
+
 def parallel_data_analysis(
-    files: list[SplitFile],
+    files: list[SplitFile | None],
     sim_grid: ProcessorGrid,
     n_analysis: int,
     config: PDAConfig | None = None,
@@ -81,7 +111,9 @@ def parallel_data_analysis(
     Parameters
     ----------
     files:
-        The ``P`` split files written by the simulation ranks.
+        The ``P`` split files written by the simulation ranks.  ``None``
+        entries mark files that never arrived (crashed or truncated
+        writers); they are counted and the result is flagged partial.
     sim_grid:
         The simulation's ``(Px, Py)`` process decomposition (for the
         rectangular division of files among analysis ranks).
@@ -91,7 +123,8 @@ def parallel_data_analysis(
         Thresholds; paper defaults when omitted.
     comm:
         An existing :class:`SimComm` of size ``N`` (one is created when
-        omitted); its statistics account the root gather.
+        omitted); its statistics account the root gather, and its failed
+        ranks' buckets go unread (degraded mode).
     """
     if len(files) != sim_grid.nprocs:
         raise ValueError(
@@ -112,15 +145,21 @@ def parallel_data_analysis(
     with get_recorder().span(
         "analysis.pda", n_files=len(files), n_analysis=n_analysis
     ):
+        n_missing = sum(1 for f in files if f is None)
         buckets = _assign_files(files, sim_grid, n_analysis)
+        corrupt_count = [0]  # mutated by the per-rank closure
 
         # Per-rank analysis (Algorithm 1, lines 3–9).  An analysis rank only
         # reports subdomains containing any low-OLR area — "some of the split
         # files may not have regions with OLR <= 200, in which case the
-        # process owning these split files will send fewer than k values".
+        # process owning these split files will send fewer than k values" —
+        # and skips corrupt files, counting them for the partial flag.
         def analyse(rank: int) -> list[SubdomainSummary]:
             out = []
             for f in buckets[rank]:
+                if _is_corrupt(f):
+                    corrupt_count[0] += 1
+                    continue
                 summary = f.summarise(config.olr_threshold)
                 if summary.olr_fraction > 0:
                     out.append(summary)
@@ -128,15 +167,67 @@ def parallel_data_analysis(
 
         per_rank = comm.run(analyse)
 
+        # Reporting area: every healthy file whose analysis rank is alive.
+        # Renormalise over reporting ranks: the low-OLR fraction a complete
+        # analysis would divide by the whole domain is instead divided by
+        # the area that actually reported, so it stays a comparable fraction.
+        reporting_area = 0
+        weighted_low_olr = 0.0
+        for rank, bucket in enumerate(buckets):
+            if not comm.alive(rank):
+                continue
+            for f in bucket:
+                if _is_corrupt(f):
+                    continue
+                summary = f.summarise(config.olr_threshold)
+                reporting_area += f.extent.area
+                weighted_low_olr += summary.olr_fraction * f.extent.area
+        low_olr = weighted_low_olr / reporting_area if reporting_area else 0.0
+
+        n_failed = len(comm.failed_ranks)
+        n_corrupt = corrupt_count[0]
+        partial = bool(n_missing or n_corrupt or n_failed)
+        full_area = _full_domain_area(files)
+        coverage = reporting_area / full_area if full_area else 1.0
+
         # Root gather (line 11) + sort (line 13) + NNC (line 14) + rectangles.
         gathered = comm.gather(per_rank, root=0)
         assert gathered is not None
         qcloudinfo = sorted(gathered, key=lambda s: -s.qcloud)
         clusters = nearest_neighbour_clustering(qcloudinfo, config.nnc)
         rectangles = clusters_to_rectangles(clusters, config.min_roi_area)
+        if partial:
+            get_flight_recorder().emit(
+                "pda.partial",
+                missing=n_missing,
+                corrupt=n_corrupt,
+                failed_ranks=n_failed,
+                coverage=round(coverage, 6),
+            )
         return PDAResult(
             rectangles=rectangles,
             clusters=clusters,
             summaries=qcloudinfo,
             gathered_items=len(gathered),
+            partial=partial,
+            n_files_missing=n_missing,
+            n_files_corrupt=n_corrupt,
+            n_ranks_failed=n_failed,
+            coverage=coverage,
+            low_olr_fraction=low_olr,
         )
+
+
+def _full_domain_area(files: list[SplitFile | None]) -> float:
+    """Total subdomain area including an estimate for missing files.
+
+    Present files report their exact extents; a missing file's extent is
+    unknown, so it is approximated by the mean extent of the present ones
+    (exact when the decomposition is even, close otherwise).
+    """
+    present = [f.extent.area for f in files if f is not None]
+    if not present:
+        return 0.0
+    mean_area = sum(present) / len(present)
+    n_missing = len(files) - len(present)
+    return float(sum(present) + mean_area * n_missing)

@@ -232,6 +232,38 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tail", type=int, default=20, help="flight events to show (default 20)"
     )
+
+    p = sub.add_parser(
+        "faults",
+        help="fault injection and self-healing: break the pipeline on purpose",
+        description=(
+            "Deterministic fault-injection soak: a seeded plan crashes ranks, "
+            "degrades links, slows stragglers and damages split files while "
+            "the reallocator tracks a churning nest workload.  Recovery "
+            "shrinks the processor grid, excises dead tree slots with the "
+            "standard diffusion edit, restores lost nest data from the "
+            "checkpoint and re-verifies every invariant."
+        ),
+    )
+    faults_sub = p.add_subparsers(dest="faults_command", required=True)
+    p = faults_sub.add_parser(
+        "run", help="run a seeded soak scenario and report the verdict"
+    )
+    p.add_argument(
+        "--suite",
+        choices=["quick", "full"],
+        default="quick",
+        help="scenario: quick = crashes only (CI gate), full = all fault kinds",
+    )
+    p.add_argument("--seed", type=int, default=None, help="override the suite seed")
+    p.add_argument(
+        "--export-flight",
+        default=None,
+        help="write the soak's flight ring as JSONL here",
+    )
+    p.add_argument(
+        "--tail", type=int, default=0, help="also show the last N flight events"
+    )
     return parser
 
 
@@ -333,9 +365,13 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
             print(f"repro obs report: {exc}", file=sys.stderr)
             return 2
         replayed = replay_flight(events)
+        skipped = getattr(events, "skipped_lines", 0)
+        heading = f"replayed flight log ({args.flight_jsonl}, {len(events)} events"
+        if skipped:
+            heading += f", {skipped} truncated trailing line(s) skipped"
         sections = [
             (
-                f"replayed flight log ({args.flight_jsonl}, {len(events)} events)",
+                heading + ")",
                 format_report(replayed, title="replayed flight events"),
             )
         ]
@@ -409,6 +445,45 @@ def _instrumented_obs_sections(args: argparse.Namespace) -> list[tuple[str, str]
             )
         )
     return sections
+
+
+def _cmd_faults(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.faults import SUITES, format_soak_report, run_soak
+    from repro.mpisim.ledger import format_ledger
+    from repro.obs import AuditTrail, FlightRecorder, format_flight, use_flight_recorder
+
+    config = SUITES[args.suite]
+    if args.seed is not None:
+        config = dataclasses.replace(config, seed=args.seed)
+    audit = AuditTrail()
+    flight = FlightRecorder()
+    with use_flight_recorder(flight):
+        from repro.mpisim.ledger import CommLedger
+
+        ledger = CommLedger(config.ncores)
+        report = run_soak(config, audit=audit, ledger=ledger)
+    print(format_soak_report(report))
+    print()
+    if audit.recoveries:
+        print(audit.recovery_report(title=f"recovery decisions — {config.name} suite"))
+        print()
+    print(format_ledger(ledger, title=f"soak traffic — {config.name} suite"))
+    if args.tail:
+        print()
+        print(format_flight(flight, tail=args.tail))
+    if args.export_flight:
+        flight.write_jsonl(args.export_flight)
+        print(f"flight log -> {args.export_flight}", file=sys.stderr)
+    if not report.ok:
+        print(
+            f"repro faults run: FAILED — {report.invariant_violations} invariant "
+            f"violation(s), {report.data_failures} data failure(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -687,6 +762,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_bench(args)
     elif cmd == "obs":
         return _cmd_obs_report(args)
+    elif cmd == "faults":
+        return _cmd_faults(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {cmd!r}")
     return 0

@@ -22,6 +22,8 @@ rescheduling within a running simulation") made executable.
 
 from __future__ import annotations
 
+import math
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -29,11 +31,23 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.grid.block import BlockDecomposition
 from repro.grid.overlap import TransferMatrix, transfer_matrix
-from repro.grid.rect import Rect
-from repro.obs import get_recorder
+from repro.mpisim.alltoallv import messages_from_transfer
+from repro.mpisim.ledger import CommLedger
+from repro.obs import get_flight_recorder, get_recorder
+from repro.util.rng import make_rng
 from repro.util.validation import check_positive
 
-__all__ = ["RankStore", "scatter_nest", "execute_redistribution", "gather_nest"]
+__all__ = [
+    "RankStore",
+    "scatter_nest",
+    "execute_redistribution",
+    "gather_nest",
+    "BackoffPolicy",
+    "RetryOutcome",
+    "TransientRedistributionError",
+    "RedistributionAbortedError",
+    "execute_redistribution_with_retry",
+]
 
 
 @dataclass
@@ -223,3 +237,206 @@ def gather_nest(store: RankStore, nest_id: int, nx: int, ny: int) -> np.ndarray:
                 f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
             )
         return out
+
+
+# -- self-healing execution (repro.faults) ------------------------------
+
+
+class TransientRedistributionError(RuntimeError):
+    """One redistribution round failed in a retryable way.
+
+    Raised by a round-time callback (usually a fault injector) to model a
+    lost or interrupted alltoallv round; the self-healing executor treats
+    it exactly like a timeout and retries with backoff.
+    """
+
+
+class RedistributionAbortedError(RuntimeError):
+    """Every retry attempt failed; the round was never applied.
+
+    The store is untouched — callers fall back to the last checkpoint
+    (:mod:`repro.faults.checkpoint`) rather than replaying the epoch.
+    """
+
+    def __init__(self, nest_id: int, attempts: int, total_delay: float) -> None:
+        super().__init__(
+            f"nest {nest_id}: redistribution aborted after {attempts} "
+            f"attempts ({total_delay:.3g}s of simulated backoff)"
+        )
+        self.nest_id = nest_id
+        self.attempts = attempts
+        self.total_delay = total_delay
+
+
+@dataclass(frozen=True)
+class BackoffPolicy:
+    """Bounded exponential backoff with seeded jitter.
+
+    All delays are *simulated* seconds — pure numbers accumulated into the
+    outcome, never slept (wall-clock reads outside :mod:`repro.obs` are
+    banned by lint rule R007).  The jitter draw comes from
+    :func:`repro.util.rng.make_rng`, so a (seed, nest) pair always yields
+    the same delay sequence.
+    """
+
+    base_delay: float = 0.05  # simulated seconds before the first retry
+    multiplier: float = 2.0
+    max_delay: float = 2.0  # per-retry cap (before jitter)
+    max_attempts: int = 5  # total tries, including the first
+    jitter: float = 0.25  # ± fraction of the nominal delay
+
+    def __post_init__(self) -> None:
+        check_positive("base_delay", self.base_delay)
+        if self.multiplier < 1.0:
+            raise ValueError(f"multiplier must be >= 1, got {self.multiplier}")
+        if self.max_delay < self.base_delay:
+            raise ValueError(
+                f"max_delay {self.max_delay} < base_delay {self.base_delay}"
+            )
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError(f"jitter must be in [0, 1), got {self.jitter}")
+
+    def delay(self, retry: int, rng: np.random.Generator) -> float:
+        """Simulated delay before retry number ``retry`` (1-based)."""
+        if retry < 1:
+            raise ValueError(f"retry index must be >= 1, got {retry}")
+        nominal = min(
+            self.base_delay * self.multiplier ** (retry - 1), self.max_delay
+        )
+        spread = self.jitter * (2.0 * float(rng.random()) - 1.0)
+        return nominal * (1.0 + spread)
+
+    def max_total_delay(self) -> float:
+        """Upper bound on summed backoff across every possible retry."""
+        total = 0.0
+        for retry in range(1, self.max_attempts):
+            nominal = min(
+                self.base_delay * self.multiplier ** (retry - 1), self.max_delay
+            )
+            total += nominal * (1.0 + self.jitter)
+        return total
+
+
+@dataclass(frozen=True)
+class RetryOutcome:
+    """What one self-healing redistribution actually took."""
+
+    nest_id: int
+    transfer: TransferMatrix
+    attempts: int  # tries made, including the successful one
+    delays: tuple[float, ...]  # simulated backoff before each retry
+    retried_bytes: float  # wire bytes re-sent by attempts after the first
+
+    @property
+    def total_delay(self) -> float:
+        return sum(self.delays)
+
+    @property
+    def recovered(self) -> bool:
+        """True when success needed at least one retry."""
+        return self.attempts > 1
+
+
+def execute_redistribution_with_retry(
+    store: RankStore,
+    nest_id: int,
+    old: Allocation,
+    new: Allocation,
+    nx: int,
+    ny: int,
+    *,
+    policy: BackoffPolicy | None = None,
+    timeout: float = math.inf,
+    round_time: Callable[[int], float] | None = None,
+    seed: int = 0,
+    ledger: CommLedger | None = None,
+    bytes_per_point: int = 8,
+) -> RetryOutcome:
+    """Run one nest's redistribution with per-round timeout and backoff.
+
+    ``round_time(attempt)`` returns the simulated duration of try number
+    ``attempt`` (0-based); a return above ``timeout`` — or a raised
+    :class:`TransientRedistributionError` — fails that try, which is
+    retried after a seeded-jitter backoff delay (see :class:`BackoffPolicy`)
+    until ``policy.max_attempts`` is exhausted, at which point
+    :class:`RedistributionAbortedError` is raised with the store untouched.
+    The data movement itself is applied exactly once, on the winning try,
+    so the bit-for-bit gather invariant is preserved through any number of
+    failed rounds.  When a ``ledger`` is given, re-sent bytes are
+    attributed to their senders via :meth:`CommLedger.add_retry`.
+    """
+    check_positive("nx", nx)
+    check_positive("ny", ny)
+    if timeout <= 0:
+        raise ValueError(f"timeout must be > 0, got {timeout}")
+    policy = policy or BackoffPolicy()
+    rng = make_rng((seed * 1_000_003 + nest_id) % 2**63)
+    flight = get_flight_recorder()
+
+    # The wire traffic of one try, for retry attribution.
+    plan_transfer = transfer_matrix(
+        old.decomposition(nest_id, nx, ny),
+        new.decomposition(nest_id, nx, ny),
+        old.grid.px,
+    )
+    messages = messages_from_transfer(plan_transfer, bytes_per_point)
+
+    delays: list[float] = []
+    retried_bytes = 0.0
+    with get_recorder().span("dataplane.redistribute_retry", nest=nest_id):
+        for attempt in range(policy.max_attempts):
+            if attempt > 0:
+                backoff = policy.delay(attempt, rng)
+                delays.append(backoff)
+                retried_bytes += float(messages.total_bytes)
+                if ledger is not None:
+                    ledger.add_retry(messages)
+                flight.emit(
+                    "redist.retry",
+                    nest=nest_id,
+                    attempt=attempt,
+                    backoff=round(backoff, 6),
+                )
+            try:
+                duration = round_time(attempt) if round_time is not None else 0.0
+            except TransientRedistributionError as exc:
+                flight.emit(
+                    "redist.round_failed",
+                    nest=nest_id,
+                    attempt=attempt,
+                    reason=str(exc),
+                )
+                continue
+            if duration > timeout:
+                flight.emit(
+                    "redist.round_timeout",
+                    nest=nest_id,
+                    attempt=attempt,
+                    duration=round(duration, 6),
+                    timeout=round(timeout, 6),
+                )
+                continue
+            transfer = _execute(store, nest_id, old, new, nx, ny)
+            if attempt > 0:
+                flight.emit(
+                    "redist.recovered",
+                    nest=nest_id,
+                    attempts=attempt + 1,
+                    total_backoff=round(sum(delays), 6),
+                )
+            return RetryOutcome(
+                nest_id=nest_id,
+                transfer=transfer,
+                attempts=attempt + 1,
+                delays=tuple(delays),
+                retried_bytes=retried_bytes,
+            )
+    flight.emit(
+        "redist.aborted",
+        nest=nest_id,
+        attempts=policy.max_attempts,
+        total_backoff=round(sum(delays), 6),
+    )
+    raise RedistributionAbortedError(nest_id, policy.max_attempts, sum(delays))

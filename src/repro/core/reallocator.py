@@ -11,17 +11,24 @@ running simulation") — minus WRF itself, which :mod:`repro.wrf` simulates.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.allocation import Allocation
 from repro.core.redistribution import RedistributionPlan, plan_redistribution
 from repro.core.strategy import ReallocationStrategy
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
-from repro.obs import get_flight_recorder, get_recorder
+from repro.obs import AuditTrail, get_flight_recorder, get_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.topology.machines import MachineSpec
 from repro.util.logging import get_logger
+
+if TYPE_CHECKING:
+    from repro.core.dataplane import RankStore
+    from repro.faults.checkpoint import Checkpoint
+    from repro.faults.recovery import RecoveryResult
 
 __all__ = ["ProcessorReallocator", "StepResult"]
 
@@ -151,4 +158,39 @@ class ProcessorReallocator:
             deleted=sorted(old_ids - set(nests)),
             retained=sorted(old_ids & set(nests)),
             created=sorted(set(nests) - old_ids),
+        )
+
+    def handle_rank_failure(
+        self,
+        dead_ranks: Iterable[int],
+        store: RankStore | None = None,
+        checkpoint: Checkpoint | None = None,
+        audit: AuditTrail | None = None,
+    ) -> RecoveryResult:
+        """Degraded-mode reallocation after losing ``dead_ranks``.
+
+        Delegates to :func:`repro.faults.recovery.recover_from_rank_failure`:
+        the processor grid shrinks to the surviving rows, the dead ranks'
+        tree slots are excised with the same diffusion edit used for
+        deleted nests, the result is invariant-checked, and — when a
+        ``store`` is given — retained nest data is reconstructed from
+        surviving blocks (plus ``checkpoint`` for the lost ones) onto the
+        shrunk allocation.  This reallocator's grid, allocation and nest
+        sizes are updated in place; subsequent :meth:`step` calls run on
+        the shrunk machine.
+        """
+        from repro.faults.recovery import recover_from_rank_failure
+
+        dead = frozenset(dead_ranks)
+        for rank in sorted(dead):
+            if not 0 <= rank < self.grid.nprocs:
+                raise ValueError(
+                    f"dead rank {rank} outside current grid [0, {self.grid.nprocs})"
+                )
+        return recover_from_rank_failure(
+            self,
+            dead,
+            store=store,
+            checkpoint=checkpoint,
+            audit=audit,
         )

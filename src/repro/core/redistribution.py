@@ -13,7 +13,7 @@ quantities the paper reports:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.allocation import Allocation
 from repro.grid.overlap import TransferMatrix, transfer_matrix
@@ -56,10 +56,26 @@ class RedistributionPlan:
     hop_bytes_avg: float  # byte-weighted average hops (Fig. 10 units)
     overlap_fraction: float  # point-weighted across retained nests
     network_bytes: float
+    #: §IV-C1 predicted time per nest round (keys = retained nest ids) —
+    #: the basis for per-round timeouts in the self-healing executor
+    per_nest_predicted: dict[int, float] = field(default_factory=dict)
 
     @property
     def retained_nests(self) -> list[int]:
         return [m.nest_id for m in self.moves]
+
+    def round_timeout(self, nest_id: int, factor: float = 4.0) -> float:
+        """Deadline for one nest's round: ``factor ×`` its predicted time.
+
+        A round exceeding this is treated as failed by the self-healing
+        executor (:func:`repro.core.dataplane.execute_redistribution_with_retry`)
+        and retried with backoff.  Falls back to the plan-wide prediction
+        when the nest has no per-round entry (e.g. an old serialized plan).
+        """
+        if factor <= 0:
+            raise ValueError(f"timeout factor must be > 0, got {factor}")
+        base = self.per_nest_predicted.get(nest_id, self.predicted_time)
+        return factor * base
 
 
 def plan_redistribution(
@@ -111,9 +127,11 @@ def plan_redistribution(
     with recorder.span("redist.cost", n_moves=len(moves)):
         all_msgs = MessageSet.concat(per_nest_msgs)
         hb_total, hb_avg = hop_bytes(all_msgs, machine.mapping)
-        predicted = sum(
-            predict_alltoallv_time(m, machine, cost) for m in per_nest_msgs
-        )
+        per_nest_predicted = {
+            nid: predict_alltoallv_time(m, machine, cost)
+            for nid, m in zip(retained, per_nest_msgs)
+        }
+        predicted = sum(per_nest_predicted.values())
         measured = measure_redistribution_time(per_nest_msgs, simulator, flow_level)
     overlap = local_points / total_points if total_points else 1.0
     return RedistributionPlan(
@@ -124,4 +142,5 @@ def plan_redistribution(
         hop_bytes_avg=hb_avg,
         overlap_fraction=overlap,
         network_bytes=all_msgs.total_bytes,
+        per_nest_predicted=per_nest_predicted,
     )

@@ -1,0 +1,74 @@
+"""repro.faults — deterministic fault injection and recovery.
+
+The robustness subsystem: everything needed to break the pipeline on
+purpose and prove it heals.
+
+* :mod:`~repro.faults.plan` — typed, seeded fault schedules (rank crash,
+  link degradation, stragglers, damaged split files);
+* :mod:`~repro.faults.injector` — applies a plan to the live hooks in
+  :mod:`repro.mpisim` and :mod:`repro.analysis`;
+* :mod:`~repro.faults.recovery` — heartbeat detection, ReSHAPE-style grid
+  shrink, tree excision via the standard diffusion edit, invariant-checked
+  degraded-mode reallocation, data-plane rebuild;
+* :mod:`~repro.faults.checkpoint` — serializable durable nest state
+  (allocation tree + gathered fields) recovery resumes from;
+* :mod:`~repro.faults.soak` — end-to-end seeded soak scenarios
+  (``repro faults run`` and the CI ``faults-soak`` gate).
+
+Every fault and every recovery decision is observable: flight events
+trace injection → detection → recovery, the audit trail records
+:class:`~repro.obs.audit.RecoveryDecision` rows, and the communication
+ledger attributes retry traffic.  See ``docs/robustness.md``.
+"""
+
+from __future__ import annotations
+
+from repro.faults.checkpoint import Checkpoint, tree_from_obj, tree_to_obj
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    LinkFault,
+    RankCrash,
+    RankStraggler,
+    SplitFileFault,
+)
+from repro.faults.recovery import (
+    HealthView,
+    RankRemap,
+    RecoveryError,
+    RecoveryResult,
+    plan_shrink,
+    recover_from_rank_failure,
+)
+from repro.faults.soak import (
+    SUITES,
+    SoakConfig,
+    SoakReport,
+    format_soak_report,
+    run_soak,
+)
+
+__all__ = [
+    "SUITES",
+    "Checkpoint",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "HealthView",
+    "LinkFault",
+    "RankCrash",
+    "RankRemap",
+    "RankStraggler",
+    "RecoveryError",
+    "RecoveryResult",
+    "SoakConfig",
+    "SoakReport",
+    "SplitFileFault",
+    "format_soak_report",
+    "plan_shrink",
+    "recover_from_rank_failure",
+    "run_soak",
+    "tree_from_obj",
+    "tree_to_obj",
+]

@@ -1,0 +1,145 @@
+"""Applies a :class:`~repro.faults.plan.FaultPlan` to the live system.
+
+The injector is the single choke point between a declarative plan and the
+hooks scattered through the pipeline: crashed ranks feed the
+:class:`~repro.faults.recovery.HealthView` (and a
+:class:`~repro.mpisim.comm.SimComm` when one is attached), link and
+straggler faults program the
+:class:`~repro.mpisim.netsim.NetworkSimulator`, and split-file faults
+damage the PDA inputs.  Every applied fault emits a ``fault.inject``
+flight event, so a soak run's log reads as a causal chain:
+injection → detection → degraded reallocation → recovered redistribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.analysis.records import SplitFile
+from repro.faults.plan import (
+    FaultPlan,
+    FaultSpec,
+    LinkFault,
+    RankCrash,
+    RankStraggler,
+    SplitFileFault,
+)
+from repro.mpisim.comm import SimComm
+from repro.mpisim.netsim import NetworkSimulator
+from repro.obs import get_flight_recorder
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Walks a plan step by step, applying each fault to its hook."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        simulator: NetworkSimulator | None = None,
+        comm: SimComm | None = None,
+    ) -> None:
+        self.plan = plan
+        self.simulator = simulator
+        self.comm = comm
+        self._crashed: set[int] = set()
+        self._applied: list[FaultSpec] = []
+
+    @property
+    def crashed_ranks(self) -> frozenset[int]:
+        """Every rank crashed by the plan so far."""
+        return frozenset(self._crashed)
+
+    @property
+    def applied(self) -> list[FaultSpec]:
+        """Faults applied so far, in application order."""
+        return list(self._applied)
+
+    def apply_step(self, step: int) -> list[FaultSpec]:
+        """Fire every fault scheduled at ``step``; returns what was applied.
+
+        Split-file faults are *not* applied here — they damage data, not
+        infrastructure, so they fire when the files pass through
+        :meth:`damage_files`.
+        """
+        flight = get_flight_recorder()
+        fired: list[FaultSpec] = []
+        for fault in self.plan.at_step(step):
+            if isinstance(fault, RankCrash):
+                self._crashed.add(fault.rank)
+                if self.comm is not None:
+                    self.comm.fail_rank(fault.rank)
+                flight.emit(
+                    "fault.inject", step=step, fault="rank_crash", rank=fault.rank
+                )
+            elif isinstance(fault, LinkFault):
+                if self.simulator is not None:
+                    self.simulator.set_link_fault(fault.link, fault.factor)
+                flight.emit(
+                    "fault.inject",
+                    step=step,
+                    fault="link_fault",
+                    link=fault.link,
+                    factor=fault.factor,
+                )
+            elif isinstance(fault, RankStraggler):
+                if self.simulator is not None:
+                    self.simulator.set_rank_slowdown(fault.rank, fault.factor)
+                flight.emit(
+                    "fault.inject",
+                    step=step,
+                    fault="straggler",
+                    rank=fault.rank,
+                    factor=fault.factor,
+                )
+            else:  # SplitFileFault fires in damage_files
+                continue
+            fired.append(fault)
+            self._applied.append(fault)
+        return fired
+
+    def new_crashes(self, step: int) -> list[int]:
+        """Ranks whose crash is scheduled exactly at ``step`` (sorted)."""
+        return sorted(
+            f.rank for f in self.plan.at_step(step) if isinstance(f, RankCrash)
+        )
+
+    def damage_files(
+        self, step: int, files: list[SplitFile | None]
+    ) -> list[SplitFile | None]:
+        """Apply this step's split-file faults to a PDA input list.
+
+        Truncation replaces the entry with ``None`` (the file never made it
+        to disk); corruption poisons the QCLOUD payload with NaNs, which
+        PDA's finiteness check must catch.  Out-of-range file indices are
+        ignored — a plan written for a larger grid degrades gracefully.
+        """
+        flight = get_flight_recorder()
+        damaged = list(files)
+        for fault in self.plan.at_step(step):
+            if not isinstance(fault, SplitFileFault):
+                continue
+            if fault.file_index >= len(damaged):
+                continue
+            victim = damaged[fault.file_index]
+            if victim is None:
+                continue
+            if fault.mode == "truncate":
+                damaged[fault.file_index] = None
+            else:
+                poisoned = victim.qcloud.copy()
+                poisoned[0, 0] = np.nan
+                damaged[fault.file_index] = dataclasses.replace(
+                    victim, qcloud=poisoned
+                )
+            flight.emit(
+                "fault.inject",
+                step=step,
+                fault=f"split_file_{fault.mode}",
+                file_index=fault.file_index,
+            )
+            self._applied.append(fault)
+        return damaged

@@ -1,0 +1,237 @@
+"""Typed, seeded fault-injection plans.
+
+A :class:`FaultPlan` is a declarative schedule: *what* goes wrong and at
+which adaptation point.  Four fault shapes cover the failure modes the
+north-star system must survive:
+
+* :class:`RankCrash` — a rank in the ``Px x Py`` grid dies at step ``k``
+  (fail-stop; detected by the heartbeat view, recovered by grid shrink);
+* :class:`LinkFault` — a network link's bandwidth degrades by a factor in
+  ``(0, 1]`` (applied via :meth:`NetworkSimulator.set_link_fault`);
+* :class:`RankStraggler` — a rank's software overhead inflates by a
+  factor ``>= 1`` (applied via :meth:`NetworkSimulator.set_rank_slowdown`);
+* :class:`SplitFileFault` — one simulation rank's split file arrives
+  truncated (missing) or corrupt (non-finite payload), exercising PDA's
+  degraded mode.
+
+Plans are data, not behaviour: building one performs no injection (that is
+:class:`repro.faults.injector.FaultInjector`'s job), so the same plan can
+drive a soak run, a unit test, or a reproduction of a production incident.
+:meth:`FaultPlan.seeded` derives a random-but-deterministic plan from a
+seed via :func:`repro.util.rng.make_rng` — the only sanctioned randomness
+source (reprolint R001).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.rng import make_rng
+
+__all__ = [
+    "RankCrash",
+    "LinkFault",
+    "RankStraggler",
+    "SplitFileFault",
+    "FaultSpec",
+    "FaultPlan",
+]
+
+
+@dataclass(frozen=True)
+class RankCrash:
+    """Rank ``rank`` fail-stops just before adaptation point ``step``."""
+
+    step: int
+    rank: int
+
+    def __post_init__(self) -> None:
+        _check_step(self.step)
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """Link ``link`` keeps only ``factor`` of its bandwidth from ``step`` on.
+
+    ``factor`` in ``(0, 1)`` models congestion or a failing cable; exactly
+    ``1.0`` heals the link.
+    """
+
+    step: int
+    link: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_step(self.step)
+        if self.link < 0:
+            raise ValueError(f"link must be >= 0, got {self.link}")
+        if not 0.0 < self.factor <= 1.0:
+            raise ValueError(f"factor must be in (0, 1], got {self.factor}")
+
+
+@dataclass(frozen=True)
+class RankStraggler:
+    """Rank ``rank``'s per-message software cost multiplies by ``factor``."""
+
+    step: int
+    rank: int
+    factor: float
+
+    def __post_init__(self) -> None:
+        _check_step(self.step)
+        if self.rank < 0:
+            raise ValueError(f"rank must be >= 0, got {self.rank}")
+        if self.factor < 1.0:
+            raise ValueError(f"factor must be >= 1, got {self.factor}")
+
+
+@dataclass(frozen=True)
+class SplitFileFault:
+    """The split file of simulation rank ``file_index`` is damaged at ``step``.
+
+    ``mode="truncate"`` drops the file entirely (the loader sees ``None``);
+    ``mode="corrupt"`` poisons its payload with non-finite values so PDA's
+    corruption detection must catch and exclude it.
+    """
+
+    step: int
+    file_index: int
+    mode: str = "truncate"
+
+    def __post_init__(self) -> None:
+        _check_step(self.step)
+        if self.file_index < 0:
+            raise ValueError(f"file_index must be >= 0, got {self.file_index}")
+        if self.mode not in ("truncate", "corrupt"):
+            raise ValueError(
+                f"mode must be 'truncate' or 'corrupt', got {self.mode!r}"
+            )
+
+
+FaultSpec = RankCrash | LinkFault | RankStraggler | SplitFileFault
+
+
+def _check_step(step: int) -> None:
+    if step < 0:
+        raise ValueError(f"step must be >= 0, got {step}")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of faults, queryable by adaptation point."""
+
+    faults: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        crashes: set[int] = set()
+        for f in self.faults:
+            if isinstance(f, RankCrash):
+                if f.rank in crashes:
+                    raise ValueError(f"rank {f.rank} crashes more than once")
+                crashes.add(f.rank)
+
+    def at_step(self, step: int) -> list[FaultSpec]:
+        """Every fault scheduled for adaptation point ``step``, plan order."""
+        return [f for f in self.faults if f.step == step]
+
+    def crashes(self) -> list[RankCrash]:
+        """All rank crashes in the plan, ordered by step then rank."""
+        found = [f for f in self.faults if isinstance(f, RankCrash)]
+        return sorted(found, key=lambda c: (c.step, c.rank))
+
+    @property
+    def n_faults(self) -> int:
+        return len(self.faults)
+
+    @property
+    def last_step(self) -> int:
+        """The latest step any fault fires at (-1 for an empty plan)."""
+        return max((f.step for f in self.faults), default=-1)
+
+    def describe(self) -> str:
+        """One line per fault, in step order (for logs and CLI output)."""
+        lines = []
+        for f in sorted(self.faults, key=lambda f: f.step):
+            if isinstance(f, RankCrash):
+                lines.append(f"step {f.step}: rank {f.rank} crashes")
+            elif isinstance(f, LinkFault):
+                lines.append(
+                    f"step {f.step}: link {f.link} degrades to "
+                    f"{f.factor:.0%} bandwidth"
+                )
+            elif isinstance(f, RankStraggler):
+                lines.append(
+                    f"step {f.step}: rank {f.rank} straggles at {f.factor:g}x"
+                )
+            else:
+                lines.append(
+                    f"step {f.step}: split file {f.file_index} {f.mode}d"
+                )
+        return "\n".join(lines) if lines else "(no faults)"
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        n_steps: int,
+        nranks: int,
+        nlinks: int = 0,
+        n_crashes: int = 2,
+        n_link_faults: int = 0,
+        n_stragglers: int = 0,
+        n_file_faults: int = 0,
+        first_step: int = 1,
+    ) -> "FaultPlan":
+        """A deterministic random plan — the soak suites are built on this.
+
+        Crashed ranks are drawn without replacement and never include rank
+        0 (the root of gathers, whose loss is out of the fail-stop model's
+        scope); fault steps land in ``[first_step, n_steps)`` so the first
+        allocation always exists before anything breaks.
+        """
+        if n_steps <= first_step:
+            raise ValueError(
+                f"need n_steps > first_step, got {n_steps} <= {first_step}"
+            )
+        if n_crashes >= nranks:
+            raise ValueError(
+                f"cannot crash {n_crashes} of {nranks} ranks"
+            )
+        rng = make_rng(seed)
+        faults: list[FaultSpec] = []
+
+        def step() -> int:
+            return int(rng.integers(first_step, n_steps))
+
+        crash_ranks = rng.choice(nranks - 1, size=n_crashes, replace=False) + 1
+        for rank in sorted(int(r) for r in crash_ranks):
+            faults.append(RankCrash(step=step(), rank=rank))
+        for _ in range(n_link_faults):
+            if nlinks < 1:
+                raise ValueError("n_link_faults > 0 needs nlinks >= 1")
+            faults.append(
+                LinkFault(
+                    step=step(),
+                    link=int(rng.integers(0, nlinks)),
+                    factor=float(rng.uniform(0.2, 0.8)),
+                )
+            )
+        for _ in range(n_stragglers):
+            faults.append(
+                RankStraggler(
+                    step=step(),
+                    rank=int(rng.integers(0, nranks)),
+                    factor=float(rng.uniform(1.5, 4.0)),
+                )
+            )
+        for _ in range(n_file_faults):
+            faults.append(
+                SplitFileFault(
+                    step=step(),
+                    file_index=int(rng.integers(0, nranks)),
+                    mode="truncate" if bool(rng.integers(0, 2)) else "corrupt",
+                )
+            )
+        return cls(faults=tuple(faults))

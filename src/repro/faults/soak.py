@@ -1,0 +1,416 @@
+"""Seeded soak scenarios: the whole pipeline under injected faults.
+
+A soak run drives a :class:`~repro.core.reallocator.ProcessorReallocator`
+through a deterministic nest-churn workload on a real data plane
+(:class:`~repro.core.dataplane.RankStore` holding actual field arrays),
+while a :class:`~repro.faults.injector.FaultInjector` fires a seeded
+:class:`~repro.faults.plan.FaultPlan` at it.  Every step the run:
+
+1. applies scheduled faults (crashes silence ranks; link/straggler faults
+   program the network simulator);
+2. runs heartbeat detection; newly-dead ranks trigger degraded-mode
+   recovery (grid shrink + tree excision + data-plane rebuild from the
+   last checkpoint);
+3. takes an adaptation step and executes its redistribution through the
+   self-healing executor (per-round timeout, seeded backoff);
+4. checks every :mod:`repro.core.invariants` guarantee and verifies every
+   nest's field bit-for-bit against the seeded ground truth;
+5. takes a fresh checkpoint (the next durable point).
+
+The acceptance scenario — kill 2 of 16 ranks across 10 adaptation points,
+all invariants intact, all retained data preserved — is the ``quick``
+suite; ``full`` adds link degradation, stragglers, damaged split files
+(exercising PDA's degraded mode) and more steps.  A run's return value is
+a :class:`SoakReport`; ``report.ok`` is the CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.analysis.pda import parallel_data_analysis
+from repro.analysis.records import SplitFile
+from repro.core.dataplane import (
+    BackoffPolicy,
+    RankStore,
+    TransientRedistributionError,
+    execute_redistribution_with_retry,
+    gather_nest,
+    scatter_nest,
+)
+from repro.core.diffusion import DiffusionStrategy
+from repro.core.invariants import InvariantViolation, check_all
+from repro.core.reallocator import ProcessorReallocator
+from repro.faults.checkpoint import Checkpoint
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan, SplitFileFault
+from repro.faults.recovery import HealthView
+from repro.grid.block import BlockDecomposition
+from repro.grid.procgrid import ProcessorGrid
+from repro.mpisim.ledger import CommLedger
+from repro.obs import AuditTrail, get_flight_recorder
+from repro.perfmodel.exectime import ExecTimePredictor
+from repro.perfmodel.groundtruth import ExecutionOracle
+from repro.perfmodel.profiles import ProfileTable
+from repro.topology.machines import MachineSpec, fist_cluster
+from repro.util.rng import make_rng
+
+__all__ = ["SoakConfig", "SoakReport", "SUITES", "run_soak", "format_soak_report"]
+
+
+@dataclass(frozen=True)
+class SoakConfig:
+    """One soak scenario, fully determined by its fields."""
+
+    name: str
+    seed: int = 42
+    ncores: int = 16
+    n_steps: int = 10
+    n_crashes: int = 2
+    n_link_faults: int = 0
+    n_stragglers: int = 0
+    n_file_faults: int = 0
+    #: steps whose first redistribution round fails and must be retried
+    n_flaky_steps: int = 2
+    nest_size_range: tuple[int, int] = (24, 40)
+
+    def machine(self) -> MachineSpec:
+        return fist_cluster(self.ncores)
+
+    def fault_plan(self, machine: MachineSpec) -> FaultPlan:
+        return FaultPlan.seeded(
+            seed=self.seed,
+            n_steps=self.n_steps,
+            nranks=machine.ncores,
+            nlinks=machine.topology.nlinks,
+            n_crashes=self.n_crashes,
+            n_link_faults=self.n_link_faults,
+            n_stragglers=self.n_stragglers,
+            n_file_faults=self.n_file_faults,
+        )
+
+
+#: The named suites the CLI and CI run.  ``quick`` is the acceptance
+#: scenario (2 of 16 ranks die across 10 adaptation points); ``full``
+#: turns every fault class on.
+SUITES: dict[str, SoakConfig] = {
+    "quick": SoakConfig(name="quick"),
+    "full": SoakConfig(
+        name="full",
+        seed=42,
+        n_steps=16,
+        n_crashes=2,
+        n_link_faults=2,
+        n_stragglers=2,
+        n_file_faults=2,
+        n_flaky_steps=3,
+    ),
+}
+
+
+@dataclass
+class SoakReport:
+    """What a soak run survived, and whether it stayed correct."""
+
+    suite: str
+    seed: int
+    n_steps: int
+    machine: str
+    n_faults_planned: int = 0
+    n_faults_applied: int = 0
+    n_crashes: int = 0
+    n_recoveries: int = 0
+    dropped_nests: int = 0
+    restored_nests: int = 0
+    n_retries: int = 0
+    retried_bytes: float = 0.0
+    total_backoff: float = 0.0
+    invariant_violations: int = 0
+    data_checks: int = 0
+    data_failures: int = 0
+    pda_runs: int = 0
+    pda_partial: int = 0
+    recovery_steps: list[int] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: no invariant violation, no data loss on survivors."""
+        return self.invariant_violations == 0 and self.data_failures == 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "suite": self.suite,
+            "seed": self.seed,
+            "n_steps": self.n_steps,
+            "machine": self.machine,
+            "n_faults_planned": self.n_faults_planned,
+            "n_faults_applied": self.n_faults_applied,
+            "n_crashes": self.n_crashes,
+            "n_recoveries": self.n_recoveries,
+            "dropped_nests": self.dropped_nests,
+            "restored_nests": self.restored_nests,
+            "n_retries": self.n_retries,
+            "retried_bytes": self.retried_bytes,
+            "total_backoff": self.total_backoff,
+            "invariant_violations": self.invariant_violations,
+            "data_checks": self.data_checks,
+            "data_failures": self.data_failures,
+            "pda_runs": self.pda_runs,
+            "pda_partial": self.pda_partial,
+            "recovery_steps": list(self.recovery_steps),
+            "ok": self.ok,
+        }
+
+
+class _ChurnWorkload:
+    """Deterministic nest churn with fixed per-nest sizes and fields.
+
+    Every nest carries a seeded ground-truth field that never changes over
+    its lifetime — so "the data survived" is checkable bit-for-bit at any
+    point, which is the whole soak oracle.
+    """
+
+    def __init__(self, seed: int, size_range: tuple[int, int]) -> None:
+        self._rng = make_rng(seed)
+        self._size_range = size_range
+        self._next_id = 0
+        self.nests: dict[int, tuple[int, int]] = {}
+        self.fields: dict[int, np.ndarray] = {}
+        for _ in range(3):
+            self._spawn()
+
+    def _spawn(self) -> int:
+        lo, hi = self._size_range
+        nid = self._next_id
+        self._next_id += 1
+        nx = int(self._rng.integers(lo, hi + 1))
+        ny = int(self._rng.integers(lo, hi + 1))
+        self.nests[nid] = (nx, ny)
+        self.fields[nid] = make_rng(977 + 31 * nid).normal(size=(ny, nx))
+        return nid
+
+    def advance(self) -> dict[int, tuple[int, int]]:
+        """One step of churn; returns the new nest set (a copy)."""
+        if len(self.nests) > 2 and float(self._rng.random()) < 0.25:
+            victim = sorted(self.nests)[
+                int(self._rng.integers(0, len(self.nests)))
+            ]
+            del self.nests[victim]
+            del self.fields[victim]
+        if len(self.nests) < 5 and float(self._rng.random()) < 0.35:
+            self._spawn()
+        return dict(self.nests)
+
+    def drop(self, nest_id: int) -> None:
+        """Forget a nest the recovery had to abandon."""
+        self.nests.pop(nest_id, None)
+        self.fields.pop(nest_id, None)
+
+
+def _pda_files(
+    sim_grid: ProcessorGrid, seed: int, domain: int = 64
+) -> list[SplitFile | None]:
+    """Synthetic split files over a ``domain x domain`` parent grid."""
+    rng = make_rng(seed)
+    decomp = BlockDecomposition(nx=domain, ny=domain, proc_rect=sim_grid.full_rect)
+    files: list[SplitFile | None] = []
+    for by in range(sim_grid.py):
+        for bx in range(sim_grid.px):
+            blk = decomp.block_of(bx, by)
+            olr = rng.uniform(150.0, 300.0, size=(blk.h, blk.w))
+            qcloud = rng.uniform(0.0, 1.0, size=(blk.h, blk.w))
+            files.append(
+                SplitFile(
+                    file_index=by * sim_grid.px + bx,
+                    block_x=bx,
+                    block_y=by,
+                    extent=blk,
+                    qcloud=qcloud,
+                    olr=olr,
+                )
+            )
+    return files
+
+
+def run_soak(
+    config: SoakConfig,
+    audit: AuditTrail | None = None,
+    ledger: CommLedger | None = None,
+) -> SoakReport:
+    """Run one soak scenario end to end; never raises on injected faults.
+
+    Invariant violations and data mismatches are *counted*, not raised —
+    the report is the verdict (CI asserts ``report.ok``).  Programming
+    errors (bad config, impossible recovery) still propagate.
+    """
+    machine = config.machine()
+    plan = config.fault_plan(machine)
+    oracle = ExecutionOracle()
+    predictor = ExecTimePredictor(ProfileTable(oracle, seed=config.seed))
+    realloc = ProcessorReallocator(machine, DiffusionStrategy(), predictor)
+    injector = FaultInjector(plan, simulator=realloc.simulator)
+    health = HealthView(machine.ncores)
+    workload = _ChurnWorkload(config.seed + 1, config.nest_size_range)
+    ledger = ledger if ledger is not None else CommLedger(machine.ncores)
+    flight = get_flight_recorder()
+
+    # Steps whose first redistribution round is flaky (seeded, not random).
+    flaky_rng = make_rng(config.seed + 2)
+    flaky_steps = (
+        set(
+            int(s)
+            for s in flaky_rng.choice(
+                max(config.n_steps - 1, 1),
+                size=min(config.n_flaky_steps, max(config.n_steps - 1, 1)),
+                replace=False,
+            )
+            + 1
+        )
+        if config.n_flaky_steps > 0
+        else set()
+    )
+
+    report = SoakReport(
+        suite=config.name,
+        seed=config.seed,
+        n_steps=config.n_steps,
+        machine=machine.name,
+        n_faults_planned=plan.n_faults,
+    )
+    store = RankStore(realloc.grid.nprocs)
+    checkpoint: Checkpoint | None = None
+    policy = BackoffPolicy()
+
+    for step in range(config.n_steps):
+        # 1. injected faults fire first (the world breaks before we act)
+        fired = injector.apply_step(step)
+        report.n_faults_applied += len(fired)
+
+        # 2. heartbeats + detection; recovery on newly-dead ranks
+        health.beat_all(step, except_ranks=injector.crashed_ranks)
+        newly_dead = health.detect(step)
+        if newly_dead:
+            report.n_crashes += len(newly_dead)
+            result = realloc.handle_rank_failure(
+                newly_dead, store=store, checkpoint=checkpoint, audit=audit
+            )
+            report.n_recoveries += 1
+            report.recovery_steps.append(step)
+            report.dropped_nests += len(result.dropped_nests)
+            report.restored_nests += len(result.restored_from_checkpoint)
+            assert result.store is not None
+            store = result.store
+            for nid in result.dropped_nests:
+                workload.drop(nid)
+            if not result.invariants_ok:
+                report.invariant_violations += 1
+            # survivors must be intact immediately after recovery
+            for nid in result.retained_nests:
+                report.data_checks += 1
+                nx, ny = workload.nests[nid]
+                if not np.array_equal(
+                    gather_nest(store, nid, nx, ny), workload.fields[nid]
+                ):
+                    report.data_failures += 1
+                    flight.emit("soak.data_mismatch", step=step, nest=nid)
+
+        # 3. one adaptation point + its (self-healing) data movement.  The
+        # round right after a recovery is made flaky on purpose: it is the
+        # one guaranteed to move data (the grid just shrank), so the flight
+        # log always shows detection → degraded reallocation → *recovered*
+        # redistribution for every crash.
+        old_alloc = realloc.allocation
+        nests = workload.advance()
+        result_step = realloc.step(nests)
+        alloc = result_step.allocation
+        flaky_now = step in flaky_steps or bool(newly_dead)
+
+        def round_time(attempt: int, _flaky: bool = flaky_now) -> float:
+            if _flaky and attempt == 0:
+                raise TransientRedistributionError("injected flaky round")
+            return 0.0
+
+        if old_alloc is not None:
+            for nid in result_step.deleted:
+                store.drop_nest(nid)
+            for nid in result_step.retained:
+                nx, ny = nests[nid]
+                outcome = execute_redistribution_with_retry(
+                    store,
+                    nid,
+                    old_alloc,
+                    alloc,
+                    nx,
+                    ny,
+                    policy=policy,
+                    round_time=round_time,
+                    seed=config.seed,
+                    ledger=ledger,
+                )
+                report.n_retries += outcome.attempts - 1
+                report.retried_bytes += outcome.retried_bytes
+                report.total_backoff += outcome.total_delay
+        for nid in result_step.created:
+            scatter_nest(store, nid, workload.fields[nid].copy(), alloc)
+        if result_step.plan is not None:
+            for move in result_step.plan.moves:
+                ledger.add_messages(move.messages, machine.mapping)
+
+        # 4. invariants + bit-for-bit data verification
+        try:
+            check_all(alloc, result_step.plan, dict(realloc.nest_sizes))
+        except InvariantViolation as exc:
+            report.invariant_violations += 1
+            flight.emit("soak.invariant_violation", step=step, error=str(exc))
+        for nid in alloc.nest_ids:
+            report.data_checks += 1
+            nx, ny = nests[nid]
+            if not np.array_equal(
+                gather_nest(store, nid, nx, ny), workload.fields[nid]
+            ):
+                report.data_failures += 1
+                flight.emit("soak.data_mismatch", step=step, nest=nid)
+
+        # 5. a fresh durable point
+        checkpoint = Checkpoint.take(step, alloc, dict(realloc.nest_sizes), store)
+
+        # degraded-mode PDA pass when this step damages split files
+        if any(
+            isinstance(f, SplitFileFault) and f.step == step for f in plan.faults
+        ):
+            sim_grid = ProcessorGrid(*machine.grid)
+            files = injector.damage_files(
+                step, _pda_files(sim_grid, config.seed + 3)
+            )
+            pda = parallel_data_analysis(files, sim_grid, n_analysis=4)
+            report.pda_runs += 1
+            if pda.partial:
+                report.pda_partial += 1
+
+    return report
+
+
+def format_soak_report(report: SoakReport) -> str:
+    """Human-readable soak verdict."""
+    from repro.util.tables import format_table
+
+    rows = [
+        ("suite", report.suite),
+        ("seed", str(report.seed)),
+        ("machine", report.machine),
+        ("steps", str(report.n_steps)),
+        ("faults planned / applied", f"{report.n_faults_planned} / {report.n_faults_applied}"),
+        ("rank crashes", str(report.n_crashes)),
+        ("recoveries (at steps)", f"{report.n_recoveries} ({report.recovery_steps})"),
+        ("nests dropped / restored", f"{report.dropped_nests} / {report.restored_nests}"),
+        ("redistribution retries", str(report.n_retries)),
+        ("retried bytes", f"{report.retried_bytes:.3e}"),
+        ("simulated backoff (s)", f"{report.total_backoff:.4f}"),
+        ("data checks / failures", f"{report.data_checks} / {report.data_failures}"),
+        ("PDA runs / partial", f"{report.pda_runs} / {report.pda_partial}"),
+        ("invariant violations", str(report.invariant_violations)),
+        ("verdict", "OK" if report.ok else "FAILED"),
+    ]
+    return format_table(["metric", "value"], rows, title=f"faults soak — {report.suite}")

@@ -73,7 +73,9 @@ def _suppressions(source: str) -> dict[int, set[str]]:
             ids = {part.strip() for part in match.group(1).split(",") if part.strip()}
             out.setdefault(tok.start[0], set()).update(ids)
     except tokenize.TokenError:
-        pass  # syntactically broken file: the parse-error finding covers it
+        # Syntactically broken file: keep whatever suppressions were read
+        # before the break; the parse-error finding covers the rest.
+        return out
     return out
 
 

@@ -13,6 +13,7 @@ from repro.lint.rules.floatcmp import FloatEqualityRule
 from repro.lint.rules.mutation import AllocationMutationRule
 from repro.lint.rules.printing import BarePrintRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
+from repro.lint.rules.swallow import SwallowedExceptionRule
 from repro.lint.rules.timing import DirectTimingRule
 from repro.lint.rules.validation import MissingValidationRule
 
@@ -29,6 +30,7 @@ __all__ = [
     "AllConsistencyRule",
     "DirectTimingRule",
     "BarePrintRule",
+    "SwallowedExceptionRule",
     "ALL_RULES",
     "get_rules",
 ]
@@ -43,6 +45,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     AllConsistencyRule,
     DirectTimingRule,
     BarePrintRule,
+    SwallowedExceptionRule,
 )
 
 

@@ -7,11 +7,17 @@ runs the identical per-rank function over its own partition — and provides
 ``gather`` with communication-volume accounting, so the *algorithm* (data
 division, per-rank aggregation, root-side gather/sort/cluster) is exercised
 exactly as published and its communication cost can be reported.
+
+Fault hook (:mod:`repro.faults`): ranks can be marked *failed*
+(:meth:`SimComm.fail_rank`).  A failed rank's per-rank function is never
+run and its gather contribution is skipped — the degraded-mode behaviour of
+a real collective over a shrunk communicator — with the skips counted in
+the statistics so callers can flag their result as partial.
 """
 
 from __future__ import annotations
 
-from collections.abc import Callable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -26,6 +32,8 @@ class _CommStats:
     approx_bytes: int = 0
     gathers: int = 0
     per_rank_items: dict[int, int] = field(default_factory=dict)
+    #: gather contributions dropped because the owning rank had failed
+    skipped_ranks: int = 0
 
 
 class SimComm:
@@ -38,23 +46,48 @@ class SimComm:
     express Algorithm 1 faithfully.
     """
 
-    def __init__(self, size: int) -> None:
+    def __init__(self, size: int, failed_ranks: Iterable[int] = ()) -> None:
         if size < 1:
             raise ValueError(f"communicator size must be >= 1, got {size}")
         self._size = size
+        self._failed: set[int] = set()
         self.stats = _CommStats()
+        for rank in failed_ranks:
+            self.fail_rank(rank)
 
     def Get_size(self) -> int:
         return self._size
 
+    # -- fault hooks ----------------------------------------------------
+
+    def fail_rank(self, rank: int) -> None:
+        """Mark ``rank`` failed: it stops running work and reporting."""
+        if not 0 <= rank < self._size:
+            raise ValueError(f"rank {rank} out of range [0, {self._size})")
+        self._failed.add(rank)
+
+    @property
+    def failed_ranks(self) -> frozenset[int]:
+        return frozenset(self._failed)
+
+    def alive(self, rank: int) -> bool:
+        """Whether ``rank`` is still participating."""
+        if not 0 <= rank < self._size:
+            raise ValueError(f"rank {rank} out of range [0, {self._size})")
+        return rank not in self._failed
+
     # ------------------------------------------------------------------
 
     def run(self, fn: Callable[[int], Any]) -> list[Any]:
-        """Execute ``fn(rank)`` for every rank; return per-rank results.
+        """Execute ``fn(rank)`` for every live rank; return per-rank results.
 
-        Equivalent to an SPMD region ending at an implicit barrier.
+        Equivalent to an SPMD region ending at an implicit barrier.  Failed
+        ranks contribute ``None`` — they never run the function.
         """
-        return [fn(rank) for rank in range(self._size)]
+        return [
+            fn(rank) if rank not in self._failed else None
+            for rank in range(self._size)
+        ]
 
     def gather(
         self, per_rank_values: Sequence[Any], root: int = 0, item_bytes: int = 16
@@ -65,7 +98,9 @@ class SimComm:
         a single object).  Returns the flattened list at the root — the same
         shape Algorithm 1's root sees after collecting ``qcloudinfo`` — and
         updates the communication statistics (``item_bytes`` models the
-        per-tuple payload: aggregated QCLOUD value + olr fraction).
+        per-tuple payload: aggregated QCLOUD value + olr fraction).  Failed
+        ranks' contributions are skipped and counted in
+        ``stats.skipped_ranks``; gathering at a failed root is an error.
         """
         if len(per_rank_values) != self._size:
             raise ValueError(
@@ -74,9 +109,14 @@ class SimComm:
             )
         if not 0 <= root < self._size:
             raise ValueError(f"root {root} out of range")
+        if root in self._failed:
+            raise ValueError(f"cannot gather at failed root rank {root}")
         flat: list[Any] = []
         self.stats.gathers += 1
         for rank, value in enumerate(per_rank_values):
+            if rank in self._failed:
+                self.stats.skipped_ranks += 1
+                continue
             items = list(value) if isinstance(value, (list, tuple)) else [value]
             self.stats.per_rank_items[rank] = self.stats.per_rank_items.get(
                 rank, 0

@@ -106,6 +106,9 @@ class CommLedger:
         self.received = np.zeros(nranks, dtype=np.float64)
         #: hop-bytes attributed to the sending rank (Σ hops·bytes per src)
         self.hop_bytes = np.zeros(nranks, dtype=np.float64)
+        #: bytes re-sent after a timed-out round, attributed to the sender
+        #: (a subset of :attr:`sent` — retries are also counted there)
+        self.retried = np.zeros(nranks, dtype=np.float64)
         #: bytes exchanged per (src, dst) rank pair
         self.pair_bytes: dict[tuple[int, int], float] = {}
         #: bytes each pair pushed through the busiest link, per observation
@@ -114,6 +117,7 @@ class CommLedger:
         self.busiest_link_load = 0.0
         self.n_messages = 0
         self.n_collectives = 0
+        self.n_retries = 0
 
     def add_messages(
         self, messages: MessageSet, mapping: ProcessMapping | None = None
@@ -132,6 +136,19 @@ class CommLedger:
         for s, d, b in zip(messages.src, messages.dst, messages.nbytes):
             key = (int(s), int(d))
             self.pair_bytes[key] = self.pair_bytes.get(key, 0.0) + float(b)
+
+    def add_retry(self, messages: MessageSet) -> None:
+        """Attribute one retried round's bytes to the sending ranks.
+
+        Call *in addition to* :meth:`add_messages` for the retry attempt:
+        ``sent``/``received`` then reflect total wire traffic while
+        :attr:`retried` isolates the share caused by recovery, so the skew
+        report can show who paid for the self-healing.
+        """
+        self.n_retries += 1
+        if len(messages) == 0:
+            return
+        np.add.at(self.retried, messages.src, messages.nbytes)
 
     def add_busiest_link(
         self, link_load: float, contributions: dict[tuple[int, int], float]
@@ -153,6 +170,7 @@ class CommLedger:
             "sent": self.sent,
             "received": self.received,
             "hop_bytes": self.hop_bytes,
+            "retried": self.retried,
         }
         if which not in series:
             raise ValueError(f"unknown series {which!r}; known: {sorted(series)}")
@@ -182,9 +200,11 @@ class CommLedger:
             "nranks": self.nranks,
             "n_messages": self.n_messages,
             "n_collectives": self.n_collectives,
+            "n_retries": self.n_retries,
             "sent": self.skew("sent").to_dict(),
             "received": self.skew("received").to_dict(),
             "hop_bytes": self.skew("hop_bytes").to_dict(),
+            "retried": self.skew("retried").to_dict(),
             "top_pairs": [
                 {"src": s, "dst": d, "bytes": b} for (s, d), b in self.top_pairs()
             ],
@@ -199,8 +219,11 @@ def format_ledger(ledger: CommLedger, title: str = "communication ledger") -> st
     """Human-readable skew + heavy-hitter tables."""
     from repro.util.tables import format_table
 
+    series = ["sent", "received", "hop_bytes"]
+    if ledger.n_retries:
+        series.append("retried")
     skew_rows = []
-    for which in ("sent", "received", "hop_bytes"):
+    for which in series:
         s = ledger.skew(which)
         skew_rows.append(
             (

@@ -16,6 +16,15 @@ routing every message over the physical links and accounting for sharing:
 
 Both account for exactly the effects the paper's diffusion strategy targets:
 fewer bytes on the wire (overlap) and fewer links per byte (hop locality).
+
+Fault hooks (:mod:`repro.faults`): a simulator carries an optional set of
+*degraded links* (per-link bandwidth multipliers in ``(0, 1]``, modelling a
+slow or lossy cable) and *straggler ranks* (per-rank software-overhead
+multipliers ``>= 1``).  Both default to empty and cost nothing when unset;
+when set they reshape the wire phase (a degraded link drains its load
+proportionally slower) and the software phase (a straggler's packing /
+per-message costs stretch), which is how the robustness suite simulates
+link degradation and slow ranks without touching the routing logic.
 """
 
 from __future__ import annotations
@@ -60,6 +69,37 @@ class NetworkSimulator:
         self._route_cache_size = route_cache_size
         self.route_cache_hits = 0
         self.route_cache_misses = 0
+        #: link id -> bandwidth multiplier in (0, 1] (1 = healthy)
+        self.link_faults: dict[int, float] = {}
+        #: rank -> software-overhead multiplier >= 1 (1 = healthy)
+        self.rank_slowdown: dict[int, float] = {}
+
+    # -- fault hooks ----------------------------------------------------
+
+    def set_link_fault(self, link: int, factor: float) -> None:
+        """Degrade ``link`` to ``factor`` of its bandwidth (``(0, 1]``)."""
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(f"link fault factor must be in (0, 1], got {factor}")
+        if factor >= 1.0:
+            self.link_faults.pop(link, None)
+        else:
+            self.link_faults[link] = float(factor)
+
+    def set_rank_slowdown(self, rank: int, factor: float) -> None:
+        """Multiply ``rank``'s software overhead by ``factor`` (``>= 1``)."""
+        if factor < 1.0:
+            raise ValueError(f"straggler factor must be >= 1, got {factor}")
+        if not 0 <= rank < self.mapping.nranks:
+            raise ValueError(f"rank {rank} outside [0, {self.mapping.nranks})")
+        if factor <= 1.0:
+            self.rank_slowdown.pop(rank, None)
+        else:
+            self.rank_slowdown[rank] = float(factor)
+
+    def clear_faults(self) -> None:
+        """Restore every link and rank to full health."""
+        self.link_faults.clear()
+        self.rank_slowdown.clear()
 
     # ------------------------------------------------------------------
 
@@ -151,11 +191,22 @@ class NetworkSimulator:
         in_bytes = np.zeros(self.mapping.nranks, dtype=np.float64)
         np.add.at(out_bytes, messages.src, messages.nbytes)
         np.add.at(in_bytes, messages.dst, messages.nbytes)
-        worst_msgs = int(np.maximum(out_msgs, in_msgs).max())
-        worst_bytes = float(np.maximum(out_bytes, in_bytes).max())
         floor = (
             self.cost.collective_floor(self.mapping.nranks) if include_floor else 0.0
         )
+        if self.rank_slowdown:
+            # Stragglers stretch their own packing phase, so the busiest
+            # endpoint is found on the per-rank (slowdown-scaled) costs
+            # rather than on the message/byte maxima independently.
+            per_rank = (
+                self.cost.alpha * np.maximum(out_msgs, in_msgs)
+                + self.cost.soft_beta * np.maximum(out_bytes, in_bytes)
+            )
+            for rank, factor in self.rank_slowdown.items():
+                per_rank[rank] *= factor
+            return float(per_rank.max()) + floor
+        worst_msgs = int(np.maximum(out_msgs, in_msgs).max())
+        worst_bytes = float(np.maximum(out_bytes, in_bytes).max())
         return self.cost.alpha * worst_msgs + self.cost.soft_beta * worst_bytes + floor
 
     def bottleneck_time(self, messages: MessageSet, include_floor: bool = True) -> float:
@@ -171,7 +222,17 @@ class NetworkSimulator:
             return 0.0
         with get_recorder().span("netsim.bottleneck", n_messages=len(messages)):
             loads = self.link_loads(messages)
-            wire = max(loads.values()) * self.cost.beta if loads else 0.0
+            wire = 0.0
+            if loads:
+                if self.link_faults:
+                    # a degraded link drains its bytes at factor x bandwidth
+                    drain = max(
+                        load / self.link_faults.get(link, 1.0)
+                        for link, load in loads.items()
+                    )
+                else:
+                    drain = max(loads.values())
+                wire = drain * self.cost.beta
             return wire + self._endpoint_overhead(messages, include_floor)
 
     # ------------------------------------------------------------------
@@ -208,7 +269,11 @@ class NetworkSimulator:
         # Zero-hop messages (same physical node) complete immediately.
         active = np.array([len(r) > 0 for r in routes])
         remaining[~active] = 0.0
-        bw = self.topology.link_bandwidth
+        bw = np.full(nlinks, self.topology.link_bandwidth, dtype=np.float64)
+        for link, factor in self.link_faults.items():
+            idx = link_index.get(link)
+            if idx is not None:
+                bw[idx] *= factor
         t = 0.0
         epochs = 0
         limit = max_epochs if max_epochs is not None else 2 * nflows + 8
@@ -234,12 +299,18 @@ class NetworkSimulator:
         finc: np.ndarray,
         linc: np.ndarray,
         active: np.ndarray,
-        bw: float,
+        bw: np.ndarray | float,
     ) -> np.ndarray:
-        """Max-min fair rates for the active flows (bytes/second)."""
+        """Max-min fair rates for the active flows (bytes/second).
+
+        ``bw`` is the per-link capacity — an array with one entry per link
+        (degraded links carry reduced entries; see :meth:`set_link_fault`)
+        or a scalar applied uniformly.
+        """
         rates = np.zeros(nflows, dtype=np.float64)
         frozen = ~active.copy()
-        residual = np.full(nlinks, bw, dtype=np.float64)
+        bw = np.broadcast_to(np.asarray(bw, dtype=np.float64), (nlinks,))
+        residual = bw.copy()
         # Only incidences of active flows participate.
         inc_mask = active[finc]
         while True:

@@ -27,7 +27,7 @@ package) may read raw clocks — reprolint rule R007 keeps
 
 from __future__ import annotations
 
-from repro.obs.audit import AdaptationAudit, AuditTrail, pearson
+from repro.obs.audit import AdaptationAudit, AuditTrail, RecoveryDecision, pearson
 from repro.obs.bench import (
     BenchPhase,
     BenchResult,
@@ -53,6 +53,7 @@ from repro.obs.export import (
 from repro.obs.flight import (
     DEFAULT_FLIGHT_CAPACITY,
     FlightEvent,
+    FlightLog,
     FlightRecorder,
     NullFlightRecorder,
     format_flight,
@@ -92,6 +93,7 @@ __all__ = [
     "BenchPhase",
     "BenchResult",
     "FlightEvent",
+    "FlightLog",
     "FlightRecorder",
     "InMemoryRecorder",
     "NullFlightRecorder",
@@ -99,6 +101,7 @@ __all__ = [
     "PhaseDelta",
     "PhaseStats",
     "Recorder",
+    "RecoveryDecision",
     "SpanRecord",
     "TagValue",
     "Timeline",

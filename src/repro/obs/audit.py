@@ -24,7 +24,7 @@ import math
 from collections.abc import Sequence
 from dataclasses import asdict, dataclass
 
-__all__ = ["AdaptationAudit", "AuditTrail", "pearson"]
+__all__ = ["AdaptationAudit", "AuditTrail", "RecoveryDecision", "pearson"]
 
 
 def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
@@ -124,21 +124,58 @@ class AdaptationAudit:
         return payload
 
 
+@dataclass(frozen=True)
+class RecoveryDecision:
+    """One fault-recovery decision, recorded beside the strategy audits.
+
+    Written by :func:`repro.faults.recovery.recover_from_rank_failure` so a
+    post-mortem can see *why* the grid shrank and which nests paid for it —
+    the recovery analogue of :class:`AdaptationAudit`'s "why this strategy".
+    Grids are rendered as ``"PXxPY"`` strings to keep the record
+    JSON-flat like the rest of the trail.
+    """
+
+    step: int
+    dead_ranks: tuple[int, ...]
+    old_grid: str  # "4x4"
+    new_grid: str  # "4x3"
+    retained_nests: tuple[int, ...]
+    dropped_nests: tuple[int, ...]  # unrecoverable: excised via diffusion edit
+    restored_from_checkpoint: tuple[int, ...]
+    invariants_ok: bool
+
+    def to_dict(self) -> dict[str, object]:
+        payload: dict[str, object] = asdict(self)
+        payload["dead_ranks"] = list(self.dead_ranks)
+        payload["retained_nests"] = list(self.retained_nests)
+        payload["dropped_nests"] = list(self.dropped_nests)
+        payload["restored_from_checkpoint"] = list(self.restored_from_checkpoint)
+        return payload
+
+
 class AuditTrail:
     """Accumulates :class:`AdaptationAudit` records across runs.
 
     One trail may span several strategies run over the same workload (the
     ``repro compare`` path); slicing by strategy is explicit via
-    :meth:`for_strategy`.
+    :meth:`for_strategy`.  Fault recoveries are recorded on the side
+    (:meth:`record_recovery`) so the §V-F aggregations stay untouched by
+    degraded-mode points.
     """
 
     def __init__(self) -> None:
         self.records: list[AdaptationAudit] = []
+        self.recoveries: list[RecoveryDecision] = []
 
     def record(self, audit: AdaptationAudit) -> AdaptationAudit:
         """Append one record; returns it for chaining."""
         self.records.append(audit)
         return audit
+
+    def record_recovery(self, decision: RecoveryDecision) -> RecoveryDecision:
+        """Append one recovery decision; returns it for chaining."""
+        self.recoveries.append(decision)
+        return decision
 
     def __len__(self) -> int:
         return len(self.records)
@@ -215,6 +252,38 @@ class AuditTrail:
             ],
             rows,
             title=f"{title} — prediction accuracy (paper §V-F: r ≈ 0.9)",
+        )
+
+    def recovery_report(self, title: str = "fault recoveries") -> str:
+        """One row per recovery decision (empty string when none happened)."""
+        from repro.util.tables import format_table
+
+        if not self.recoveries:
+            return ""
+        rows = [
+            (
+                str(r.step),
+                ",".join(map(str, r.dead_ranks)),
+                f"{r.old_grid} → {r.new_grid}",
+                str(len(r.retained_nests)),
+                ",".join(map(str, r.dropped_nests)) or "-",
+                ",".join(map(str, r.restored_from_checkpoint)) or "-",
+                "ok" if r.invariants_ok else "VIOLATED",
+            )
+            for r in self.recoveries
+        ]
+        return format_table(
+            [
+                "step",
+                "dead ranks",
+                "grid",
+                "retained",
+                "dropped",
+                "from checkpoint",
+                "invariants",
+            ],
+            rows,
+            title=title,
         )
 
     def to_jsonl(self) -> str:

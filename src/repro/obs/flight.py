@@ -37,6 +37,7 @@ from repro.obs.recorder import InMemoryRecorder, SpanRecord, TagValue
 __all__ = [
     "DEFAULT_FLIGHT_CAPACITY",
     "FlightEvent",
+    "FlightLog",
     "FlightRecorder",
     "NullFlightRecorder",
     "get_flight_recorder",
@@ -203,9 +204,40 @@ def _event_from_dict(payload: dict[str, object], lineno: int) -> FlightEvent:
     return FlightEvent(seq=seq, t=float(t), kind=kind, data=tags)
 
 
-def load_flight_jsonl(path: str | Path) -> list[FlightEvent]:
-    """Load an exported flight log back into :class:`FlightEvent` objects."""
-    events: list[FlightEvent] = []
+class FlightLog(list[FlightEvent]):
+    """A loaded flight log — a plain event list plus a skip count.
+
+    ``skipped_lines`` counts the truncated trailing lines a lenient load
+    dropped (0 for a clean log); being a ``list`` subclass keeps every
+    existing consumer of :func:`load_flight_jsonl` working unchanged.
+    """
+
+    def __init__(
+        self, events: Iterable[FlightEvent] = (), skipped_lines: int = 0
+    ) -> None:
+        super().__init__(events)
+        self.skipped_lines = skipped_lines
+
+
+def _parse_flight_line(line: str, lineno: int) -> FlightEvent:
+    payload = json.loads(line)
+    if not isinstance(payload, dict):
+        raise ValueError(f"flight JSONL line {lineno}: not a JSON object")
+    return _event_from_dict(payload, lineno)
+
+
+def load_flight_jsonl(path: str | Path, strict: bool = False) -> FlightLog:
+    """Load an exported flight log back into :class:`FlightEvent` objects.
+
+    A run that crashed mid-write leaves a truncated final line (or several,
+    with buffered writers); by default those *trailing* unparseable lines
+    are skipped and counted in the returned log's ``skipped_lines`` so the
+    record stays replayable — exactly when a flight log matters most.  An
+    unparseable line *followed by a valid one* is real corruption, not
+    truncation, and always raises; ``strict=True`` restores raising on any
+    bad line.
+    """
+    parsed: list[tuple[int, FlightEvent | None, str]] = []
     for lineno, line in enumerate(
         Path(path).read_text(encoding="utf-8").splitlines(), start=1
     ):
@@ -213,13 +245,24 @@ def load_flight_jsonl(path: str | Path) -> list[FlightEvent]:
         if not line:
             continue
         try:
-            payload = json.loads(line)
+            parsed.append((lineno, _parse_flight_line(line, lineno), ""))
         except json.JSONDecodeError as exc:
-            raise ValueError(f"flight JSONL line {lineno}: {exc}") from exc
-        if not isinstance(payload, dict):
-            raise ValueError(f"flight JSONL line {lineno}: not a JSON object")
-        events.append(_event_from_dict(payload, lineno))
-    return events
+            parsed.append((lineno, None, f"flight JSONL line {lineno}: {exc}"))
+        except ValueError as exc:  # _event_from_dict errors carry the lineno
+            parsed.append((lineno, None, str(exc)))
+    last_good = max(
+        (i for i, (_, ev, _) in enumerate(parsed) if ev is not None), default=-1
+    )
+    events: list[FlightEvent] = []
+    skipped = 0
+    for i, (_, event, error) in enumerate(parsed):
+        if event is not None:
+            events.append(event)
+        elif strict or i < last_good:
+            raise ValueError(error)
+        else:
+            skipped += 1
+    return FlightLog(events, skipped_lines=skipped)
 
 
 def replay_flight(events: Iterable[FlightEvent]) -> InMemoryRecorder:

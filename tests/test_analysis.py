@@ -259,3 +259,79 @@ class TestPDA:
         result = parallel_data_analysis(files, grid, 4)
         qs = [s.qcloud for s in result.summaries]
         assert qs == sorted(qs, reverse=True)
+
+
+class TestPDADegraded:
+    """Graceful degradation: missing/corrupt files and failed ranks."""
+
+    def _files(self, grid, cloudy_blocks):
+        files = []
+        for by in range(grid.py):
+            for bx in range(grid.px):
+                if (bx, by) in cloudy_blocks:
+                    f = make_split_file(bx, by, 0.01, 150.0)
+                else:
+                    f = make_split_file(bx, by, 0.0, 280.0)
+                files.append(
+                    SplitFile(grid.rank(bx, by), bx, by, f.extent, f.qcloud, f.olr)
+                )
+        return files
+
+    def test_complete_run_is_not_partial(self):
+        grid = ProcessorGrid(4, 4)
+        result = parallel_data_analysis(self._files(grid, {(1, 1)}), grid, 4)
+        assert not result.partial
+        assert result.coverage == pytest.approx(1.0)
+        assert result.n_files_missing == result.n_files_corrupt == 0
+
+    def test_missing_file_flags_partial_but_still_detects(self):
+        grid = ProcessorGrid(4, 4)
+        cloudy = {(1, 1), (2, 1), (1, 2), (2, 2)}
+        files = self._files(grid, cloudy)
+        files[grid.rank(3, 3)] = None  # a non-cloudy writer crashed
+        result = parallel_data_analysis(files, grid, 4)
+        assert result.partial and result.n_files_missing == 1
+        assert result.coverage == pytest.approx(15 / 16)
+        assert len(result.rectangles) == 1  # the ROI is still found
+
+    def test_corrupt_file_excluded_and_counted(self):
+        grid = ProcessorGrid(4, 4)
+        files = self._files(grid, {(0, 0), (3, 3)})
+        bad = files[grid.rank(0, 0)]
+        qcloud = bad.qcloud.copy()
+        qcloud[0, 0] = np.nan
+        files[grid.rank(0, 0)] = SplitFile(
+            bad.file_index, bad.block_x, bad.block_y, bad.extent, qcloud, bad.olr
+        )
+        result = parallel_data_analysis(files, grid, 4)
+        assert result.partial and result.n_files_corrupt == 1
+        # the poisoned subdomain cannot contribute a summary
+        assert all(
+            (s.block_x, s.block_y) != (0, 0) for s in result.summaries
+        )
+
+    def test_failed_analysis_rank_bucket_unread(self):
+        grid = ProcessorGrid(4, 4)
+        comm = SimComm(4)
+        comm.fail_rank(1)
+        result = parallel_data_analysis(
+            self._files(grid, set()), grid, 4, comm=comm
+        )
+        assert result.partial and result.n_ranks_failed == 1
+        assert result.coverage < 1.0
+
+    def test_low_olr_fraction_renormalised_over_reporting_area(self):
+        grid = ProcessorGrid(2, 2)
+        files = self._files(grid, {(0, 0)})  # 1 of 4 equal blocks cloudy
+        full = parallel_data_analysis(files, grid, 1)
+        assert full.low_olr_fraction == pytest.approx(0.25)
+        files[grid.rank(1, 1)] = None  # lose a clear block
+        degraded = parallel_data_analysis(files, grid, 1)
+        assert degraded.low_olr_fraction == pytest.approx(1 / 3)
+        assert degraded.coverage == pytest.approx(0.75)
+
+    def test_all_files_missing_degrades_to_empty(self):
+        grid = ProcessorGrid(2, 2)
+        result = parallel_data_analysis([None] * 4, grid, 1)
+        assert result.partial and result.n_files_missing == 4
+        assert result.rectangles == [] and result.low_olr_fraction == 0.0

@@ -141,3 +141,26 @@ class TestCommands:
             "--output", str(tmp_path / "bench.json"),
         ])
         assert code == 2
+
+
+class TestFaultsCommand:
+    def test_quick_suite_exits_zero_and_reports(self, capsys, tmp_path):
+        flight_path = tmp_path / "soak.jsonl"
+        code = main([
+            "faults", "run", "--suite", "quick",
+            "--export-flight", str(flight_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "faults soak — quick" in out
+        assert "verdict" in out and "OK" in out
+        assert "recovery decisions" in out
+        assert flight_path.exists()
+
+    def test_seed_override_accepted(self, capsys):
+        assert main(["faults", "run", "--suite", "quick", "--seed", "7"]) in (0, 1)
+        assert "seed" in capsys.readouterr().out
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["faults"])

@@ -132,10 +132,49 @@ class TestJsonlRoundTrip:
         ],
     )
     def test_malformed_lines_rejected_with_line_number(self, tmp_path, line):
+        # a bad line FOLLOWED by a good one is corruption, not truncation
         path = tmp_path / "bad.jsonl"
-        path.write_text('{"seq": 0, "t": 0.0, "kind": "ok", "data": {}}\n' + line + "\n")
+        path.write_text(
+            '{"seq": 0, "t": 0.0, "kind": "ok", "data": {}}\n'
+            + line
+            + '\n{"seq": 1, "t": 1.0, "kind": "ok", "data": {}}\n'
+        )
         with pytest.raises(ValueError, match="line 2"):
             load_flight_jsonl(path)
+
+    @pytest.mark.parametrize("n_bad", [1, 3])
+    def test_truncated_trailing_lines_skipped_and_counted(self, tmp_path, n_bad):
+        ring = FlightRecorder()
+        ring.emit("adapt.start", step=0)
+        ring.emit("adapt.end", step=0)
+        path = ring.write_jsonl(tmp_path / "f.jsonl")
+        with path.open("a", encoding="utf-8") as fh:
+            for _ in range(n_bad):
+                fh.write('{"seq": 9, "t": 2.0, "kind": "trunc\n')
+        loaded = load_flight_jsonl(path)
+        assert loaded == ring.events()
+        assert loaded.skipped_lines == n_bad
+
+    def test_clean_log_reports_zero_skips(self, tmp_path):
+        ring = FlightRecorder()
+        ring.emit("tick", i=0)
+        loaded = load_flight_jsonl(ring.write_jsonl(tmp_path / "f.jsonl"))
+        assert loaded.skipped_lines == 0
+
+    def test_strict_raises_even_on_trailing_truncation(self, tmp_path):
+        ring = FlightRecorder()
+        ring.emit("tick", i=0)
+        path = ring.write_jsonl(tmp_path / "f.jsonl")
+        with path.open("a", encoding="utf-8") as fh:
+            fh.write('{"seq": 1, "t":\n')
+        with pytest.raises(ValueError, match="line 2"):
+            load_flight_jsonl(path, strict=True)
+
+    def test_all_lines_truncated_loads_empty(self, tmp_path):
+        path = tmp_path / "f.jsonl"
+        path.write_text('{"seq": 0, "t"\n{"broken\n')
+        loaded = load_flight_jsonl(path)
+        assert loaded == [] and loaded.skipped_lines == 2
 
 
 class TestReplay:

@@ -594,6 +594,89 @@ class TestR008Printing:
 # ---------------------------------------------------------------------------
 
 
+class TestR009Swallow:
+    def test_pass_only_handler_flagged_even_for_narrow_exceptions(self):
+        src = """
+        def f():
+            try:
+                g()
+            except ValueError:
+                pass
+        """
+        assert "R009" in rule_ids(src, select=["R009"])
+
+    def test_ellipsis_and_docstring_bodies_flagged(self):
+        src = """
+        def f():
+            try:
+                g()
+            except KeyError:
+                ...
+            try:
+                g()
+            except OSError:
+                \"\"\"ignored on purpose\"\"\"
+        """
+        assert len(findings_for(src, select=["R009"])) == 2
+
+    def test_broad_suppress_flagged(self):
+        src = """
+        import contextlib
+        def f():
+            with contextlib.suppress(Exception):
+                g()
+        """
+        findings = findings_for(src, select=["R009"])
+        assert any("suppress" in f.message for f in findings)
+
+    def test_bare_suppress_import_flagged(self):
+        src = """
+        from contextlib import suppress
+        def f():
+            with suppress(ValueError, BaseException):
+                g()
+        """
+        assert "R009" in rule_ids(src, select=["R009"])
+
+    def test_narrow_suppress_clean(self):
+        src = """
+        from contextlib import suppress
+        def f(path):
+            with suppress(FileNotFoundError):
+                path.unlink()
+        """
+        assert rule_ids(src, select=["R009"]) == []
+
+    def test_handler_that_acts_clean(self):
+        src = """
+        def f(log):
+            try:
+                g()
+            except ValueError as exc:
+                log.warning("skipping: %s", exc)
+            try:
+                g()
+            except KeyError:
+                return None
+        """
+        assert rule_ids(src, select=["R009"]) == []
+
+    def test_faults_package_exempt(self):
+        src = """
+        def absorb():
+            try:
+                g()
+            except ValueError:
+                pass
+        """
+        assert rule_ids(src, module="repro.faults.injector", select=["R009"]) == []
+        assert rule_ids(src, module="repro.faults", select=["R009"]) == []
+        # a module merely *named* like it is not exempt
+        assert "R009" in rule_ids(
+            src, module="repro.faultsy.thing", select=["R009"]
+        )
+
+
 class TestSuppression:
     def test_line_suppression(self):
         src = """
