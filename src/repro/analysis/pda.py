@@ -35,10 +35,16 @@ from repro.analysis.regions import clusters_to_rectangles
 from repro.grid.block import split_evenly
 from repro.grid.procgrid import ProcessorGrid
 from repro.grid.rect import Rect
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.comm import SimComm
 from repro.obs import get_flight_recorder, get_recorder
 
-__all__ = ["PDAConfig", "PDAResult", "parallel_data_analysis"]
+__all__ = [
+    "PDAConfig",
+    "PDAResult",
+    "aggregate_summaries",
+    "parallel_data_analysis",
+]
 
 
 @dataclass(frozen=True)
@@ -99,12 +105,72 @@ def _is_corrupt(f: SplitFile) -> bool:
     )
 
 
+def aggregate_summaries(
+    files: list[SplitFile],
+    olr_threshold: float,
+    kernels: str = DEFAULT_KERNELS,
+) -> list[tuple[bool, SubdomainSummary | None]]:
+    """Corruption flag + summary for many split files at once.
+
+    Returns one ``(corrupt, summary)`` per input file, aligned with
+    ``files``; corrupt files (non-finite QCLOUD/OLR) carry ``None``.  The
+    vector path stacks same-shape tiles and reduces the whole batch with
+    masked array ops; the reference path summarises file by file.  The
+    integer-derived fields (``olr_fraction``, corruption flags) are
+    bit-identical across modes; the ``qcloud`` float aggregate may differ
+    in the last ulp because batched reductions sum in a different order
+    (see ``docs/performance.md``).
+    """
+    check_kernels(kernels)
+    with get_recorder().span("analysis.aggregate", n_files=len(files)):
+        if kernels == "reference":
+            return [
+                (True, None)
+                if _is_corrupt(f)
+                else (False, f.summarise(olr_threshold))
+                for f in files
+            ]
+        results: list[tuple[bool, SubdomainSummary | None]] = [
+            (True, None)
+        ] * len(files)
+        by_shape: dict[tuple[int, int], list[int]] = {}
+        for i, f in enumerate(files):
+            by_shape.setdefault(f.qcloud.shape, []).append(i)
+        for shape, idxs in by_shape.items():
+            q = np.stack([files[i].qcloud for i in idxs])
+            o = np.stack([files[i].olr for i in idxs])
+            finite = np.isfinite(q).all(axis=(1, 2)) & np.isfinite(o).all(
+                axis=(1, 2)
+            )
+            mask = o <= olr_threshold
+            counts = mask.sum(axis=(1, 2))
+            qsum = np.where(mask, q, 0.0).sum(axis=(1, 2))
+            area = shape[0] * shape[1]
+            for j, i in enumerate(idxs):
+                if not finite[j]:
+                    continue  # stays (True, None)
+                f = files[i]
+                results[i] = (
+                    False,
+                    SubdomainSummary(
+                        file_index=f.file_index,
+                        block_x=f.block_x,
+                        block_y=f.block_y,
+                        extent=f.extent,
+                        qcloud=float(qsum[j]),
+                        olr_fraction=float(counts[j]) / area if area else 0.0,
+                    ),
+                )
+        return results
+
+
 def parallel_data_analysis(
     files: list[SplitFile | None],
     sim_grid: ProcessorGrid,
     n_analysis: int,
     config: PDAConfig | None = None,
     comm: SimComm | None = None,
+    kernels: str = DEFAULT_KERNELS,
 ) -> PDAResult:
     """Run Algorithm 1 over one step's split files.
 
@@ -125,6 +191,11 @@ def parallel_data_analysis(
         An existing :class:`SimComm` of size ``N`` (one is created when
         omitted); its statistics account the root gather, and its failed
         ranks' buckets go unread (degraded mode).
+    kernels:
+        ``"vector"`` (default) summarises every present file in one batched
+        pass (:func:`aggregate_summaries`) shared by the per-rank analysis
+        and the degraded-mode renormalisation; ``"reference"`` summarises
+        file by file, twice, as the original scalar oracle did.
     """
     if len(files) != sim_grid.nprocs:
         raise ValueError(
@@ -137,6 +208,7 @@ def parallel_data_analysis(
         )
     config = config or PDAConfig()
     comm = comm or SimComm(n_analysis)
+    check_kernels(kernels)
     if comm.Get_size() != n_analysis:
         raise ValueError(
             f"communicator size {comm.Get_size()} != n_analysis {n_analysis}"
@@ -149,6 +221,29 @@ def parallel_data_analysis(
         buckets = _assign_files(files, sim_grid, n_analysis)
         corrupt_count = [0]  # mutated by the per-rank closure
 
+        if kernels == "vector":
+            # One batched pass over every present file, shared by the
+            # per-rank analysis and the renormalisation below (the
+            # reference path summarises per file — and twice).
+            present = [f for f in files if f is not None]
+            info = {
+                id(f): cs
+                for f, cs in zip(
+                    present,
+                    aggregate_summaries(present, config.olr_threshold, kernels),
+                )
+            }
+
+            def summarise(f: SplitFile) -> tuple[bool, SubdomainSummary | None]:
+                return info[id(f)]
+
+        else:
+
+            def summarise(f: SplitFile) -> tuple[bool, SubdomainSummary | None]:
+                if _is_corrupt(f):
+                    return True, None
+                return False, f.summarise(config.olr_threshold)
+
         # Per-rank analysis (Algorithm 1, lines 3–9).  An analysis rank only
         # reports subdomains containing any low-OLR area — "some of the split
         # files may not have regions with OLR <= 200, in which case the
@@ -157,10 +252,11 @@ def parallel_data_analysis(
         def analyse(rank: int) -> list[SubdomainSummary]:
             out = []
             for f in buckets[rank]:
-                if _is_corrupt(f):
+                corrupt, summary = summarise(f)
+                if corrupt:
                     corrupt_count[0] += 1
                     continue
-                summary = f.summarise(config.olr_threshold)
+                assert summary is not None
                 if summary.olr_fraction > 0:
                     out.append(summary)
             return out
@@ -177,9 +273,10 @@ def parallel_data_analysis(
             if not comm.alive(rank):
                 continue
             for f in bucket:
-                if _is_corrupt(f):
+                corrupt, summary = summarise(f)
+                if corrupt:
                     continue
-                summary = f.summarise(config.olr_threshold)
+                assert summary is not None
                 reporting_area += f.extent.area
                 weighted_low_olr += summary.olr_fraction * f.extent.area
         low_olr = weighted_low_olr / reporting_area if reporting_area else 0.0

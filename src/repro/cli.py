@@ -170,6 +170,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="subset of phase names to run (default: all)",
     )
     p.add_argument(
+        "--kernels",
+        choices=["vector", "reference"],
+        default=None,
+        help="hot-kernel implementation to time (default: vector); "
+        "'reference' times the scalar oracle the baselines pin",
+    )
+    p.add_argument(
         "--trace",
         default=None,
         help="also write a Chrome trace-event JSON of one instrumented "
@@ -268,6 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.kernels import DEFAULT_KERNELS
     from repro.obs.bench import (
         DEFAULT_BASELINE_PATH,
         format_bench,
@@ -295,6 +303,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             repeats=args.repeats,
             phases=args.phases,
             progress=lambda name: print(f"  timing {name} ...", file=sys.stderr),
+            kernels=args.kernels if args.kernels is not None else DEFAULT_KERNELS,
         )
     except ValueError as exc:
         print(f"repro bench: {exc}", file=sys.stderr)

@@ -31,6 +31,8 @@ import numpy as np
 from repro.core.allocation import Allocation
 from repro.grid.block import BlockDecomposition
 from repro.grid.overlap import TransferMatrix, transfer_matrix
+from repro.grid.rect import Rect
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.alltoallv import messages_from_transfer
 from repro.mpisim.ledger import CommLedger
 from repro.obs import get_flight_recorder, get_recorder
@@ -111,6 +113,7 @@ def scatter_nest(
     nest_id: int,
     field_data: np.ndarray,
     allocation: Allocation,
+    kernels: str = DEFAULT_KERNELS,
 ) -> BlockDecomposition:
     """Distribute a full nest field over its allocated rectangle.
 
@@ -120,19 +123,37 @@ def scatter_nest(
     """
     if field_data.ndim != 2:
         raise ValueError(f"field_data must be 2-D (ny, nx), got shape {field_data.shape}")
+    check_kernels(kernels)
     ny, nx = field_data.shape
     with get_recorder().span("dataplane.scatter", nest=nest_id):
         decomp = allocation.decomposition(nest_id, nx, ny)
         rect = allocation.rect_of(nest_id)
+        if kernels == "reference":
+            for j in range(rect.h):
+                for i in range(rect.w):
+                    blk = decomp.block_of(i, j)
+                    rank = allocation.grid.rank(rect.x0 + i, rect.y0 + j)
+                    store.put(
+                        rank,
+                        nest_id,
+                        field_data[blk.y0 : blk.y1, blk.x0 : blk.x1].copy(),
+                        blk,
+                    )
+            return decomp
+        # Vector path: split boundaries and the rank grid are computed once
+        # (block_of recomputes both bounds arrays per cell) and each rank's
+        # slab is copied by a precomputed slice.
+        xb, yb = decomp.x_bounds, decomp.y_bounds
+        ranks = allocation.grid.rank_grid(rect)
         for j in range(rect.h):
+            y0, y1 = int(yb[j]), int(yb[j + 1])
             for i in range(rect.w):
-                blk = decomp.block_of(i, j)
-                rank = allocation.grid.rank(rect.x0 + i, rect.y0 + j)
+                x0, x1 = int(xb[i]), int(xb[i + 1])
                 store.put(
-                    rank,
+                    int(ranks[j, i]),
                     nest_id,
-                    field_data[blk.y0 : blk.y1, blk.x0 : blk.x1].copy(),
-                    blk,
+                    field_data[y0:y1, x0:x1].copy(),
+                    Rect(x0, y0, x1 - x0, y1 - y0),
                 )
         return decomp
 
@@ -144,6 +165,7 @@ def execute_redistribution(
     new: Allocation,
     nx: int,
     ny: int,
+    kernels: str = DEFAULT_KERNELS,
 ) -> TransferMatrix:
     """Move one nest's blocks from ``old`` owners to ``new`` owners.
 
@@ -154,8 +176,23 @@ def execute_redistribution(
     """
     check_positive("nx", nx)
     check_positive("ny", ny)
+    check_kernels(kernels)
     with get_recorder().span("dataplane.redistribute", nest=nest_id):
-        return _execute(store, nest_id, old, new, nx, ny)
+        return _execute(store, nest_id, old, new, nx, ny, kernels=kernels)
+
+
+def _block_bounds(
+    decomp: BlockDecomposition,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Every block's ``(x0, x1, y0, y1)`` as row-major ``(h*w,)`` arrays."""
+    xb, yb = decomp.x_bounds, decomp.y_bounds
+    w, h = decomp.proc_rect.w, decomp.proc_rect.h
+    return (
+        np.tile(xb[:-1], h),
+        np.tile(xb[1:], h),
+        np.repeat(yb[:-1], w),
+        np.repeat(yb[1:], w),
+    )
 
 
 def _execute(
@@ -165,12 +202,34 @@ def _execute(
     new: Allocation,
     nx: int,
     ny: int,
+    kernels: str = DEFAULT_KERNELS,
+    transfer: TransferMatrix | None = None,
 ) -> TransferMatrix:
-    """The data movement of :func:`execute_redistribution` (pre-validated)."""
+    """The data movement of :func:`execute_redistribution` (pre-validated).
+
+    ``transfer`` lets callers that already planned the move (the
+    self-healing retry executor) skip recomputing the transfer matrix.
+    """
     old_decomp = old.decomposition(nest_id, nx, ny)
     new_decomp = new.decomposition(nest_id, nx, ny)
-    transfer = transfer_matrix(old_decomp, new_decomp, old.grid.px)
+    if transfer is None:
+        transfer = transfer_matrix(old_decomp, new_decomp, old.grid.px)
+    if kernels == "reference":
+        _move_blocks_reference(store, nest_id, old, new, old_decomp, new_decomp)
+    else:
+        _move_blocks_vector(store, nest_id, old, new, old_decomp, new_decomp)
+    return transfer
 
+
+def _move_blocks_reference(
+    store: RankStore,
+    nest_id: int,
+    old: Allocation,
+    new: Allocation,
+    old_decomp: BlockDecomposition,
+    new_decomp: BlockDecomposition,
+) -> None:
+    """Per-block-pair data movement (the scalar oracle)."""
     # Stage 1: receivers allocate their new blocks.
     new_rect = new.rect_of(nest_id)
     incoming: dict[int, tuple[np.ndarray, Rect]] = {}
@@ -211,25 +270,115 @@ def _execute(
     store.drop_nest(nest_id)
     for rank, (block, rect) in incoming.items():
         store.put(rank, nest_id, block, rect)
-    return transfer
 
 
-def gather_nest(store: RankStore, nest_id: int, nx: int, ny: int) -> np.ndarray:
+def _move_blocks_vector(
+    store: RankStore,
+    nest_id: int,
+    old: Allocation,
+    new: Allocation,
+    old_decomp: BlockDecomposition,
+    new_decomp: BlockDecomposition,
+) -> None:
+    """Broadcast-intersection data movement (the fast path).
+
+    All ``n_old × n_new`` block intersections come from one broadcast
+    clip; only the genuinely overlapping pairs are then copied, each as
+    one slab slice.  Bit-for-bit the same store state as the reference
+    path — the same bytes land in the same destination blocks.
+    """
+    new_rect = new.rect_of(nest_id)
+    old_rect = old.rect_of(nest_id)
+    new_ranks = new.grid.rank_grid(new_rect).ravel()
+    old_ranks = old.grid.rank_grid(old_rect).ravel()
+    nx0, nx1, ny0, ny1 = _block_bounds(new_decomp)
+    ox0, ox1, oy0, oy1 = _block_bounds(old_decomp)
+
+    # Stage 1: receivers allocate their new blocks.
+    incoming: dict[int, tuple[np.ndarray, Rect]] = {}
+    for k in range(new_ranks.size):
+        rect = Rect(
+            int(nx0[k]), int(ny0[k]), int(nx1[k] - nx0[k]), int(ny1[k] - ny0[k])
+        )
+        incoming[int(new_ranks[k])] = (np.empty((rect.h, rect.w)), rect)
+
+    # Stage 2: one (n_old, n_new) clip finds every intersecting pair.
+    ix0 = np.maximum(ox0[:, None], nx0[None, :])
+    ix1 = np.minimum(ox1[:, None], nx1[None, :])
+    iy0 = np.maximum(oy0[:, None], ny0[None, :])
+    iy1 = np.minimum(oy1[:, None], ny1[None, :])
+    oi, ni = np.nonzero((ix1 > ix0) & (iy1 > iy0))
+    for o, r in zip(oi.tolist(), ni.tolist()):
+        src_block, src_rect = store.get(int(old_ranks[o]), nest_id)
+        dst_block, dst_rect = incoming[int(new_ranks[r])]
+        x0, x1 = int(ix0[o, r]), int(ix1[o, r])
+        y0, y1 = int(iy0[o, r]), int(iy1[o, r])
+        dst_block[
+            y0 - dst_rect.y0 : y1 - dst_rect.y0,
+            x0 - dst_rect.x0 : x1 - dst_rect.x0,
+        ] = src_block[
+            y0 - src_rect.y0 : y1 - src_rect.y0,
+            x0 - src_rect.x0 : x1 - src_rect.x0,
+        ]
+
+    # Stage 3: free old blocks, install new ones.
+    store.drop_nest(nest_id)
+    for rank, (block, rect) in incoming.items():
+        store.put(rank, nest_id, block, rect)
+
+
+def gather_nest(
+    store: RankStore, nest_id: int, nx: int, ny: int, kernels: str = DEFAULT_KERNELS
+) -> np.ndarray:
     """Reassemble the full nest field from its current owners.
 
     Raises :class:`ValueError` if the held blocks do not tile the nest
     exactly (a broken redistribution would be caught here).
     """
+    check_kernels(kernels)
     with get_recorder().span("dataplane.gather", nest=nest_id):
+        if kernels == "reference":
+            out = np.full((ny, nx), np.nan)
+            covered = 0
+            for rank in store.holders(nest_id):
+                block, rect = store.get(rank, nest_id)
+                region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
+                if not np.all(np.isnan(region)):
+                    raise ValueError(
+                        f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
+                    )
+                out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
+                covered += rect.area
+            if covered != nx * ny or np.isnan(out).any():
+                raise ValueError(
+                    f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
+                )
+            return out
+        # Vector path: block disjointness is verified by one broadcast
+        # rectangle-overlap test instead of re-reading every written region,
+        # then each block lands with one slab assignment.  Same errors as
+        # the reference path, blaming the same rank.
+        holders = store.holders(nest_id)
+        pairs = [store.get(rank, nest_id) for rank in holders]
+        x0 = np.array([r.x0 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
+        x1 = np.array([r.x1 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
+        y0 = np.array([r.y0 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
+        y1 = np.array([r.y1 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
+        overlap = (
+            (np.minimum(x1, x1.T) > np.maximum(x0, x0.T))
+            & (np.minimum(y1, y1.T) > np.maximum(y0, y0.T))
+        )
+        clash = np.nonzero(np.tril(overlap, k=-1))[0]
+        if clash.size:
+            # The reference walk blames the later block in holder order.
+            rank = holders[int(clash.min())]
+            rect = pairs[int(clash.min())][1]
+            raise ValueError(
+                f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
+            )
         out = np.full((ny, nx), np.nan)
         covered = 0
-        for rank in store.holders(nest_id):
-            block, rect = store.get(rank, nest_id)
-            region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
-            if not np.all(np.isnan(region)):
-                raise ValueError(
-                    f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
-                )
+        for block, rect in pairs:
             out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
             covered += rect.area
         if covered != nx * ny or np.isnan(out).any():
@@ -353,6 +502,7 @@ def execute_redistribution_with_retry(
     seed: int = 0,
     ledger: CommLedger | None = None,
     bytes_per_point: int = 8,
+    kernels: str = DEFAULT_KERNELS,
 ) -> RetryOutcome:
     """Run one nest's redistribution with per-round timeout and backoff.
 
@@ -366,16 +516,22 @@ def execute_redistribution_with_retry(
     so the bit-for-bit gather invariant is preserved through any number of
     failed rounds.  When a ``ledger`` is given, re-sent bytes are
     attributed to their senders via :meth:`CommLedger.add_retry`.
+
+    The plan is computed once, before the retry loop: every attempt —
+    including the winning one, which reuses it through :func:`_execute` —
+    works from the same transfer matrix and the same :class:`MessageSet`
+    object, so a retry storm never re-runs the planner.
     """
     check_positive("nx", nx)
     check_positive("ny", ny)
+    check_kernels(kernels)
     if timeout <= 0:
         raise ValueError(f"timeout must be > 0, got {timeout}")
     policy = policy or BackoffPolicy()
     rng = make_rng((seed * 1_000_003 + nest_id) % 2**63)
     flight = get_flight_recorder()
 
-    # The wire traffic of one try, for retry attribution.
+    # The wire traffic of one try, for retry attribution and execution.
     plan_transfer = transfer_matrix(
         old.decomposition(nest_id, nx, ny),
         new.decomposition(nest_id, nx, ny),
@@ -418,7 +574,10 @@ def execute_redistribution_with_retry(
                     timeout=round(timeout, 6),
                 )
                 continue
-            transfer = _execute(store, nest_id, old, new, nx, ny)
+            transfer = _execute(
+                store, nest_id, old, new, nx, ny,
+                kernels=kernels, transfer=plan_transfer,
+            )
             if attempt > 0:
                 flight.emit(
                     "redist.recovered",

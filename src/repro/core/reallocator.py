@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING
 from repro.core.allocation import Allocation
 from repro.core.redistribution import RedistributionPlan, plan_redistribution
 from repro.core.strategy import ReallocationStrategy
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
 from repro.obs import AuditTrail, get_flight_recorder, get_recorder
@@ -57,6 +58,7 @@ class ProcessorReallocator:
         predictor: ExecTimePredictor,
         cost: CostModel | None = None,
         flow_level: bool = False,
+        kernels: str = DEFAULT_KERNELS,
     ) -> None:
         from repro.grid.procgrid import ProcessorGrid
 
@@ -65,7 +67,8 @@ class ProcessorReallocator:
         self.predictor = predictor
         self.cost = cost or CostModel.for_machine(machine)
         self.grid = ProcessorGrid(*machine.grid)
-        self.simulator = NetworkSimulator(machine.mapping, self.cost)
+        self.kernels = check_kernels(kernels)
+        self.simulator = NetworkSimulator(machine.mapping, self.cost, kernels=kernels)
         self.flow_level = flow_level
         self.allocation: Allocation | None = None
         self.nest_sizes: dict[int, tuple[int, int]] = {}

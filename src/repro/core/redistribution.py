@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 
 from repro.core.allocation import Allocation
 from repro.grid.overlap import TransferMatrix, transfer_matrix
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.alltoallv import (
     MessageSet,
     hop_bytes,
@@ -86,6 +87,7 @@ def plan_redistribution(
     cost: CostModel,
     simulator: NetworkSimulator | None = None,
     flow_level: bool = False,
+    kernels: str = DEFAULT_KERNELS,
 ) -> RedistributionPlan:
     """Plan and cost the redistribution from ``old`` to ``new``.
 
@@ -93,8 +95,13 @@ def plan_redistribution(
     size.  Nests only in ``old`` (deleted) or only in ``new`` (created; their
     initial data is interpolated from the parent, not redistributed) move no
     data, exactly as in the paper.
+
+    ``kernels`` selects the network-accounting implementation when no
+    ``simulator`` is supplied (a passed-in simulator keeps its own mode);
+    both modes yield bit-identical plans (:mod:`repro.kernels`).
     """
-    simulator = simulator or NetworkSimulator(machine.mapping, cost)
+    check_kernels(kernels)
+    simulator = simulator or NetworkSimulator(machine.mapping, cost, kernels=kernels)
     recorder = get_recorder()
     retained = sorted(set(old.rects) & set(new.rects))
     moves: list[NestMove] = []

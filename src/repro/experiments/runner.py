@@ -21,6 +21,7 @@ from repro.core.scratch import ScratchStrategy
 from repro.core.diffusion import DiffusionStrategy
 from repro.experiments.workloads import Workload
 from repro.grid.procgrid import ProcessorGrid
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.alltoallv import MessageSet
 from repro.mpisim.costmodel import CostModel
 from repro.mpisim.ledger import CommLedger
@@ -54,6 +55,9 @@ class ExperimentContext:
     non-dynamic strategies the candidates are computed on the side — extra
     prediction work, so it is off by default).  ``ledger`` opts into
     per-rank traffic accounting of every executed redistribution.
+    ``kernels`` selects the hot-kernel implementation — ``"vector"``
+    (default) or the scalar ``"reference"`` oracle (:mod:`repro.kernels`) —
+    for every simulator the context's runs construct.
     """
 
     machine: MachineSpec
@@ -64,13 +68,18 @@ class ExperimentContext:
     recorder: Recorder | None = None
     audit: AuditTrail | None = None
     ledger: CommLedger | None = None
+    kernels: str = DEFAULT_KERNELS
 
     def __post_init__(self) -> None:
+        check_kernels(self.kernels)
         if self.cost is None:
             self.cost = CostModel.for_machine(self.machine)
         if self.predictor is None:
+            # The prediction memo cache is part of the fast path; the
+            # reference mode runs the uncached scalar behaviour.
             self.predictor = ExecTimePredictor(
-                ProfileTable(self.oracle, seed=self.profile_seed)
+                ProfileTable(self.oracle, seed=self.profile_seed),
+                memoize=self.kernels == "vector",
             )
 
     def make_dynamic_strategy(self) -> DynamicStrategy:
@@ -130,6 +139,7 @@ def run_workload(
         context.predictor,
         context.cost,
         flow_level=flow_level,
+        kernels=context.kernels,
     )
     rng = make_rng(exec_noise_seed)
     metrics: list[StepMetrics] = []

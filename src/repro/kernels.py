@@ -1,0 +1,45 @@
+"""Kernel selection: the vectorized fast path vs the scalar reference oracle.
+
+The quantities the paper's diffusion strategy optimises — redistribution
+bytes, hop-bytes, per-link contention — are computed by three hot kernels
+(network-simulator link accounting, redistribution data movement, PDA
+aggregation).  Each ships in two implementations:
+
+* ``"vector"`` (default) — batched NumPy array arithmetic: routes as flat
+  link-id arrays with CSR offsets, link loads via ``np.bincount``, block
+  intersections as broadcast clips, masked tile reductions;
+* ``"reference"`` — the original per-message / per-block Python loops,
+  kept as the readable oracle the equivalence suite checks the fast path
+  against (see ``tests/test_kernels_equivalence.py``).
+
+The switch is threaded from
+:class:`~repro.experiments.runner.ExperimentContext` through the
+reallocator, simulator, data plane and analysis layers, so a whole
+experiment can be flipped to either mode (``repro bench --kernels
+reference`` regenerates oracle baselines).  See ``docs/performance.md``
+for the policy on which outputs are bit-for-bit identical across modes
+and which agree to 1-ulp-scale rounding.
+"""
+
+from __future__ import annotations
+
+__all__ = ["KERNEL_MODES", "DEFAULT_KERNELS", "check_kernels"]
+
+#: the two implementations every hot kernel ships
+KERNEL_MODES = ("vector", "reference")
+
+#: the fast path is the default; ``"reference"`` is the scalar oracle
+DEFAULT_KERNELS = "vector"
+
+
+def check_kernels(kernels: str) -> str:
+    """Validate a kernel-mode string and return it.
+
+    Raises :class:`ValueError` for anything but ``"vector"`` or
+    ``"reference"`` so a typo cannot silently select the slow path.
+    """
+    if kernels not in KERNEL_MODES:
+        raise ValueError(
+            f"kernels must be one of {KERNEL_MODES}, got {kernels!r}"
+        )
+    return kernels

@@ -16,6 +16,7 @@ from repro.lint.rules.randomness import UnseededRandomnessRule
 from repro.lint.rules.swallow import SwallowedExceptionRule
 from repro.lint.rules.timing import DirectTimingRule
 from repro.lint.rules.validation import MissingValidationRule
+from repro.lint.rules.vectorization import ScalarMessageLoopRule
 
 __all__ = [
     "Finding",
@@ -31,6 +32,7 @@ __all__ = [
     "DirectTimingRule",
     "BarePrintRule",
     "SwallowedExceptionRule",
+    "ScalarMessageLoopRule",
     "ALL_RULES",
     "get_rules",
 ]
@@ -46,6 +48,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     DirectTimingRule,
     BarePrintRule,
     SwallowedExceptionRule,
+    ScalarMessageLoopRule,
 )
 
 

@@ -55,16 +55,17 @@ class CollectiveSchedule:
 
     def validate_against(self, messages: MessageSet) -> None:
         """Check the rounds partition the original message set exactly."""
-        triples = sorted(
-            (int(s), int(d), float(b))
-            for r in self.rounds
-            for s, d, b in zip(r.src, r.dst, r.nbytes)
+        combined = MessageSet.concat(list(self.rounds))
+
+        def _sorted_triples(ms: MessageSet) -> tuple[np.ndarray, ...]:
+            order = np.lexsort((ms.nbytes, ms.dst, ms.src))
+            return ms.src[order], ms.dst[order], ms.nbytes[order]
+
+        ok = len(combined) == len(messages) and all(
+            np.array_equal(a, b)
+            for a, b in zip(_sorted_triples(combined), _sorted_triples(messages))
         )
-        original = sorted(
-            (int(s), int(d), float(b))
-            for s, d, b in zip(messages.src, messages.dst, messages.nbytes)
-        )
-        if triples != original:
+        if not ok:
             raise AssertionError(
                 f"{self.algorithm} schedule does not partition the message set"
             )

@@ -133,9 +133,17 @@ class CommLedger:
         if mapping is not None:
             hops = mapping.rank_hops(messages.src, messages.dst).astype(np.float64)
             np.add.at(self.hop_bytes, messages.src, hops * messages.nbytes)
-        for s, d, b in zip(messages.src, messages.dst, messages.nbytes):
-            key = (int(s), int(d))
-            self.pair_bytes[key] = self.pair_bytes.get(key, 0.0) + float(b)
+        # Compact to unique pairs before touching the dict: the bincount sums
+        # are exact (message sizes are integer-valued float64) and the loop
+        # shrinks from n messages to the distinct (src, dst) pairs.
+        keys = messages.src.astype(np.int64) * self.nranks + messages.dst.astype(
+            np.int64
+        )
+        uniq, inv = np.unique(keys, return_inverse=True)
+        sums = np.bincount(inv, weights=messages.nbytes)
+        for key, b in zip(uniq.tolist(), sums.tolist()):
+            pair = (key // self.nranks, key % self.nranks)
+            self.pair_bytes[pair] = self.pair_bytes.get(pair, 0.0) + b
 
     def add_retry(self, messages: MessageSet) -> None:
         """Attribute one retried round's bytes to the sending ranks.

@@ -17,6 +17,16 @@ routing every message over the physical links and accounting for sharing:
 Both account for exactly the effects the paper's diffusion strategy targets:
 fewer bytes on the wire (overlap) and fewer links per byte (hop locality).
 
+Kernel modes (:mod:`repro.kernels`): with ``kernels="vector"`` (default)
+routes for a whole :class:`~repro.mpisim.alltoallv.MessageSet` are
+materialised as one flat link-id array plus CSR offsets
+(:meth:`NetworkSimulator.routes_csr`) and link loads / busiest-link
+contributions reduce via ``np.bincount``; ``kernels="reference"`` keeps the
+original per-message loops as the oracle the equivalence suite checks
+against.  All outputs are bit-for-bit identical across modes — message
+byte counts are integer-valued floats, so the sums are exact in any order
+(see ``docs/performance.md``).
+
 Fault hooks (:mod:`repro.faults`): a simulator carries an optional set of
 *degraded links* (per-link bandwidth multipliers in ``(0, 1]``, modelling a
 slow or lossy cable) and *straggler ranks* (per-rank software-overhead
@@ -31,12 +41,16 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.alltoallv import MessageSet
 from repro.mpisim.costmodel import CostModel
 from repro.obs import get_recorder
 from repro.topology.mapping import ProcessMapping
 
 __all__ = ["NetworkSimulator"]
+
+#: placeholder slice while assembling mixed warm/cold route batches
+_EMPTY_ROUTE = np.empty(0, dtype=np.int64)
 
 
 class NetworkSimulator:
@@ -53,10 +67,12 @@ class NetworkSimulator:
         cost: CostModel,
         route_cache_size: int = 1 << 16,
         adaptive_routing: bool = False,
+        kernels: str = DEFAULT_KERNELS,
     ) -> None:
         self.mapping = mapping
         self.topology = mapping.topology
         self.cost = cost
+        self.kernels = check_kernels(kernels)
         # Static adaptive routing: vary the torus dimension order per
         # endpoint pair (deterministic hash) to spread link load.  Only
         # meaningful on topologies exposing route_ordered (tori/meshes).
@@ -65,7 +81,12 @@ class NetworkSimulator:
         )
         # Deterministic routes recur constantly across an experiment (the
         # same rank pairs exchange at every adaptation point), so memoise.
+        # The reference path stores routes as lists, the vector path as
+        # int64 arrays; both caches evict FIFO one entry at a time when
+        # full (dicts preserve insertion order, so the first key is the
+        # oldest), keeping the hit rate high instead of flushing wholesale.
         self._route_cache: dict[tuple[int, int], list[int]] = {}
+        self._route_cache_vec: dict[tuple[int, int], np.ndarray] = {}
         self._route_cache_size = route_cache_size
         self.route_cache_hits = 0
         self.route_cache_misses = 0
@@ -101,7 +122,7 @@ class NetworkSimulator:
         self.link_faults.clear()
         self.rank_slowdown.clear()
 
-    # ------------------------------------------------------------------
+    # -- route caches ----------------------------------------------------
 
     def _route(self, src_rank: int, dst_rank: int) -> list[int]:
         key = (src_rank, dst_rank)
@@ -117,7 +138,8 @@ class NetworkSimulator:
             else:
                 cached = self.topology.route(src, dst)
             if len(self._route_cache) >= self._route_cache_size:
-                self._route_cache.clear()  # simple full flush; hits dominate
+                # FIFO: drop only the oldest entry, not the whole cache.
+                self._route_cache.pop(next(iter(self._route_cache)))
             self._route_cache[key] = cached
         else:
             self.route_cache_hits += 1
@@ -128,23 +150,162 @@ class NetworkSimulator:
         """Drop every memoised route and reset the hit/miss counters
         (cold-cache benchmarking)."""
         self._route_cache.clear()
+        self._route_cache_vec.clear()
         self.route_cache_hits = 0
         self.route_cache_misses = 0
 
-    def _routes(self, messages: MessageSet) -> list[list[int]]:
-        """Physical route (link ids) of every message."""
+    def _batch_missing_routes(
+        self, src_ranks: np.ndarray, dst_ranks: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Compute, cache and return routes for uncached rank pairs.
+
+        Returns the ``(links, offsets)`` CSR over the input pairs, in
+        input order; each pair's slice also lands in the vector route
+        cache (views into the flat array — no copies).
+        """
+        table = self.mapping.table
+        src = table[src_ranks].astype(np.int64)
+        dst = table[dst_ranks].astype(np.int64)
+        if self.adaptive_routing:
+            # Group pairs by their hashed dimension order (six groups) so
+            # each group is one vectorised batch_routes_ordered call.
+            order_idx = (src * 2654435761 + dst) % 6
+            chunks: list[np.ndarray] = [np.empty(0, dtype=np.int64)] * len(src)
+            for o in np.unique(order_idx):
+                sel = np.flatnonzero(order_idx == o)
+                l, off = self.topology.batch_routes_ordered(
+                    src[sel], dst[sel], self._DIM_ORDERS[int(o)]
+                )
+                for j, pos in enumerate(sel):
+                    chunks[int(pos)] = l[off[j] : off[j + 1]]
+            lengths = np.fromiter(
+                (c.shape[0] for c in chunks), dtype=np.int64, count=len(chunks)
+            )
+            offsets = np.zeros(len(chunks) + 1, dtype=np.int64)
+            np.cumsum(lengths, out=offsets[1:])
+            links = (
+                np.concatenate(chunks) if chunks else np.empty(0, dtype=np.int64)
+            )
+        else:
+            links, offsets = self.topology.batch_routes(src, dst)
+        cache = self._route_cache_vec
+        cache.update(
+            ((int(s), int(d)), links[offsets[i] : offsets[i + 1]])
+            for i, (s, d) in enumerate(zip(src_ranks, dst_ranks))
+        )
+        while len(cache) > self._route_cache_size:  # FIFO overflow eviction
+            cache.pop(next(iter(cache)))
+        return links, offsets
+
+    def routes_csr(self, messages: MessageSet) -> tuple[np.ndarray, np.ndarray]:
+        """Every message's physical route as one flat CSR structure.
+
+        Returns ``(links, offsets)``: message ``i`` traverses directed
+        links ``links[offsets[i]:offsets[i + 1]]``, in hop order.  Uncached
+        endpoint pairs are routed in one vectorised batch; cache hit/miss
+        counters advance exactly as the per-message reference path would
+        (first sighting of a pair is a miss, repeats are hits).
+        """
+        n = len(messages)
+        offsets = np.zeros(n + 1, dtype=np.int64)
+        if n == 0:
+            return np.empty(0, dtype=np.int64), offsets
+        nranks = self.mapping.nranks
+        keys = messages.src.astype(np.int64) * nranks + messages.dst.astype(np.int64)
+        uniq, inv = np.unique(keys, return_inverse=True)
+        uniq_src = uniq // nranks
+        uniq_dst = uniq % nranks
+        cache = self._route_cache_vec
+        if not cache:  # cold cache: everything is missing, skip the probe
+            missing = np.ones(len(uniq), dtype=bool)
+        else:
+            missing = np.fromiter(
+                (
+                    (int(s), int(d)) not in cache
+                    for s, d in zip(uniq_src, uniq_dst)
+                ),
+                dtype=bool,
+                count=len(uniq),
+            )
+        n_missing = int(missing.sum())
+        self.route_cache_misses += n_missing
+        self.route_cache_hits += n - n_missing
+        rec = get_recorder()
+        if n_missing:
+            rec.count("netsim.route_cache_miss", float(n_missing))
+        if n > n_missing:
+            rec.count("netsim.route_cache_hit", float(n - n_missing))
+        if n_missing == len(uniq):
+            # Every pair just came out of one batch call whose output is
+            # already the per-pair CSR — no per-pair reassembly needed.
+            flat_pairs, pair_offs = self._batch_missing_routes(uniq_src, uniq_dst)
+            pair_len = np.diff(pair_offs)
+            pair_off = pair_offs[:-1]
+        else:
+            # Hit routes are snapshotted *before* the batch call: its FIFO
+            # overflow eviction may drop them (or even just-inserted missing
+            # pairs, when the batch itself exceeds the cache) from the cache
+            # before reassembly, so nothing below re-reads the cache.
+            per_pair: list[np.ndarray] = [
+                _EMPTY_ROUTE if m else cache[(int(s), int(d))]
+                for m, s, d in zip(missing.tolist(), uniq_src, uniq_dst)
+            ]
+            if n_missing:
+                mlinks, moffs = self._batch_missing_routes(
+                    uniq_src[missing], uniq_dst[missing]
+                )
+                for j, i in enumerate(np.flatnonzero(missing).tolist()):
+                    per_pair[i] = mlinks[moffs[j] : moffs[j + 1]]
+            pair_len = np.fromiter(
+                (r.shape[0] for r in per_pair), dtype=np.int64, count=len(per_pair)
+            )
+            pair_off = np.concatenate(([0], np.cumsum(pair_len)[:-1]))
+            flat_pairs = np.concatenate(per_pair)
+        np.cumsum(pair_len[inv], out=offsets[1:])
+        total = int(offsets[-1])
+        if total == 0:
+            return np.empty(0, dtype=np.int64), offsets
+        # Gather each message's route out of the unique-pair concatenation.
+        msg_len = pair_len[inv]
+        src_pos = np.repeat(pair_off[inv], msg_len)
+        k = np.arange(total, dtype=np.int64) - np.repeat(offsets[:-1], msg_len)
+        return flat_pairs[src_pos + k], offsets
+
+    def _routes_reference(self, messages: MessageSet) -> list[list[int]]:
+        """Physical route (link ids) of every message (reference path)."""
         return [
             self._route(int(s), int(d))
             for s, d in zip(messages.src, messages.dst)
         ]
 
-    def link_loads(self, messages: MessageSet) -> dict[int, float]:
-        """Total bytes crossing each directed link (only loaded links)."""
+    # -- link loads -------------------------------------------------------
+
+    def _link_load_arrays(
+        self, messages: MessageSet
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Loaded links and their byte totals as sorted parallel arrays."""
+        links, offsets = self.routes_csr(messages)
+        if links.size == 0:
+            return np.empty(0, dtype=np.int64), np.empty(0, dtype=np.float64)
+        weights = np.repeat(
+            messages.nbytes.astype(np.float64), np.diff(offsets)
+        )
+        uniq, inv = np.unique(links, return_inverse=True)
+        return uniq, np.bincount(inv, weights=weights, minlength=len(uniq))
+
+    def _link_loads_reference(self, messages: MessageSet) -> dict[int, float]:
         loads: dict[int, float] = {}
-        for route, nbytes in zip(self._routes(messages), messages.nbytes):
+        for route, nbytes in zip(self._routes_reference(messages), messages.nbytes):
             for link in route:
                 loads[link] = loads.get(link, 0.0) + float(nbytes)
         return loads
+
+    def link_loads(self, messages: MessageSet) -> dict[int, float]:
+        """Total bytes crossing each directed link (only loaded links)."""
+        if self.kernels == "reference":
+            return self._link_loads_reference(messages)
+        links, loads = self._link_load_arrays(messages)
+        return dict(zip(links.tolist(), loads.tolist()))
 
     def busiest_link_contributions(
         self, messages: MessageSet
@@ -158,7 +319,42 @@ class NetworkSimulator:
         is responsible for the wire-phase bottleneck.  Returns
         ``(-1, 0.0, {})`` for an empty message set or all-local routes.
         """
-        routes = self._routes(messages)
+        if self.kernels == "reference":
+            return self._busiest_link_contributions_reference(messages)
+        links, offsets = self.routes_csr(messages)
+        if links.size == 0:
+            return -1, 0.0, {}
+        nbytes = messages.nbytes.astype(np.float64)
+        weights = np.repeat(nbytes, np.diff(offsets))
+        uniq, inv = np.unique(links, return_inverse=True)
+        loads = np.bincount(inv, weights=weights, minlength=len(uniq))
+        # Ties break toward the smallest link id: uniq is sorted ascending
+        # and argmax returns the first maximum.
+        bi = int(np.argmax(loads))
+        busiest = int(uniq[bi])
+        msg_of = np.repeat(
+            np.arange(len(messages), dtype=np.int64), np.diff(offsets)
+        )
+        touching = np.unique(msg_of[inv == bi])
+        nranks = self.mapping.nranks
+        pair_keys = (
+            messages.src[touching].astype(np.int64) * nranks
+            + messages.dst[touching].astype(np.int64)
+        )
+        uniq_pairs, pair_inv = np.unique(pair_keys, return_inverse=True)
+        pair_bytes = np.bincount(
+            pair_inv, weights=nbytes[touching], minlength=len(uniq_pairs)
+        )
+        contributions = {
+            (int(key // nranks), int(key % nranks)): float(b)
+            for key, b in zip(uniq_pairs, pair_bytes)
+        }
+        return busiest, float(loads[bi]), contributions
+
+    def _busiest_link_contributions_reference(
+        self, messages: MessageSet
+    ) -> tuple[int, float, dict[tuple[int, int], float]]:
+        routes = self._routes_reference(messages)
         loads: dict[int, float] = {}
         for route, nbytes in zip(routes, messages.nbytes):
             for link in route:
@@ -221,18 +417,34 @@ class NetworkSimulator:
         if len(messages) == 0:
             return 0.0
         with get_recorder().span("netsim.bottleneck", n_messages=len(messages)):
-            loads = self.link_loads(messages)
+            if self.kernels == "reference":
+                loads = self._link_loads_reference(messages)
+                wire = 0.0
+                if loads:
+                    if self.link_faults:
+                        # a degraded link drains its bytes at factor x bandwidth
+                        drain = max(
+                            load / self.link_faults.get(link, 1.0)
+                            for link, load in loads.items()
+                        )
+                    else:
+                        drain = max(loads.values())
+                    wire = drain * self.cost.beta
+                return wire + self._endpoint_overhead(messages, include_floor)
+            links_arr, loads_arr = self._link_load_arrays(messages)
             wire = 0.0
-            if loads:
+            if loads_arr.size:
                 if self.link_faults:
-                    # a degraded link drains its bytes at factor x bandwidth
-                    drain = max(
-                        load / self.link_faults.get(link, 1.0)
-                        for link, load in loads.items()
-                    )
+                    drain_arr = loads_arr.copy()
+                    # Sorted loaded-link ids let each fault resolve by
+                    # binary search; the fault set is small.
+                    for link, factor in self.link_faults.items():
+                        idx = int(np.searchsorted(links_arr, link))
+                        if idx < links_arr.size and links_arr[idx] == link:
+                            drain_arr[idx] /= factor
+                    wire = float(drain_arr.max()) * self.cost.beta
                 else:
-                    drain = max(loads.values())
-                wire = drain * self.cost.beta
+                    wire = float(loads_arr.max()) * self.cost.beta
             return wire + self._endpoint_overhead(messages, include_floor)
 
     # ------------------------------------------------------------------
@@ -251,29 +463,54 @@ class NetworkSimulator:
         with get_recorder().span("netsim.flow", n_messages=nflows):
             return self._flow_time(messages, max_epochs)
 
+    def _flow_incidence(
+        self, messages: MessageSet
+    ) -> tuple[int, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Compacted (flow, link) incidence shared by both kernel modes.
+
+        Returns ``(nlinks, link_ids, finc, linc, active)`` with link ids
+        sorted ascending and incidences in message-major hop order — both
+        kernel paths produce bitwise-identical arrays, so the waterfill
+        results agree exactly.
+        """
+        if self.kernels == "reference":
+            routes = self._routes_reference(messages)
+            link_ids_list = sorted({l for r in routes for l in r})
+            link_index = {l: i for i, l in enumerate(link_ids_list)}
+            finc = np.fromiter(
+                (fi for fi, r in enumerate(routes) for _ in r), dtype=np.int64
+            )
+            linc = np.fromiter(
+                (link_index[l] for r in routes for l in r), dtype=np.int64
+            )
+            # Zero-hop messages (same physical node) complete immediately.
+            active = np.array([len(r) > 0 for r in routes])
+            return (
+                len(link_ids_list),
+                np.asarray(link_ids_list, dtype=np.int64),
+                finc,
+                linc,
+                active,
+            )
+        links, offsets = self.routes_csr(messages)
+        hop_counts = np.diff(offsets)
+        finc = np.repeat(np.arange(len(messages), dtype=np.int64), hop_counts)
+        link_ids, linc = np.unique(links, return_inverse=True)
+        return len(link_ids), link_ids, finc, linc.astype(np.int64), hop_counts > 0
+
     def _flow_time(self, messages: MessageSet, max_epochs: int | None) -> float:
         nflows = len(messages)
-        routes = self._routes(messages)
-        # Compact link ids.
-        link_ids = sorted({l for r in routes for l in r})
-        link_index = {l: i for i, l in enumerate(link_ids)}
-        nlinks = len(link_ids)
-        # Flat incidence (flow, link) pairs.
-        finc = np.fromiter(
-            (fi for fi, r in enumerate(routes) for _ in r), dtype=np.int64
-        )
-        linc = np.fromiter(
-            (link_index[l] for r in routes for l in r), dtype=np.int64
-        )
+        nlinks, link_ids, finc, linc, active = self._flow_incidence(messages)
         remaining = messages.nbytes.astype(np.float64).copy()
-        # Zero-hop messages (same physical node) complete immediately.
-        active = np.array([len(r) > 0 for r in routes])
+        active = active.copy()
         remaining[~active] = 0.0
         bw = np.full(nlinks, self.topology.link_bandwidth, dtype=np.float64)
-        for link, factor in self.link_faults.items():
-            idx = link_index.get(link)
-            if idx is not None:
-                bw[idx] *= factor
+        if self.link_faults:
+            link_index = {int(l): i for i, l in enumerate(link_ids)}
+            for link, factor in self.link_faults.items():
+                idx = link_index.get(link)
+                if idx is not None:
+                    bw[idx] *= factor
         t = 0.0
         epochs = 0
         limit = max_epochs if max_epochs is not None else 2 * nflows + 8

@@ -12,14 +12,22 @@ The suite covers the paper's whole latency argument end to end:
 phase                       what it times
 ==========================  ==================================================
 ``analysis.pda``            Algorithm 1 + NNC over one step's split files
+``pda.aggregate``           batched split-file summarisation alone
 ``tree.scratch``            Huffman build + rectangle layout (§IV-A)
 ``tree.diffusion``          Algorithm-3 tree edit + layout (§IV-B)
 ``grid.transfer_matrix``    per-nest transfer-matrix construction
+``netsim.link_loads``       per-link byte accounting (cold route cache)
 ``netsim.bottleneck``       contention-aware alltoallv timing
 ``netsim.flow``             max-min-fair flow simulation
+``redist.plan``             full redistribution planning (cold route cache)
 ``dataplane.roundtrip``     scatter → executed redistribution → gather
 ``e2e.compare``             the ``repro compare`` path, scratch + diffusion
 ==========================  ==================================================
+
+Every phase runs under a kernel mode (:mod:`repro.kernels`): ``"vector"``
+(the default fast path) or ``"reference"`` (the scalar oracle).  The mode
+is recorded in the result header; the committed baseline is generated with
+the *reference* kernels so a default run shows the vectorisation delta.
 
 This module lives in ``repro.obs`` and is therefore allowed to read raw
 clocks (reprolint R007); every other module must report time through
@@ -39,6 +47,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING
 
+from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.obs.stats import PhaseStats, summarise
 
 if TYPE_CHECKING:
@@ -75,14 +84,16 @@ _QUICK_MACHINE = "bgl-256"
 class BenchPhase:
     """One benchmarkable hot path.
 
-    ``setup(quick)`` builds the pinned inputs once and returns the
-    zero-argument callable the harness times; setup cost is excluded
-    from the measurement.
+    ``setup(quick, kernels)`` builds the pinned inputs once and returns
+    the zero-argument callable the harness times; setup cost is excluded
+    from the measurement.  Phases without a kernel-selectable hot path
+    (the tree edits, the transfer matrices) accept and ignore ``kernels``
+    so every phase is timed under a single declared mode.
     """
 
     name: str
     description: str
-    setup: Callable[[bool], Callable[[], object]]
+    setup: Callable[[bool, str], Callable[[], object]]
 
 
 def git_describe() -> str:
@@ -111,6 +122,7 @@ class BenchResult:
     unix_time: float
     machine: str = ""
     git_describe: str = "unknown"
+    kernels: str = DEFAULT_KERNELS
 
     def to_dict(self) -> dict[str, object]:
         return {
@@ -121,6 +133,7 @@ class BenchResult:
             "unix_time": self.unix_time,
             "machine": self.machine,
             "git_describe": self.git_describe,
+            "kernels": self.kernels,
             "python": sys.version.split()[0],
             "platform": platform.platform(),
             "phases": {name: st.to_dict() for name, st in sorted(self.phases.items())},
@@ -144,14 +157,16 @@ class _AllocationPair:
     sizes: dict[int, tuple[int, int]]
 
 
-def _allocation_pair(quick: bool) -> _AllocationPair:
+def _allocation_pair(quick: bool, kernels: str) -> _AllocationPair:
     from repro.core import DiffusionStrategy, ProcessorReallocator
     from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
     from repro.topology import MACHINES
 
     machine = MACHINES[_QUICK_MACHINE if quick else _FULL_MACHINE]
     predictor = ExecTimePredictor(ProfileTable(ExecutionOracle()))
-    realloc = ProcessorReallocator(machine, DiffusionStrategy(), predictor)
+    realloc = ProcessorReallocator(
+        machine, DiffusionStrategy(), predictor, kernels=kernels
+    )
     # pinned churn: nest 3 dies, 5 and 6 appear, and every retained nest
     # changes size enough that its rectangle moves — the transfer matrices
     # and message sets below are non-trivial on both machines
@@ -169,8 +184,8 @@ def _allocation_pair(quick: bool) -> _AllocationPair:
     )
 
 
-def _setup_pda(quick: bool) -> Callable[[], object]:
-    from repro.analysis import PDAConfig, parallel_data_analysis
+def _pda_fixture(quick: bool):
+    """Pinned split files + analysis shape shared by the PDA phases."""
     from repro.wrf import WrfLikeModel, mumbai_2005_scenario
 
     warmup_steps = 6 if quick else 14
@@ -183,10 +198,33 @@ def _setup_pda(quick: bool) -> Callable[[], object]:
     files = model.write_split_files()
     sim_grid = scenario.config.sim_grid
     n_analysis = 16 if quick else 64
+    return files, sim_grid, n_analysis
+
+
+def _setup_pda(quick: bool, kernels: str) -> Callable[[], object]:
+    from repro.analysis import PDAConfig, parallel_data_analysis
+
+    files, sim_grid, n_analysis = _pda_fixture(quick)
     config = PDAConfig()
 
     def run() -> object:
-        return parallel_data_analysis(files, sim_grid, n_analysis, config)
+        return parallel_data_analysis(
+            files, sim_grid, n_analysis, config, kernels=kernels
+        )
+
+    return run
+
+
+def _setup_pda_aggregate(quick: bool, kernels: str) -> Callable[[], object]:
+    from repro.analysis import PDAConfig
+    from repro.analysis.pda import aggregate_summaries
+
+    files, _sim_grid, _n_analysis = _pda_fixture(quick)
+    present = [f for f in files if f is not None]
+    threshold = PDAConfig().olr_threshold
+
+    def run() -> object:
+        return aggregate_summaries(present, threshold, kernels=kernels)
 
     return run
 
@@ -196,7 +234,7 @@ def _bench_weights(n: int) -> dict[int, float]:
     return {i: 1.0 + float((i * 37) % 13) for i in range(n)}
 
 
-def _setup_tree_scratch(quick: bool) -> Callable[[], object]:
+def _setup_tree_scratch(quick: bool, kernels: str) -> Callable[[], object]:
     from repro.grid.rect import Rect
     from repro.tree import build_huffman, layout_tree
 
@@ -209,7 +247,7 @@ def _setup_tree_scratch(quick: bool) -> Callable[[], object]:
     return run
 
 
-def _setup_tree_diffusion(quick: bool) -> Callable[[], object]:
+def _setup_tree_diffusion(quick: bool, kernels: str) -> Callable[[], object]:
     from repro.grid.rect import Rect
     from repro.tree import build_huffman, diffusion_edit, layout_tree
 
@@ -229,10 +267,10 @@ def _setup_tree_diffusion(quick: bool) -> Callable[[], object]:
     return run
 
 
-def _setup_transfer_matrix(quick: bool) -> Callable[[], object]:
+def _setup_transfer_matrix(quick: bool, kernels: str) -> Callable[[], object]:
     from repro.grid.overlap import transfer_matrix
 
-    pair = _allocation_pair(quick)
+    pair = _allocation_pair(quick, kernels)
     old, new, sizes = pair.old, pair.new, pair.sizes
     retained = sorted(set(old.rects) & set(new.rects))
 
@@ -249,11 +287,11 @@ def _setup_transfer_matrix(quick: bool) -> Callable[[], object]:
     return run
 
 
-def _message_fixture(quick: bool) -> tuple[NetworkSimulator, MessageSet]:
+def _message_fixture(quick: bool, kernels: str) -> tuple[NetworkSimulator, MessageSet]:
     from repro.grid.overlap import transfer_matrix
     from repro.mpisim.alltoallv import MessageSet, messages_from_transfer
 
-    pair = _allocation_pair(quick)
+    pair = _allocation_pair(quick, kernels)
     old, new, sizes = pair.old, pair.new, pair.sizes
     per_nest = []
     for nid in sorted(set(old.rects) & set(new.rects)):
@@ -266,8 +304,18 @@ def _message_fixture(quick: bool) -> tuple[NetworkSimulator, MessageSet]:
     return pair.simulator, MessageSet.concat(per_nest)
 
 
-def _setup_netsim_bottleneck(quick: bool) -> Callable[[], object]:
-    sim, msgs = _message_fixture(quick)
+def _setup_netsim_link_loads(quick: bool, kernels: str) -> Callable[[], object]:
+    sim, msgs = _message_fixture(quick, kernels)
+
+    def run() -> object:
+        sim.clear_route_cache()  # time routing + accumulation, not cache hits
+        return sim.link_loads(msgs)
+
+    return run
+
+
+def _setup_netsim_bottleneck(quick: bool, kernels: str) -> Callable[[], object]:
+    sim, msgs = _message_fixture(quick, kernels)
 
     def run() -> object:
         sim.clear_route_cache()  # time routing + contention, not cache hits
@@ -276,8 +324,9 @@ def _setup_netsim_bottleneck(quick: bool) -> Callable[[], object]:
     return run
 
 
-def _setup_netsim_flow(quick: bool) -> Callable[[], object]:
-    sim, msgs = _message_fixture(True)  # flow sim is epoch-quadratic; keep small
+def _setup_netsim_flow(quick: bool, kernels: str) -> Callable[[], object]:
+    # flow sim is epoch-quadratic; keep small
+    sim, msgs = _message_fixture(True, kernels)
 
     def run() -> object:
         return sim.flow_time(msgs)
@@ -285,7 +334,26 @@ def _setup_netsim_flow(quick: bool) -> Callable[[], object]:
     return run
 
 
-def _setup_dataplane(quick: bool) -> Callable[[], object]:
+def _setup_redist_plan(quick: bool, kernels: str) -> Callable[[], object]:
+    from repro.core.redistribution import plan_redistribution
+
+    pair = _allocation_pair(quick, kernels)
+
+    def run() -> object:
+        pair.simulator.clear_route_cache()  # plan cold, like a fresh step
+        return plan_redistribution(
+            pair.old,
+            pair.new,
+            pair.sizes,
+            pair.machine,
+            pair.cost,
+            pair.simulator,
+        )
+
+    return run
+
+
+def _setup_dataplane(quick: bool, kernels: str) -> Callable[[], object]:
     import numpy as np
 
     from repro.core.dataplane import (
@@ -295,7 +363,7 @@ def _setup_dataplane(quick: bool) -> Callable[[], object]:
         scatter_nest,
     )
 
-    pair = _allocation_pair(quick)
+    pair = _allocation_pair(quick, kernels)
     old, new = pair.old, pair.new
     nest_id = sorted(set(old.rects) & set(new.rects))[0]
     nx, ny = pair.sizes[nest_id]
@@ -304,20 +372,20 @@ def _setup_dataplane(quick: bool) -> Callable[[], object]:
 
     def run() -> object:
         store = RankStore(ncores)
-        scatter_nest(store, nest_id, payload, old)
-        execute_redistribution(store, nest_id, old, new, nx, ny)
-        return gather_nest(store, nest_id, nx, ny)
+        scatter_nest(store, nest_id, payload, old, kernels=kernels)
+        execute_redistribution(store, nest_id, old, new, nx, ny, kernels=kernels)
+        return gather_nest(store, nest_id, nx, ny, kernels=kernels)
 
     return run
 
 
-def _setup_compare(quick: bool) -> Callable[[], object]:
+def _setup_compare(quick: bool, kernels: str) -> Callable[[], object]:
     from repro.core import DiffusionStrategy, ScratchStrategy
     from repro.experiments import synthetic_workload
     from repro.experiments.runner import ExperimentContext, run_workload
     from repro.topology import MACHINES
 
-    context = ExperimentContext(MACHINES[_QUICK_MACHINE])
+    context = ExperimentContext(MACHINES[_QUICK_MACHINE], kernels=kernels)
     workload = synthetic_workload(seed=0, n_steps=6 if quick else 20)
 
     def run() -> object:
@@ -337,6 +405,11 @@ def bench_phases() -> tuple[BenchPhase, ...]:
             _setup_pda,
         ),
         BenchPhase(
+            "pda.aggregate",
+            "batched split-file summarisation alone",
+            _setup_pda_aggregate,
+        ),
+        BenchPhase(
             "tree.scratch",
             "Huffman build + rectangle layout",
             _setup_tree_scratch,
@@ -352,6 +425,11 @@ def bench_phases() -> tuple[BenchPhase, ...]:
             _setup_transfer_matrix,
         ),
         BenchPhase(
+            "netsim.link_loads",
+            "per-link byte accounting (cold route cache)",
+            _setup_netsim_link_loads,
+        ),
+        BenchPhase(
             "netsim.bottleneck",
             "contention-aware alltoallv timing (cold route cache)",
             _setup_netsim_bottleneck,
@@ -360,6 +438,11 @@ def bench_phases() -> tuple[BenchPhase, ...]:
             "netsim.flow",
             "max-min-fair flow simulation",
             _setup_netsim_flow,
+        ),
+        BenchPhase(
+            "redist.plan",
+            "full redistribution planning (cold route cache)",
+            _setup_redist_plan,
         ),
         BenchPhase(
             "dataplane.roundtrip",
@@ -384,13 +467,17 @@ def run_bench(
     repeats: int | None = None,
     phases: Iterable[str] | None = None,
     progress: Callable[[str], None] | None = None,
+    kernels: str = DEFAULT_KERNELS,
 ) -> BenchResult:
     """Run the suite and aggregate per-phase wall-clock stats.
 
     Each phase is set up once, warmed up once (excluded), then timed
     ``repeats`` times.  ``phases`` selects a subset by name; unknown
-    names raise ``ValueError``.
+    names raise ``ValueError``.  ``kernels`` selects the hot-kernel
+    implementation (:mod:`repro.kernels`) for every phase and is recorded
+    in the result header.
     """
+    check_kernels(kernels)
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
@@ -410,7 +497,7 @@ def run_bench(
     for phase in selected:
         if progress is not None:
             progress(f"[{phase.name}] {phase.description}")
-        fn = phase.setup(quick)
+        fn = phase.setup(quick, kernels)
         fn()  # warm-up (caches, lazy imports, first-touch allocation)
         durations: list[float] = []
         for _ in range(repeats):
@@ -425,6 +512,7 @@ def run_bench(
         unix_time=time.time(),
         machine=_QUICK_MACHINE if quick else _FULL_MACHINE,
         git_describe=git_describe(),
+        kernels=kernels,
     )
 
 
@@ -458,5 +546,8 @@ def format_bench(result: BenchResult) -> str:
     return format_table(
         ["phase", "repeats", "median ms", "p95 ms", "min ms", "max ms"],
         rows,
-        title=f"repro bench ({mode} suite{tag}, {result.git_describe})",
+        title=(
+            f"repro bench ({mode} suite{tag}, {result.kernels} kernels, "
+            f"{result.git_describe})"
+        ),
     )

@@ -64,6 +64,31 @@ class Topology(abc.ABC):
     # conveniences shared by all topologies
     # ------------------------------------------------------------------
 
+    def batch_routes(
+        self, src: np.ndarray, dst: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Routes for many ``(src, dst)`` node pairs in CSR form.
+
+        Returns ``(links, offsets)`` where ``links`` is the concatenation
+        of every pair's route (directed link ids, ``int64``) and
+        ``offsets`` has ``len(src) + 1`` entries so pair ``i``'s route is
+        ``links[offsets[i]:offsets[i + 1]]``.  Semantically identical to
+        calling :meth:`route` per pair; concrete topologies override this
+        with array arithmetic (the vector kernels' entry point) while this
+        base implementation is the scalar fallback.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        routes = [self.route(int(s), int(d)) for s, d in zip(src, dst)]
+        offsets = np.zeros(len(routes) + 1, dtype=np.int64)
+        np.cumsum([len(r) for r in routes], out=offsets[1:])
+        if offsets[-1] == 0:
+            return np.empty(0, dtype=np.int64), offsets
+        links = np.fromiter(
+            (l for r in routes for l in r), dtype=np.int64, count=int(offsets[-1])
+        )
+        return links, offsets
+
     def validate_node(self, node: int) -> None:
         """Raise :class:`ValueError` if ``node`` is out of range."""
         if not 0 <= node < self.nnodes:

@@ -215,7 +215,9 @@ class TestCliBenchCompare:
     """End-to-end exit codes with an injected (monkeypatched) bench run."""
 
     def _patch_run(self, monkeypatch, medians, quick=True):
-        def fake_run_bench(quick=False, repeats=None, phases=None, progress=None):
+        def fake_run_bench(
+            quick=False, repeats=None, phases=None, progress=None, kernels="vector"
+        ):
             return _result(medians, quick=quick)
 
         monkeypatch.setattr("repro.obs.bench.run_bench", fake_run_bench)

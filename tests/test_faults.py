@@ -457,6 +457,55 @@ class TestRetryExecutor:
                 outcome.retried_bytes
             )
 
+    def test_plan_computed_once_and_reused_across_attempts(self, monkeypatch):
+        """Satellite: the planner runs once per nest, outside the retry
+        loop — every retry (and the winning attempt) reuses the identical
+        MessageSet instead of re-planning under a retry storm."""
+        import repro.core.dataplane as dp
+
+        old, new = self._allocs()
+        store = self._store(old)
+        nx, ny = self.SIZE
+
+        planner_calls = []
+        real_transfer_matrix = dp.transfer_matrix
+
+        def counting_transfer_matrix(*args, **kwargs):
+            t = real_transfer_matrix(*args, **kwargs)
+            planner_calls.append(t)
+            return t
+
+        monkeypatch.setattr(dp, "transfer_matrix", counting_transfer_matrix)
+
+        class RecordingLedger:
+            def __init__(self):
+                self.retried_with = []
+
+            def add_retry(self, messages):
+                self.retried_with.append(messages)
+
+        ledger = RecordingLedger()
+
+        def round_time(attempt):
+            if attempt < 2:
+                raise TransientRedistributionError("injected")
+            return 0.0
+
+        outcome = execute_redistribution_with_retry(
+            store, self.NEST, old, new, nx, ny,
+            round_time=round_time, ledger=ledger,
+        )
+        assert outcome.attempts == 3 and outcome.recovered
+        # one planner run covered all three attempts
+        assert len(planner_calls) == 1
+        # both retries re-sent the very same MessageSet object
+        assert len(ledger.retried_with) == 2
+        assert ledger.retried_with[0] is ledger.retried_with[1]
+        # and the data still arrives intact through the reused plan
+        assert np.array_equal(
+            gather_nest(store, self.NEST, nx, ny), field_for(self.NEST, nx, ny)
+        )
+
     def test_delays_are_seeded_deterministic_and_bounded(self):
         policy = BackoffPolicy(max_attempts=4)
 

@@ -1,0 +1,361 @@
+"""Property-based equivalence: vector kernels against the scalar oracles.
+
+Every hot path grown a vectorised fast path (``kernels="vector"``) keeps
+its original scalar implementation as a reference oracle
+(``kernels="reference"``).  These tests drive both modes over randomized
+inputs — grids, nest sets, message sets, fault masks, degraded split-file
+sets — and demand the outputs match: bit-for-bit wherever the arithmetic
+is order-independent (integer-valued byte counts), and to 1e-12 relative
+tolerance for the float aggregates whose summation order legitimately
+differs (batched QCLOUD sums).  See ``docs/performance.md``.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import PDAConfig, SplitFile, parallel_data_analysis
+from repro.analysis.pda import aggregate_summaries
+from repro.core import Allocation, plan_redistribution
+from repro.core.dataplane import (
+    RankStore,
+    execute_redistribution,
+    gather_nest,
+    scatter_nest,
+)
+from repro.grid import ProcessorGrid, Rect
+from repro.grid.block import split_evenly
+from repro.mpisim import CostModel, MessageSet, NetworkSimulator, SimComm
+from repro.topology import MACHINES
+from repro.tree import build_huffman
+from repro.util.rng import make_rng
+
+MACHINE_NAMES = ("bgl-256", "fist-256")  # one torus, one switched network
+GRID = ProcessorGrid(16, 16)  # matches the 256-rank machines
+
+
+def make_sim_pair(name, adaptive):
+    machine = MACHINES[name]
+    cost = CostModel.for_machine(machine)
+    vec = NetworkSimulator(
+        machine.mapping, cost, adaptive_routing=adaptive, kernels="vector"
+    )
+    ref = NetworkSimulator(
+        machine.mapping, cost, adaptive_routing=adaptive, kernels="reference"
+    )
+    return machine, vec, ref
+
+
+def draw_messages(data, nranks, min_n=0, max_n=60):
+    n = data.draw(st.integers(min_n, max_n), label="n_messages")
+    src = data.draw(
+        st.lists(st.integers(0, nranks - 1), min_size=n, max_size=n), label="src"
+    )
+    # dst = src + a non-zero offset: MessageSet forbids self-messages
+    offs = data.draw(
+        st.lists(st.integers(1, nranks - 1), min_size=n, max_size=n),
+        label="dst_offsets",
+    )
+    words = data.draw(
+        st.lists(st.integers(1, 512), min_size=n, max_size=n), label="words"
+    )
+    src_arr = np.asarray(src, dtype=np.int64)
+    return MessageSet(
+        src=src_arr,
+        dst=(src_arr + np.asarray(offs, dtype=np.int64)) % nranks,
+        nbytes=np.asarray(words, dtype=np.float64) * 8.0,
+    )
+
+
+def empty_messages():
+    return MessageSet(
+        src=np.empty(0, dtype=np.int64),
+        dst=np.empty(0, dtype=np.int64),
+        nbytes=np.empty(0, dtype=np.float64),
+    )
+
+
+class TestNetsimEquivalence:
+    """Link accounting is bit-exact: the byte counts are integer-valued
+    float64, so per-link sums match in any accumulation order."""
+
+    @given(data=st.data())
+    @settings(max_examples=30, deadline=None)
+    def test_link_accounting_matches_reference(self, data):
+        name = data.draw(st.sampled_from(MACHINE_NAMES), label="machine")
+        adaptive = data.draw(st.booleans(), label="adaptive")
+        machine, vec, ref = make_sim_pair(name, adaptive)
+        msgs = draw_messages(data, machine.mapping.nranks, min_n=1)
+
+        # Random fault masks: degraded links (drawn from links actually
+        # used) and straggler ranks, mirrored into both simulators.
+        links = sorted(ref.link_loads(msgs))
+        ref.clear_route_cache()
+        if links:
+            faulty = data.draw(
+                st.lists(st.sampled_from(links), max_size=3, unique=True),
+                label="faulty_links",
+            )
+            for link in faulty:
+                vec.set_link_fault(link, 0.5)
+                ref.set_link_fault(link, 0.5)
+        slow = data.draw(
+            st.lists(
+                st.integers(0, machine.mapping.nranks - 1),
+                max_size=3,
+                unique=True,
+            ),
+            label="stragglers",
+        )
+        for rank in slow:
+            vec.set_rank_slowdown(rank, 2.5)
+            ref.set_rank_slowdown(rank, 2.5)
+
+        assert vec.link_loads(msgs) == ref.link_loads(msgs)
+        assert vec.busiest_link_contributions(msgs) == (
+            ref.busiest_link_contributions(msgs)
+        )
+        assert vec.bottleneck_time(msgs) == ref.bottleneck_time(msgs)
+        assert vec.flow_time(msgs) == ref.flow_time(msgs)
+
+    def test_empty_message_set(self):
+        for name in MACHINE_NAMES:
+            _machine, vec, ref = make_sim_pair(name, adaptive=False)
+            msgs = empty_messages()
+            assert vec.link_loads(msgs) == ref.link_loads(msgs) == {}
+            assert vec.busiest_link_contributions(msgs) == (
+                ref.busiest_link_contributions(msgs)
+            )
+            assert vec.bottleneck_time(msgs) == ref.bottleneck_time(msgs)
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_warm_cache_matches_cold_reference(self, data):
+        """A second pass over overlapping pairs (warm vector cache, mixed
+        hits and misses) still reproduces the oracle exactly."""
+        name = data.draw(st.sampled_from(MACHINE_NAMES), label="machine")
+        machine, vec, ref = make_sim_pair(name, adaptive=False)
+        first = draw_messages(data, machine.mapping.nranks, min_n=1, max_n=30)
+        second = draw_messages(data, machine.mapping.nranks, min_n=1, max_n=30)
+        both = MessageSet.concat([first, second])
+        vec.link_loads(first)  # warm a subset of the route cache
+        assert vec.link_loads(both) == ref.link_loads(both)
+        assert vec.bottleneck_time(both) == ref.bottleneck_time(both)
+
+
+def draw_allocation(data, label, id_pool=range(1, 10)):
+    ids = data.draw(
+        st.lists(st.sampled_from(list(id_pool)), min_size=1, max_size=5, unique=True),
+        label=f"{label}_ids",
+    )
+    weights = {
+        nid: 1.0
+        + data.draw(st.integers(0, 12), label=f"{label}_w{nid}")
+        for nid in ids
+    }
+    return Allocation.from_tree(build_huffman(weights), GRID, weights), weights
+
+
+class TestRedistributionPlanEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_plan_matches_reference(self, data):
+        old, w_old = draw_allocation(data, "old")
+        new, w_new = draw_allocation(data, "new")
+        sizes = {
+            nid: (
+                data.draw(st.integers(6, 48), label=f"nx{nid}"),
+                data.draw(st.integers(6, 48), label=f"ny{nid}"),
+            )
+            for nid in set(w_old) | set(w_new)
+        }
+        flow = data.draw(st.booleans(), label="flow_level")
+        machine = MACHINES["bgl-256"]
+        cost = CostModel.for_machine(machine)
+
+        plan_v = plan_redistribution(
+            old, new, sizes, machine, cost, flow_level=flow, kernels="vector"
+        )
+        plan_r = plan_redistribution(
+            old, new, sizes, machine, cost, flow_level=flow, kernels="reference"
+        )
+
+        assert plan_v.hop_bytes_total == plan_r.hop_bytes_total
+        assert plan_v.hop_bytes_avg == plan_r.hop_bytes_avg
+        assert plan_v.predicted_time == plan_r.predicted_time
+        assert plan_v.measured_time == plan_r.measured_time
+        assert plan_v.network_bytes == plan_r.network_bytes
+        assert plan_v.overlap_fraction == plan_r.overlap_fraction
+        assert plan_v.per_nest_predicted == plan_r.per_nest_predicted
+        assert len(plan_v.moves) == len(plan_r.moves)
+        for mv, mr in zip(plan_v.moves, plan_r.moves):
+            assert mv.nest_id == mr.nest_id
+            assert np.array_equal(mv.messages.src, mr.messages.src)
+            assert np.array_equal(mv.messages.dst, mr.messages.dst)
+            assert np.array_equal(mv.messages.nbytes, mr.messages.nbytes)
+
+
+class TestDataplaneEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_store_contents_match_reference(self, data):
+        """scatter → execute in both modes leaves identical per-rank blocks,
+        and both gathers return the original field bit-for-bit."""
+        old, w_old = draw_allocation(data, "old")
+        nid = next(iter(w_old))
+        w_new = dict(w_old)
+        w_new[nid] = w_new[nid] + data.draw(st.integers(1, 8), label="bump")
+        new = Allocation.from_tree(build_huffman(w_new), GRID, w_new)
+        nx = data.draw(st.integers(8, 60), label="nx")
+        ny = data.draw(st.integers(8, 60), label="ny")
+        seed = data.draw(st.integers(0, 2**20), label="seed")
+        field = make_rng(seed).uniform(0.0, 1.0, (ny, nx))
+
+        stores = {}
+        for mode in ("vector", "reference"):
+            store = RankStore(GRID.nprocs)
+            scatter_nest(store, nid, field, old, kernels=mode)
+            execute_redistribution(store, nid, old, new, nx, ny, kernels=mode)
+            stores[mode] = store
+
+        holders = stores["vector"].holders(nid)
+        assert holders == stores["reference"].holders(nid)
+        for rank in holders:
+            block_v, rect_v = stores["vector"].get(rank, nid)
+            block_r, rect_r = stores["reference"].get(rank, nid)
+            assert rect_v == rect_r
+            assert np.array_equal(block_v, block_r)
+        for mode in ("vector", "reference"):
+            assert np.array_equal(
+                gather_nest(stores[mode], nid, nx, ny, kernels=mode), field
+            )
+
+
+def draw_split_files(data):
+    """A randomized sim grid of split files with missing/corrupt entries."""
+    px = data.draw(st.integers(1, 4), label="px")
+    py = data.draw(st.integers(1, 4), label="py")
+    nx = data.draw(st.integers(px, 36), label="domain_nx")
+    ny = data.draw(st.integers(py, 36), label="domain_ny")
+    seed = data.draw(st.integers(0, 2**20), label="field_seed")
+    rng = make_rng(seed)
+    xb, yb = split_evenly(nx, px), split_evenly(ny, py)
+    n_files = px * py
+    missing = set(
+        data.draw(
+            st.lists(st.integers(0, n_files - 1), max_size=2, unique=True),
+            label="missing",
+        )
+    )
+    corrupt = set(
+        data.draw(
+            st.lists(st.integers(0, n_files - 1), max_size=2, unique=True),
+            label="corrupt",
+        )
+    )
+    files = []
+    for by in range(py):
+        for bx in range(px):
+            idx = by * px + bx
+            if idx in missing:
+                files.append(None)
+                continue
+            extent = Rect(
+                int(xb[bx]),
+                int(yb[by]),
+                int(xb[bx + 1] - xb[bx]),
+                int(yb[by + 1] - yb[by]),
+            )
+            qcloud = rng.uniform(0.0, 5.0, (extent.h, extent.w))
+            olr = rng.uniform(100.0, 300.0, (extent.h, extent.w))
+            if idx in corrupt:
+                olr[0, 0] = np.inf
+            files.append(
+                SplitFile(
+                    file_index=idx,
+                    block_x=bx,
+                    block_y=by,
+                    extent=extent,
+                    qcloud=qcloud,
+                    olr=olr,
+                )
+            )
+    return files, ProcessorGrid(px, py)
+
+
+class TestPDAEquivalence:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_pda_matches_reference(self, data):
+        files, sim_grid = draw_split_files(data)
+        n_analysis = data.draw(
+            st.integers(1, sim_grid.nprocs), label="n_analysis"
+        )
+        dead = data.draw(
+            st.lists(st.integers(1, max(1, n_analysis - 1)), max_size=2, unique=True)
+            if n_analysis > 1
+            else st.just([]),
+            label="dead_ranks",
+        )
+        config = PDAConfig()
+
+        results = {}
+        for mode in ("vector", "reference"):
+            comm = SimComm(n_analysis, failed_ranks=tuple(dead))
+            results[mode] = parallel_data_analysis(
+                files, sim_grid, n_analysis, config, comm=comm, kernels=mode
+            )
+        rv, rr = results["vector"], results["reference"]
+
+        assert rv.rectangles == rr.rectangles
+        assert rv.gathered_items == rr.gathered_items
+        assert rv.partial == rr.partial
+        assert rv.n_files_missing == rr.n_files_missing
+        assert rv.n_files_corrupt == rr.n_files_corrupt
+        assert rv.n_ranks_failed == rr.n_ranks_failed
+        assert rv.coverage == rr.coverage
+        assert math.isclose(
+            rv.low_olr_fraction, rr.low_olr_fraction, rel_tol=1e-12, abs_tol=1e-15
+        )
+        assert len(rv.summaries) == len(rr.summaries)
+        for sv, sr in zip(rv.summaries, rr.summaries):
+            assert (sv.file_index, sv.block_x, sv.block_y, sv.extent) == (
+                sr.file_index,
+                sr.block_x,
+                sr.block_y,
+                sr.extent,
+            )
+            assert sv.olr_fraction == sr.olr_fraction
+            assert math.isclose(sv.qcloud, sr.qcloud, rel_tol=1e-12, abs_tol=1e-15)
+
+    @given(data=st.data())
+    @settings(max_examples=20, deadline=None)
+    def test_aggregate_matches_per_file_summarise(self, data):
+        files, _sim_grid = draw_split_files(data)
+        present = [f for f in files if f is not None]
+        threshold = data.draw(
+            st.sampled_from((0.0, 150.0, 200.0, 400.0)), label="threshold"
+        )
+        batched = aggregate_summaries(present, threshold, kernels="vector")
+        for (corrupt, summary), f in zip(batched, present):
+            olr_bad = not bool(np.isfinite(f.olr).all())
+            assert corrupt == olr_bad
+            if corrupt:
+                assert summary is None
+                continue
+            expect = f.summarise(threshold)
+            assert (summary.file_index, summary.block_x, summary.block_y) == (
+                expect.file_index,
+                expect.block_x,
+                expect.block_y,
+            )
+            assert summary.olr_fraction == expect.olr_fraction
+            assert math.isclose(
+                summary.qcloud, expect.qcloud, rel_tol=1e-12, abs_tol=1e-15
+            )
+
+    def test_aggregate_empty(self):
+        assert aggregate_summaries([], 200.0, kernels="vector") == []
+        assert aggregate_summaries([], 200.0, kernels="reference") == []

@@ -677,6 +677,83 @@ class TestR009Swallow:
         )
 
 
+# ---------------------------------------------------------------------------
+# R010 — per-message loops over MessageSet fields
+# ---------------------------------------------------------------------------
+
+
+class TestR010ScalarMessageLoops:
+    def test_zip_loop_over_fields_flagged(self):
+        src = """
+        def add_messages(self, messages):
+            for s, d, b in zip(messages.src, messages.dst, messages.nbytes):
+                self.pair_bytes[(int(s), int(d))] = float(b)
+        """
+        assert "R010" in rule_ids(src, select=["R010"])
+
+    def test_direct_field_iteration_flagged(self):
+        src = """
+        def total(messages):
+            out = 0.0
+            for b in messages.nbytes:
+                out += float(b)
+            return out
+        """
+        assert "R010" in rule_ids(src, select=["R010"])
+
+    def test_comprehension_over_fields_flagged(self):
+        src = """
+        def routes(self, messages):
+            return [self._route(int(s), int(d))
+                    for s, d in zip(messages.src, messages.dst)]
+        """
+        assert "R010" in rule_ids(src, select=["R010"])
+
+    def test_one_finding_per_loop_not_per_field(self):
+        src = """
+        def f(messages):
+            for s, d, b in zip(messages.src, messages.dst, messages.nbytes):
+                g(s, d, b)
+        """
+        assert len(findings_for(src, select=["R010"])) == 1
+
+    def test_reference_oracle_exempt(self):
+        src = """
+        def _link_loads_reference(self, messages):
+            loads = {}
+            for s, b in zip(messages.src, messages.nbytes):
+                loads[int(s)] = loads.get(int(s), 0.0) + float(b)
+            return loads
+        """
+        assert rule_ids(src, select=["R010"]) == []
+
+    def test_exemption_covers_nested_helpers(self):
+        src = """
+        def _routes_reference(self, messages):
+            def inner():
+                return [r for r in messages.src]
+            return inner()
+        """
+        assert rule_ids(src, select=["R010"]) == []
+
+    def test_vectorised_reduction_clean(self):
+        src = """
+        import numpy as np
+        def link_loads(self, messages):
+            keys = messages.src * self.nranks + messages.dst
+            uniq, inv = np.unique(keys, return_inverse=True)
+            return uniq, np.bincount(inv, weights=messages.nbytes)
+        """
+        assert rule_ids(src, select=["R010"]) == []
+
+    def test_other_attributes_clean(self):
+        src = """
+        def overlap(plan):
+            return [m.overlap_fraction for m in plan.moves]
+        """
+        assert rule_ids(src, select=["R010"]) == []
+
+
 class TestSuppression:
     def test_line_suppression(self):
         src = """
