@@ -36,6 +36,7 @@ from repro.grid.block import split_evenly
 from repro.grid.procgrid import ProcessorGrid
 from repro.grid.rect import Rect
 from repro.kernels import DEFAULT_KERNELS, check_kernels
+from repro.sanitize.hooks import get_sanitizer
 from repro.mpisim.comm import SimComm
 from repro.obs import get_flight_recorder, get_recorder
 
@@ -301,7 +302,7 @@ def parallel_data_analysis(
                 failed_ranks=n_failed,
                 coverage=round(coverage, 6),
             )
-        return PDAResult(
+        result = PDAResult(
             rectangles=rectangles,
             clusters=clusters,
             summaries=qcloudinfo,
@@ -313,6 +314,10 @@ def parallel_data_analysis(
             coverage=coverage,
             low_olr_fraction=low_olr,
         )
+        sanitizer = get_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.after_pda(result)
+        return result
 
 
 def _full_domain_area(files: list[SplitFile | None]) -> float:

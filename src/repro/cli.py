@@ -129,13 +129,70 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="*",
         help="files or directories to lint (default: the installed repro package)",
     )
-    p.add_argument("--format", choices=["text", "json"], default="text")
+    p.add_argument("--format", choices=["text", "json", "sarif"], default="text")
     p.add_argument(
         "--select",
         help="comma-separated rule ids to run (default: all), e.g. R001,R005",
     )
+    p.add_argument(
+        "--changed",
+        action="store_true",
+        help="report findings only for files changed since the merge base "
+        "with --base (the whole project is still analysed, so "
+        "cross-module rules stay sound)",
+    )
+    p.add_argument(
+        "--base",
+        default="origin/main",
+        help="base ref for --changed (default origin/main; falls back to "
+        "main when the remote ref is absent)",
+    )
     p.add_argument("--no-hints", action="store_true", help="omit fix hints (text format)")
     p.add_argument("--list-rules", action="store_true", help="print the rule catalogue and exit")
+
+    p = sub.add_parser(
+        "sanitize",
+        help="runtime conservation sanitizer: drive a workload with every "
+        "checkpoint armed",
+        description=(
+            "The dynamic counterpart of `repro lint`: runs a workload trace "
+            "on a real data plane with the conservation sanitizer scoped "
+            "over the whole run — plan/transfer conservation, store tiling "
+            "after every move, tree invariants, PDA coverage accounting, "
+            "ledger-vs-netsim cross-checks, plus per-step tiling and "
+            "bit-for-bit data audits.  Exits non-zero on any violation.  "
+            "Setting REPRO_SANITIZE=1 arms the same checkpoints in any "
+            "other repro command."
+        ),
+    )
+    san_sub = p.add_subparsers(dest="sanitize_command", required=True)
+    p = san_sub.add_parser(
+        "run", help="run a sanitized workload trace and report the verdict"
+    )
+    p.add_argument(
+        "--workload",
+        choices=["mumbai", "synthetic"],
+        default="mumbai",
+        help="trace to drive (default: the Mumbai-2005 flagship trace)",
+    )
+    p.add_argument("--steps", type=int, default=20)
+    p.add_argument("--seed", type=int, default=2005)
+    p.add_argument("--ncores", type=int, default=16)
+    p.add_argument(
+        "--strict",
+        action="store_true",
+        help="raise on the first violation instead of collecting them",
+    )
+    p.add_argument("--json", action="store_true", help="print the report as JSON")
+    p.add_argument(
+        "--export-flight",
+        default=None,
+        help="write the run's flight ring (incl. sanitizer.violation events) "
+        "as JSONL here",
+    )
+    p.add_argument(
+        "--tail", type=int, default=0, help="also show the last N flight events"
+    )
 
     p = sub.add_parser(
         "bench",
@@ -466,13 +523,18 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     config = SUITES[args.suite]
     if args.seed is not None:
         config = dataclasses.replace(config, seed=args.seed)
+    from repro.sanitize.hooks import get_sanitizer
+
     audit = AuditTrail()
     flight = FlightRecorder()
+    sanitizer = get_sanitizer()  # armed when REPRO_SANITIZE=1 (CI smoke job)
     with use_flight_recorder(flight):
         from repro.mpisim.ledger import CommLedger
 
         ledger = CommLedger(config.ncores)
         report = run_soak(config, audit=audit, ledger=ledger)
+        if sanitizer.enabled:
+            sanitizer.check_ledger(ledger)
     print(format_soak_report(report))
     print()
     if audit.recoveries:
@@ -485,6 +547,19 @@ def _cmd_faults(args: argparse.Namespace) -> int:
     if args.export_flight:
         flight.write_jsonl(args.export_flight)
         print(f"flight log -> {args.export_flight}", file=sys.stderr)
+    exit_code = 0
+    if sanitizer.enabled:
+        violations = list(getattr(sanitizer, "violations", []))
+        n_checks = sum(getattr(sanitizer, "checks_run", {}).values())
+        print(
+            f"\nsanitizer: {n_checks} conservation checks, "
+            f"{len(violations)} violation(s)"
+        )
+        for violation in violations[:20]:
+            print(f"  {violation}")
+        if violations:
+            print("repro faults run: SANITIZER FAILED", file=sys.stderr)
+            exit_code = 1
     if not report.ok:
         print(
             f"repro faults run: FAILED — {report.invariant_violations} invariant "
@@ -492,11 +567,48 @@ def _cmd_faults(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 1
-    return 0
+    return exit_code
+
+
+def _changed_python_files(base: str) -> list[str]:
+    """Python files changed since the merge base with ``base``.
+
+    Includes committed, staged, unstaged and untracked files, so the
+    pre-push and CI views agree.  Raises ``ValueError`` when the merge
+    base cannot be determined (not a git checkout, unknown ref).
+    """
+    import subprocess
+
+    def git(*cmd: str) -> subprocess.CompletedProcess[str]:
+        return subprocess.run(
+            ["git", *cmd], capture_output=True, text=True, check=False
+        )
+
+    merge_base = git("merge-base", "HEAD", base)
+    if merge_base.returncode != 0 and base == "origin/main":
+        merge_base = git("merge-base", "HEAD", "main")
+    if merge_base.returncode != 0:
+        raise ValueError(
+            f"cannot resolve merge base with {base!r}: "
+            f"{merge_base.stderr.strip() or 'not a git checkout?'}"
+        )
+    ref = merge_base.stdout.strip()
+    changed = git("diff", "--name-only", ref)
+    if changed.returncode != 0:
+        raise ValueError(f"git diff failed: {changed.stderr.strip()}")
+    untracked = git("ls-files", "--others", "--exclude-standard")
+    names = set(changed.stdout.splitlines()) | set(untracked.stdout.splitlines())
+    return sorted(n for n in names if n.endswith(".py"))
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
-    from repro.lint import format_json, format_rule_table, format_text, lint_paths
+    from repro.lint import (
+        format_json,
+        format_rule_table,
+        format_sarif,
+        format_text,
+        lint_paths,
+    )
 
     if args.list_rules:
         print(format_rule_table())
@@ -509,15 +621,60 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
         paths = [str(Path(repro.__file__).parent)]
     select = [rid.strip() for rid in args.select.split(",")] if args.select else None
+    only = None
+    if args.changed:
+        try:
+            only = _changed_python_files(args.base)
+        except ValueError as exc:
+            print(f"repro lint: {exc}", file=sys.stderr)
+            return 2
+        if not only:
+            print("repro lint: no python files changed", file=sys.stderr)
+            return 0
     try:
-        report = lint_paths(paths, select=select)
+        report = lint_paths(paths, select=select, only=only)
     except (FileNotFoundError, ValueError) as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(format_json(report))
+    elif args.format == "sarif":
+        print(format_sarif(report))
     else:
         print(format_text(report, show_hints=not args.no_hints))
+    return 0 if report.ok else 1
+
+
+def _cmd_sanitize(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import FlightRecorder, format_flight
+    from repro.sanitize import SanitizeError
+    from repro.sanitize.runner import format_sanitize_report, run_sanitized
+
+    flight = FlightRecorder()
+    try:
+        report = run_sanitized(
+            args.workload,
+            seed=args.seed,
+            n_steps=args.steps,
+            ncores=args.ncores,
+            strict=args.strict,
+            flight=flight,
+        )
+    except SanitizeError as exc:
+        print(f"repro sanitize run: strict violation — {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(format_sanitize_report(report))
+    if args.tail:
+        print()
+        print(format_flight(flight, tail=args.tail))
+    if args.export_flight:
+        flight.write_jsonl(args.export_flight)
+        print(f"flight log -> {args.export_flight}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -767,6 +924,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         _cmd_sweep(args)
     elif cmd == "lint":
         return _cmd_lint(args)
+    elif cmd == "sanitize":
+        return _cmd_sanitize(args)
     elif cmd == "bench":
         return _cmd_bench(args)
     elif cmd == "obs":

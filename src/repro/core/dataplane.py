@@ -36,6 +36,7 @@ from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.alltoallv import messages_from_transfer
 from repro.mpisim.ledger import CommLedger
 from repro.obs import get_flight_recorder, get_recorder
+from repro.sanitize.hooks import get_sanitizer
 from repro.util.rng import make_rng
 from repro.util.validation import check_positive
 
@@ -139,23 +140,26 @@ def scatter_nest(
                         field_data[blk.y0 : blk.y1, blk.x0 : blk.x1].copy(),
                         blk,
                     )
-            return decomp
-        # Vector path: split boundaries and the rank grid are computed once
-        # (block_of recomputes both bounds arrays per cell) and each rank's
-        # slab is copied by a precomputed slice.
-        xb, yb = decomp.x_bounds, decomp.y_bounds
-        ranks = allocation.grid.rank_grid(rect)
-        for j in range(rect.h):
-            y0, y1 = int(yb[j]), int(yb[j + 1])
-            for i in range(rect.w):
-                x0, x1 = int(xb[i]), int(xb[i + 1])
-                store.put(
-                    int(ranks[j, i]),
-                    nest_id,
-                    field_data[y0:y1, x0:x1].copy(),
-                    Rect(x0, y0, x1 - x0, y1 - y0),
-                )
-        return decomp
+        else:
+            # Vector path: split boundaries and the rank grid are computed
+            # once (block_of recomputes both bounds arrays per cell) and
+            # each rank's slab is copied by a precomputed slice.
+            xb, yb = decomp.x_bounds, decomp.y_bounds
+            ranks = allocation.grid.rank_grid(rect)
+            for j in range(rect.h):
+                y0, y1 = int(yb[j]), int(yb[j + 1])
+                for i in range(rect.w):
+                    x0, x1 = int(xb[i]), int(xb[i + 1])
+                    store.put(
+                        int(ranks[j, i]),
+                        nest_id,
+                        field_data[y0:y1, x0:x1].copy(),
+                        Rect(x0, y0, x1 - x0, y1 - y0),
+                    )
+    sanitizer = get_sanitizer()
+    if sanitizer.enabled:
+        sanitizer.after_scatter(store, nest_id, nx, ny)
+    return decomp
 
 
 def execute_redistribution(
@@ -178,7 +182,11 @@ def execute_redistribution(
     check_positive("ny", ny)
     check_kernels(kernels)
     with get_recorder().span("dataplane.redistribute", nest=nest_id):
-        return _execute(store, nest_id, old, new, nx, ny, kernels=kernels)
+        transfer = _execute(store, nest_id, old, new, nx, ny, kernels=kernels)
+    sanitizer = get_sanitizer()
+    if sanitizer.enabled:
+        sanitizer.after_execute(store, nest_id, nx, ny)
+    return transfer
 
 
 def _block_bounds(
@@ -578,6 +586,9 @@ def execute_redistribution_with_retry(
                 store, nest_id, old, new, nx, ny,
                 kernels=kernels, transfer=plan_transfer,
             )
+            sanitizer = get_sanitizer()
+            if sanitizer.enabled:
+                sanitizer.after_execute(store, nest_id, nx, ny)
             if attempt > 0:
                 flight.emit(
                     "redist.recovered",

@@ -28,6 +28,7 @@ from repro.mpisim.costmodel import CostModel
 from repro.mpisim.netsim import NetworkSimulator
 from repro.obs import get_flight_recorder, get_recorder
 from repro.perfmodel.redisttime import measure_redistribution_time
+from repro.sanitize.hooks import get_sanitizer
 from repro.topology.machines import MachineSpec
 
 __all__ = ["NestMove", "RedistributionPlan", "plan_redistribution"]
@@ -141,7 +142,7 @@ def plan_redistribution(
         predicted = sum(per_nest_predicted.values())
         measured = measure_redistribution_time(per_nest_msgs, simulator, flow_level)
     overlap = local_points / total_points if total_points else 1.0
-    return RedistributionPlan(
+    plan = RedistributionPlan(
         moves=moves,
         predicted_time=predicted,
         measured_time=measured,
@@ -151,3 +152,7 @@ def plan_redistribution(
         network_bytes=all_msgs.total_bytes,
         per_nest_predicted=per_nest_predicted,
     )
+    sanitizer = get_sanitizer()
+    if sanitizer.enabled:
+        sanitizer.after_plan(plan, nest_sizes)
+    return plan

@@ -34,6 +34,7 @@ from repro.obs import (
     use_recorder,
 )
 from repro.perfmodel.exectime import ExecTimePredictor
+from repro.sanitize.hooks import get_sanitizer
 from repro.perfmodel.groundtruth import ExecutionOracle
 from repro.perfmodel.profiles import ProfileTable
 from repro.topology.machines import MachineSpec
@@ -198,6 +199,9 @@ def run_workload(
                 )
             )
             allocations.append(alloc)
+    sanitizer = get_sanitizer()
+    if sanitizer.enabled and context.ledger is not None:
+        sanitizer.check_ledger(context.ledger)
     return RunResult(
         workload=workload.name,
         strategy=strategy.name,
@@ -286,6 +290,9 @@ def _feed_ledger(
             all_msgs
         )
         ledger.add_busiest_link(load, contributions)
+        sanitizer = get_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.after_busiest_link(load, contributions)
 
 
 def run_both_strategies(

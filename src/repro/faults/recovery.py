@@ -40,6 +40,7 @@ from repro.core.invariants import check_tiling, check_tree_consistency
 from repro.faults.checkpoint import Checkpoint
 from repro.grid.procgrid import ProcessorGrid
 from repro.obs import AuditTrail, RecoveryDecision, get_flight_recorder
+from repro.sanitize.hooks import get_sanitizer
 from repro.tree.edit import diffusion_edit
 
 if TYPE_CHECKING:
@@ -372,6 +373,11 @@ def recover_from_rank_failure(
                 step=reallocator.step_count,
                 nest=nid,
                 from_checkpoint=int(nid in restored),
+            )
+        sanitizer = get_sanitizer()
+        if sanitizer.enabled:
+            sanitizer.after_recovery(
+                new_store, dict(reallocator.nest_sizes), list(retained)
             )
 
     reallocator.grid = new_grid

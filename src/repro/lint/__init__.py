@@ -10,17 +10,42 @@ through :func:`lint_paths` / :func:`lint_source`.
 See ``docs/static_analysis.md`` for the rule catalogue.
 """
 
-from repro.lint.engine import LintEngine, LintReport, lint_paths, lint_source
-from repro.lint.reporting import format_json, format_rule_table, format_text
-from repro.lint.rules import ALL_RULES, Finding, LintContext, Rule, Severity, get_rules
+from repro.lint.callgraph import CallGraph, build_callgraph, get_callgraph
+from repro.lint.engine import (
+    LintEngine,
+    LintReport,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
+from repro.lint.project import Project, build_project, project_from_sources
+from repro.lint.reporting import format_json, format_rule_table, format_sarif, format_text
+from repro.lint.rules import (
+    ALL_RULES,
+    Finding,
+    LintContext,
+    ProjectRule,
+    Rule,
+    Severity,
+    get_rules,
+)
 
 __all__ = [
     "LintEngine",
     "LintReport",
     "lint_paths",
     "lint_source",
+    "lint_sources",
+    "Project",
+    "build_project",
+    "project_from_sources",
+    "CallGraph",
+    "build_callgraph",
+    "get_callgraph",
+    "ProjectRule",
     "format_text",
     "format_json",
+    "format_sarif",
     "format_rule_table",
     "ALL_RULES",
     "Finding",

@@ -1,0 +1,23 @@
+"""Tiny AST helpers shared by rules and the whole-program layers.
+
+Lives outside :mod:`repro.lint.rules` so the project/call-graph modules
+can use it without importing the rule registry (which imports them).
+"""
+
+from __future__ import annotations
+
+import ast
+
+__all__ = ["dotted_name"]
+
+
+def dotted_name(node: ast.expr) -> str | None:
+    """Render ``a.b.c`` attribute chains; None for anything non-trivial."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None

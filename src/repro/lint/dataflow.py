@@ -1,0 +1,46 @@
+"""Reachability primitives shared by the interprocedural passes.
+
+The taint passes all reduce to one question over the call graph: *which
+functions lie on a path between a source and a sink?*  BFS with parent
+pointers answers it and keeps one witness path per node so findings can
+show the route (``f -> g -> sink``) instead of a bare "reachable".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Iterable
+
+__all__ = ["reachable_with_paths", "render_path"]
+
+
+def reachable_with_paths(
+    edges: dict[str, set[str]], roots: Iterable[str]
+) -> dict[str, tuple[str, ...]]:
+    """BFS over ``edges`` from ``roots``.
+
+    Returns ``{node: witness path}`` where each path starts at a root and
+    ends at the node (roots map to 1-element paths).  Deterministic:
+    neighbours are visited in sorted order.
+    """
+    out: dict[str, tuple[str, ...]] = {}
+    queue: deque[str] = deque()
+    for root in sorted(set(roots)):
+        if root not in out:
+            out[root] = (root,)
+            queue.append(root)
+    while queue:
+        node = queue.popleft()
+        for nxt in sorted(edges.get(node, ())):
+            if nxt not in out:
+                out[nxt] = out[node] + (nxt,)
+                queue.append(nxt)
+    return out
+
+
+def render_path(path: tuple[str, ...], limit: int = 5) -> str:
+    """``a -> b -> ... -> z`` with the middle elided past ``limit`` hops."""
+    names = [p.rpartition(".")[2] or p for p in path]
+    if len(names) > limit:
+        names = names[: limit - 2] + ["..."] + names[-1:]
+    return " -> ".join(names)

@@ -16,7 +16,7 @@ import json
 
 from repro.lint.engine import LintReport
 
-__all__ = ["format_text", "format_json", "format_rule_table"]
+__all__ = ["format_text", "format_json", "format_sarif", "format_rule_table"]
 
 
 def format_text(report: LintReport, *, show_hints: bool = True) -> str:
@@ -52,6 +52,87 @@ def format_json(report: LintReport) -> str:
         "rules_run": report.rules_run,
     }
     return json.dumps(payload, indent=2, sort_keys=False)
+
+
+def format_sarif(report: LintReport) -> str:
+    """SARIF 2.1.0 log for the GitHub code-scanning upload action.
+
+    One run, one driver (``reprolint``), one result per finding.  Rule
+    metadata comes from the registry; findings from rules outside it
+    (e.g. the R000 parse error) get a minimal on-the-fly rule entry so
+    the log always validates.
+    """
+    from repro.lint.rules import ALL_RULES
+
+    rules: list[dict[str, object]] = []
+    index: dict[str, int] = {}
+    for cls in ALL_RULES:
+        index[cls.rule_id] = len(rules)
+        rules.append(
+            {
+                "id": cls.rule_id,
+                "shortDescription": {"text": cls.summary or cls.rule_id},
+                "help": {"text": cls.fix_hint or cls.summary or cls.rule_id},
+                "defaultConfiguration": {
+                    "level": "error" if cls.severity.value == "error" else "warning"
+                },
+            }
+        )
+    for f in report.findings:
+        if f.rule_id not in index:
+            index[f.rule_id] = len(rules)
+            rules.append(
+                {
+                    "id": f.rule_id,
+                    "shortDescription": {"text": f.rule_id},
+                    "defaultConfiguration": {"level": str(f.severity)},
+                }
+            )
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "ruleIndex": index[f.rule_id],
+            "level": "error" if f.severity.value == "error" else "warning",
+            "message": {
+                "text": f.message + (f"\nhint: {f.fix_hint}" if f.fix_hint else "")
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in report.findings
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "informationUri": "https://example.invalid/reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
 
 
 def format_rule_table() -> str:

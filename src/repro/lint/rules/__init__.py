@@ -1,16 +1,28 @@
 """The pluggable rule registry for ``reprolint``.
 
-Adding a rule = writing a :class:`~repro.lint.rules.base.Rule` subclass
-in a module here and listing the class in :data:`ALL_RULES`.
+Adding a per-file rule = writing a :class:`~repro.lint.rules.base.Rule`
+subclass in a module here and listing the class in :data:`ALL_RULES`.
+Whole-program rules subclass
+:class:`~repro.lint.rules.base.ProjectRule` instead and implement
+``check_project``; the engine feeds them the parsed project.
 """
 
 from __future__ import annotations
 
-from repro.lint.rules.base import Finding, LintContext, Rule, Severity
+from repro.lint.rules.base import (
+    Finding,
+    LintContext,
+    ProjectRule,
+    Rule,
+    Severity,
+)
+from repro.lint.rules.concurrency import SharedMutationRule
+from repro.lint.rules.determinism import DeterminismTaintRule, OrderDependenceRule
 from repro.lint.rules.exceptions import ExceptionHygieneRule
 from repro.lint.rules.exports import AllConsistencyRule
 from repro.lint.rules.floatcmp import FloatEqualityRule
 from repro.lint.rules.mutation import AllocationMutationRule
+from repro.lint.rules.parity import KernelParityRule
 from repro.lint.rules.printing import BarePrintRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
 from repro.lint.rules.swallow import SwallowedExceptionRule
@@ -22,6 +34,7 @@ __all__ = [
     "Finding",
     "LintContext",
     "Rule",
+    "ProjectRule",
     "Severity",
     "UnseededRandomnessRule",
     "FloatEqualityRule",
@@ -33,6 +46,10 @@ __all__ = [
     "BarePrintRule",
     "SwallowedExceptionRule",
     "ScalarMessageLoopRule",
+    "DeterminismTaintRule",
+    "OrderDependenceRule",
+    "SharedMutationRule",
+    "KernelParityRule",
     "ALL_RULES",
     "get_rules",
 ]
@@ -49,6 +66,10 @@ ALL_RULES: tuple[type[Rule], ...] = (
     BarePrintRule,
     SwallowedExceptionRule,
     ScalarMessageLoopRule,
+    DeterminismTaintRule,
+    OrderDependenceRule,
+    SharedMutationRule,
+    KernelParityRule,
 )
 
 

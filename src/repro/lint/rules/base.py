@@ -14,8 +14,21 @@ import ast
 import enum
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-__all__ = ["Severity", "Finding", "LintContext", "Rule", "dotted_name"]
+from repro.lint.astutil import dotted_name
+
+if TYPE_CHECKING:
+    from repro.lint.project import FunctionInfo, Project
+
+__all__ = [
+    "Severity",
+    "Finding",
+    "LintContext",
+    "Rule",
+    "ProjectRule",
+    "dotted_name",
+]
 
 
 class Severity(enum.Enum):
@@ -120,13 +133,44 @@ class Rule:
         )
 
 
-def dotted_name(node: ast.expr) -> str | None:
-    """Render ``a.b.c`` attribute chains; None for anything non-trivial."""
-    parts: list[str] = []
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if isinstance(node, ast.Name):
-        parts.append(node.id)
-        return ".".join(reversed(parts))
-    return None
+class ProjectRule(Rule):
+    """Base class for whole-program (interprocedural) checks.
+
+    The engine parses every file first, builds one
+    :class:`~repro.lint.project.Project` (plus call graph on demand),
+    and calls :meth:`check_project` once per run.  Findings carry their
+    own path, so per-file suppression still applies — the engine maps
+    each finding back to that file's suppression table.
+
+    :meth:`check` stays an empty generator so a ``ProjectRule`` can sit
+    in the same registry and CLI surface as the per-file rules.
+    """
+
+    def check(self, ctx: LintContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding_at(
+        self,
+        fn: FunctionInfo,
+        node: ast.AST | tuple[int, int],
+        message: str,
+    ) -> Finding:
+        """Build a :class:`Finding` at ``node`` inside function ``fn``."""
+        if isinstance(node, tuple):
+            line, col = node
+        else:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0)
+        return Finding(
+            path=fn.path,
+            line=line,
+            col=col,
+            rule_id=self.rule_id,
+            severity=self.severity,
+            message=message,
+            fix_hint=self.fix_hint,
+        )
+

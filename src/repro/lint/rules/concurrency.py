@@ -1,0 +1,118 @@
+"""R013: shared-state mutation reachable from planned async workers.
+
+The ROADMAP's multi-tenant service will run today's synchronous entry
+points (``run_workload``, ``run_soak``, ``parallel_data_analysis``) on
+worker tasks that share one process.  Any write to process-global state
+— a ``global`` statement, or an attribute assignment on a *shared*
+object handed in by the caller (``ExperimentContext``, the netsim, the
+ledger, recorders) — becomes a race the moment two workers overlap.
+This pass walks the call graph forward from the worker entry points and
+flags those writes now, before the serve PR lands.
+
+``ProcessorReallocator`` is deliberately not on the shared list: each
+worker owns its reallocator, and fault recovery mutates it in place by
+documented design.  Methods mutating ``self`` are likewise fine — the
+hazard is mutating somebody else's object.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.callgraph import get_callgraph
+from repro.lint.dataflow import reachable_with_paths, render_path
+from repro.lint.project import FunctionInfo, Project, _annotation_names
+from repro.lint.rules.base import Finding, ProjectRule
+
+__all__ = ["SharedMutationRule"]
+
+#: functions the planned service will run on concurrent workers
+WORKER_ENTRY_POINTS = (
+    "run_workload",
+    "run_both_strategies",
+    "run_soak",
+    "parallel_data_analysis",
+)
+
+#: classes whose instances are shared across a run (bare names —
+#: annotations frequently use strings / TYPE_CHECKING imports)
+SHARED_CLASSES = (
+    "ExperimentContext",
+    "NetworkSimulator",
+    "CommLedger",
+    "RankStore",
+    "AuditTrail",
+    "FlightRecorder",
+    "InMemoryRecorder",
+)
+
+
+class SharedMutationRule(ProjectRule):
+    """R013: worker-reachable writes to globals or shared parameters."""
+
+    rule_id = "R013"
+    summary = (
+        "code reachable from async worker entry points mutates global or "
+        "shared-object state"
+    )
+    fix_hint = (
+        "replace module globals with contextvars.ContextVar and return "
+        "new values instead of assigning attributes on shared parameters"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        roots = [
+            q
+            for q, fn in project.functions.items()
+            if fn.name in WORKER_ENTRY_POINTS
+        ]
+        reach = reachable_with_paths(graph.edges, roots)
+        for qualname in sorted(reach):
+            fn = project.functions.get(qualname)
+            if fn is None:
+                continue
+            suffix = f" (reachable via {render_path(reach[qualname])})"
+            for node, label in self._mutations(fn):
+                yield self.finding_at(fn, node, label + suffix)
+
+    def _mutations(
+        self, fn: FunctionInfo
+    ) -> Iterator[tuple[ast.AST, str]]:
+        shared_params = self._shared_params(fn)
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Global):
+                names = ", ".join(node.names)
+                yield node, f"assigns module global(s) {names}"
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign) else [node.target]
+                )
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in shared_params
+                    ):
+                        cls = shared_params[target.value.id]
+                        yield (
+                            node,
+                            f"writes {target.value.id}.{target.attr} on shared "
+                            f"{cls} parameter",
+                        )
+
+    @staticmethod
+    def _shared_params(fn: FunctionInfo) -> dict[str, str]:
+        """Parameter name -> shared class bare name (excluding self/cls)."""
+        out: dict[str, str] = {}
+        args = fn.node.args
+        for p in args.posonlyargs + args.args + args.kwonlyargs:
+            if p.arg in ("self", "cls"):
+                continue
+            for name in _annotation_names(p.annotation):
+                bare = name.split(".")[-1]
+                if bare in SHARED_CLASSES:
+                    out[p.arg] = bare
+                    break
+        return out

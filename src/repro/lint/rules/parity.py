@@ -1,0 +1,185 @@
+"""R014: kernel parity between ``*reference*`` oracles and vector twins.
+
+Every performance-critical kernel ships twice: a scalar *reference*
+oracle (the readable ground truth) and a vectorized twin verified
+bit-for-bit against it.  The pair only stays honest while both sides
+evolve together — a parameter, a kwarg-driven branch, or a call site
+added to one side silently un-verifies the other.  This pass pairs the
+twins by name (``_move_blocks_reference`` ↔ ``_move_blocks_vector``)
+through the project symbol table and compares:
+
+* parameter lists (a new knob must reach both kernels);
+* the set of parameters branched on inside each body (a kwarg branch on
+  one side means the twins no longer compute the same function family);
+* caller sets from the call graph (a new call site must either call
+  both or go through a ``kernels == "reference"`` dispatch).
+
+Unpaired oracles are allowed only when every caller is itself a
+``*reference*`` helper or dispatches on a ``kernels`` flag — the shape
+the netsim uses, where one oracle backs several vector entry points.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.lint.callgraph import get_callgraph
+from repro.lint.project import FunctionInfo, Project
+from repro.lint.astutil import dotted_name
+from repro.lint.rules.base import Finding, ProjectRule
+
+__all__ = ["KernelParityRule"]
+
+
+def _param_names(fn: FunctionInfo) -> list[str]:
+    return fn.params
+
+
+def _branch_params(fn: FunctionInfo) -> set[str]:
+    """Parameters whose value is branched on inside the function body."""
+    params = {p.lstrip("*") for p in fn.params if p not in ("self", "cls")}
+    out: set[str] = set()
+    for node in ast.walk(fn.node):
+        if not isinstance(node, (ast.If, ast.IfExp)):
+            continue
+        for name in ast.walk(node.test):
+            if isinstance(name, ast.Name) and name.id in params:
+                out.add(name.id)
+    return out
+
+
+def _has_kernels_dispatch(fn: FunctionInfo) -> bool:
+    """Does the body contain an ``<...>.kernels == "reference"`` branch?"""
+    for node in ast.walk(fn.node):
+        if not isinstance(node, ast.If):
+            continue
+        for cmp_node in ast.walk(node.test):
+            if not isinstance(cmp_node, ast.Compare):
+                continue
+            sides = [cmp_node.left, *cmp_node.comparators]
+            names = {
+                (dotted_name(s) or "").rpartition(".")[2] for s in sides
+            }
+            consts = {
+                s.value
+                for s in sides
+                if isinstance(s, ast.Constant) and isinstance(s.value, str)
+            }
+            if "kernels" in names and "reference" in consts:
+                return True
+    return False
+
+
+class KernelParityRule(ProjectRule):
+    """R014: oracle/vector kernel pairs must not drift apart."""
+
+    rule_id = "R014"
+    summary = (
+        "a *reference* oracle and its vector twin differ in parameters, "
+        "kwarg branches, or call sites"
+    )
+    fix_hint = (
+        "mirror the change on both kernels (and extend the bit-for-bit "
+        "parity test), or route the new call site through the kernels "
+        "dispatch flag"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        graph = get_callgraph(project)
+        for qualname, fn in sorted(project.functions.items()):
+            if "reference" not in fn.name:
+                continue
+            twin = self._twin(project, fn, "reference", "vector")
+            if twin is None:
+                yield from self._check_unpaired(project, graph, fn)
+            else:
+                yield from self._check_pair(graph, fn, twin)
+        # symmetric orphan check: a *vector* kernel without its oracle
+        for qualname, fn in sorted(project.functions.items()):
+            if "vector" not in fn.name:
+                continue
+            if self._twin(project, fn, "vector", "reference") is None:
+                yield self.finding_at(
+                    fn,
+                    fn.node,
+                    f"vector kernel {fn.name} has no *reference* oracle "
+                    "twin in the same scope",
+                )
+
+    @staticmethod
+    def _twin(
+        project: Project, fn: FunctionInfo, old: str, new: str
+    ) -> FunctionInfo | None:
+        twin_name = fn.name.replace(old, new)
+        if fn.cls is not None:
+            cls = project.classes.get(fn.cls)
+            if cls is not None:
+                return cls.methods.get(twin_name)
+            return None
+        mod = project.modules.get(fn.module)
+        if mod is not None:
+            return mod.functions.get(twin_name)
+        return None
+
+    def _check_pair(
+        self, graph, fn: FunctionInfo, twin: FunctionInfo
+    ) -> Iterator[Finding]:
+        ref_params = _param_names(fn)
+        vec_params = _param_names(twin)
+        if ref_params != vec_params:
+            yield self.finding_at(
+                fn,
+                fn.node,
+                f"{fn.name} takes {ref_params} but {twin.name} takes "
+                f"{vec_params}; the twins must share one signature",
+            )
+        ref_branches = _branch_params(fn)
+        vec_branches = _branch_params(twin)
+        if ref_branches != vec_branches:
+            only_ref = sorted(ref_branches - vec_branches)
+            only_vec = sorted(vec_branches - ref_branches)
+            yield self.finding_at(
+                fn,
+                fn.node,
+                f"kwarg branches differ between {fn.name} "
+                f"(extra: {only_ref}) and {twin.name} (extra: {only_vec})",
+            )
+        ref_callers = self._external_callers(graph, fn, twin)
+        vec_callers = self._external_callers(graph, twin, fn)
+        if ref_callers != vec_callers:
+            only_ref = sorted(ref_callers - vec_callers)
+            only_vec = sorted(vec_callers - ref_callers)
+            yield self.finding_at(
+                fn,
+                fn.node,
+                f"call sites differ: {only_ref or only_vec} calls only one "
+                f"of {fn.name}/{twin.name}; every site must dispatch to both",
+            )
+
+    @staticmethod
+    def _external_callers(graph, fn: FunctionInfo, twin: FunctionInfo) -> set[str]:
+        """Callers of ``fn``, ignoring the twin calling its own oracle."""
+        return {
+            c
+            for c in graph.callers(fn.qualname)
+            if c not in (fn.qualname, twin.qualname)
+        }
+
+    def _check_unpaired(
+        self, project: Project, graph, fn: FunctionInfo
+    ) -> Iterator[Finding]:
+        for caller_q in sorted(graph.callers(fn.qualname)):
+            caller = project.functions.get(caller_q)
+            if caller is None:
+                continue
+            if "reference" in caller.name:
+                continue  # oracle helpers composing is fine
+            if _has_kernels_dispatch(caller):
+                continue
+            yield self.finding_at(
+                caller,
+                caller.node,
+                f"{caller.name} calls unpaired oracle {fn.name} without a "
+                'kernels == "reference" dispatch branch',
+            )

@@ -29,6 +29,7 @@ import time
 from collections import deque
 from collections.abc import Iterable, Iterator
 from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -150,20 +151,24 @@ class NullFlightRecorder(FlightRecorder):
         return None
 
 
-#: the process-wide flight recorder — always on, bounded by construction
-_ACTIVE_FLIGHT: FlightRecorder = FlightRecorder()
+#: the ambient flight recorder — always on, bounded by construction.  A
+#: ContextVar rather than a module global so concurrent workers each keep
+#: their own ring instead of interleaving events (reprolint R013); the
+#: default ring is still shared process-wide until somebody scopes one.
+_ACTIVE_FLIGHT: ContextVar[FlightRecorder] = ContextVar(
+    "repro.obs.flight", default=FlightRecorder()
+)
 
 
 def get_flight_recorder() -> FlightRecorder:
-    """The process-wide flight recorder (an always-on bounded ring)."""
-    return _ACTIVE_FLIGHT
+    """The ambient flight recorder (an always-on bounded ring)."""
+    return _ACTIVE_FLIGHT.get()
 
 
 def set_flight_recorder(recorder: FlightRecorder) -> FlightRecorder:
     """Install ``recorder`` as the active ring; returns the previous one."""
-    global _ACTIVE_FLIGHT
-    previous = _ACTIVE_FLIGHT
-    _ACTIVE_FLIGHT = recorder
+    previous = _ACTIVE_FLIGHT.get()
+    _ACTIVE_FLIGHT.set(recorder)
     return previous
 
 

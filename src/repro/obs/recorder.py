@@ -34,6 +34,7 @@ from __future__ import annotations
 import time
 from collections.abc import Iterator
 from contextlib import AbstractContextManager, contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass, field
 from types import TracebackType
 from typing import Protocol, runtime_checkable
@@ -293,19 +294,21 @@ class InMemoryRecorder:
         return [s.duration for s in self.spans if s.name == name]
 
 
-_ACTIVE: Recorder = NULL_RECORDER
+#: the active recorder — a ContextVar, not a module global, so concurrent
+#: workers (asyncio tasks, threads with copied contexts) each see their own
+#: recorder instead of racing on one slot (reprolint R013)
+_ACTIVE: ContextVar[Recorder] = ContextVar("repro.obs.recorder", default=NULL_RECORDER)
 
 
 def get_recorder() -> Recorder:
-    """The process-wide active recorder (the no-op one by default)."""
-    return _ACTIVE
+    """The ambient active recorder (the no-op one by default)."""
+    return _ACTIVE.get()
 
 
 def set_recorder(recorder: Recorder) -> Recorder:
     """Install ``recorder`` as the active one; returns the previous."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = recorder
+    previous = _ACTIVE.get()
+    _ACTIVE.set(recorder)
     return previous
 
 

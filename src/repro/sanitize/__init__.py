@@ -1,0 +1,31 @@
+"""Runtime conservation sanitizer (the dynamic half of ``repro.lint``).
+
+:mod:`repro.sanitize.hooks` is the import-cycle-free activation surface
+the core calls into; :mod:`repro.sanitize.checks` holds the actual
+conservation checks; :mod:`repro.sanitize.runner` drives a full workload
+with every checkpoint armed (``repro sanitize run``).
+
+The runner pulls in the whole library, so it is intentionally **not**
+imported here — ``from repro.sanitize.runner import run_sanitized`` when
+you need it.
+"""
+
+from repro.sanitize.checks import SanitizeError, Sanitizer, SanitizeViolation
+from repro.sanitize.hooks import (
+    NULL_SANITIZER,
+    SanitizerHook,
+    get_sanitizer,
+    set_sanitizer,
+    use_sanitizer,
+)
+
+__all__ = [
+    "SanitizeError",
+    "SanitizeViolation",
+    "Sanitizer",
+    "SanitizerHook",
+    "NULL_SANITIZER",
+    "get_sanitizer",
+    "set_sanitizer",
+    "use_sanitizer",
+]

@@ -1,0 +1,255 @@
+"""``repro sanitize run``: drive a workload with every checkpoint armed.
+
+The sanitized runner is the dynamic counterpart of the static analysis
+engine: it executes a real workload trace on a real data plane
+(:class:`~repro.core.dataplane.RankStore` holding actual field arrays)
+with a strict-capable :class:`~repro.sanitize.checks.Sanitizer` scoped
+over the whole run, so every conservation checkpoint in the library
+fires — plan conservation, store tiling after every move, tree
+invariants on every diffusion edit, PDA coverage accounting (the Mumbai
+trace runs the full analysis pipeline while it is being built), the
+busiest-link split, and the final ledger cross-check.  On top of the
+library's own hooks the runner adds two audits of its own each step:
+
+* **tiling audit** — every live nest's blocks re-verified to tile its
+  grid disjointly (``audit.tiling``), which is what catches corruption
+  injected *between* library calls (the ``tamper`` seam the tests use);
+* **bit-for-bit data audit** — every live nest gathered and compared
+  against the seeded ground truth that was scattered in
+  (``audit.data``).
+
+The verdict is a :class:`SanitizeReport`; ``report.ok`` is the CI gate.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.dataplane import (
+    RankStore,
+    execute_redistribution,
+    gather_nest,
+    scatter_nest,
+)
+from repro.core.diffusion import DiffusionStrategy
+from repro.core.reallocator import ProcessorReallocator
+from repro.experiments.workloads import (
+    Workload,
+    mumbai_trace_workload,
+    synthetic_workload,
+)
+from repro.mpisim.alltoallv import MessageSet
+from repro.mpisim.ledger import CommLedger
+from repro.obs.flight import FlightRecorder, use_flight_recorder
+from repro.perfmodel.exectime import ExecTimePredictor
+from repro.perfmodel.groundtruth import ExecutionOracle
+from repro.perfmodel.profiles import ProfileTable
+from repro.sanitize.checks import Sanitizer, SanitizeViolation
+from repro.sanitize.hooks import use_sanitizer
+from repro.topology.machines import fist_cluster
+from repro.util.rng import make_rng
+
+__all__ = [
+    "SanitizeReport",
+    "build_workload",
+    "run_sanitized",
+    "format_sanitize_report",
+]
+
+#: a ``tamper(store, step)`` callback the tests use to inject corruption
+TamperFn = Callable[[RankStore, int], None]
+
+
+@dataclass
+class SanitizeReport:
+    """What a sanitized run checked, and everything it caught."""
+
+    workload: str
+    n_steps: int
+    seed: int
+    strict: bool
+    machine: str
+    checks_run: dict[str, int] = field(default_factory=dict)
+    violations: list[SanitizeViolation] = field(default_factory=list)
+    data_checks: int = 0
+    data_failures: int = 0
+
+    @property
+    def total_checks(self) -> int:
+        return sum(self.checks_run.values())
+
+    @property
+    def ok(self) -> bool:
+        """The CI gate: every checkpoint held and every bit survived."""
+        return not self.violations and self.data_failures == 0
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "workload": self.workload,
+            "n_steps": self.n_steps,
+            "seed": self.seed,
+            "strict": self.strict,
+            "machine": self.machine,
+            "checks_run": dict(self.checks_run),
+            "total_checks": self.total_checks,
+            "violations": [
+                {"check": v.check, "message": v.message} for v in self.violations
+            ],
+            "data_checks": self.data_checks,
+            "data_failures": self.data_failures,
+            "ok": self.ok,
+        }
+
+
+def _ground_truth(seed: int, nest_id: int, nx: int, ny: int) -> np.ndarray:
+    """The nest's seeded reference field (a function of id *and* size)."""
+    rng = make_rng(make_rng(seed).integers(2**31) + 1009 * nest_id + nx * ny)
+    return rng.normal(size=(ny, nx))
+
+
+def build_workload(name: str, seed: int, n_steps: int) -> Workload:
+    """One of the named sanitize workloads (``mumbai`` or ``synthetic``)."""
+    if name == "mumbai":
+        return mumbai_trace_workload(seed=seed, n_steps=n_steps)
+    if name == "synthetic":
+        return synthetic_workload(seed=seed, n_steps=n_steps)
+    raise ValueError(f"unknown sanitize workload {name!r}")
+
+
+def run_sanitized(
+    workload: Workload | str = "mumbai",
+    *,
+    seed: int = 2005,
+    n_steps: int = 20,
+    ncores: int = 16,
+    strict: bool = False,
+    tamper: TamperFn | None = None,
+    flight: FlightRecorder | None = None,
+) -> SanitizeReport:
+    """Drive ``workload`` end to end with the conservation sanitizer armed.
+
+    ``workload`` is a prebuilt :class:`Workload` or a name for
+    :func:`build_workload` (``"mumbai"`` builds the flagship trace —
+    inside the sanitized scope, so the PDA checkpoints fire during its
+    construction too).  ``tamper`` is called after each step's data
+    movement and before the end-of-step audits; tests use it to corrupt
+    the store and prove the audit catches it.  With ``strict=True`` the
+    first violation raises :class:`~repro.sanitize.checks.SanitizeError`.
+    """
+    machine = fist_cluster(ncores)
+    sanitizer = Sanitizer(strict=strict)
+    flight = flight if flight is not None else FlightRecorder()
+    with use_flight_recorder(flight), use_sanitizer(sanitizer):
+        if isinstance(workload, str):
+            workload = build_workload(workload, seed, n_steps)
+        predictor = ExecTimePredictor(ProfileTable(ExecutionOracle(), seed=seed))
+        realloc = ProcessorReallocator(machine, DiffusionStrategy(), predictor)
+        ledger = CommLedger(machine.ncores)
+        store = RankStore(realloc.grid.nprocs)
+        fields: dict[int, np.ndarray] = {}
+
+        report = SanitizeReport(
+            workload=workload.name,
+            n_steps=len(workload.steps),
+            seed=seed,
+            strict=strict,
+            machine=machine.name,
+        )
+
+        for step_idx, nests in enumerate(workload.steps):
+            old_alloc = realloc.allocation
+            old_sizes = dict(realloc.nest_sizes)
+            result = realloc.step(nests)  # plan + tree checkpoints fire inside
+            alloc = result.allocation
+
+            # data plane follows the adaptation decision
+            if old_alloc is not None:
+                for nid in result.deleted:
+                    store.drop_nest(nid)
+                    fields.pop(nid, None)
+                for nid in result.retained:
+                    nx, ny = nests[nid]
+                    if old_sizes.get(nid) == (nx, ny):
+                        execute_redistribution(store, nid, old_alloc, alloc, nx, ny)
+                    else:
+                        # The ROI was resized: the nest restarts at the new
+                        # size (regridded state is interpolated, not moved).
+                        store.drop_nest(nid)
+                        fields[nid] = _ground_truth(seed, nid, nx, ny)
+                        scatter_nest(store, nid, fields[nid].copy(), alloc)
+            for nid in result.created:
+                nx, ny = nests[nid]
+                fields[nid] = _ground_truth(seed, nid, nx, ny)
+                scatter_nest(store, nid, fields[nid].copy(), alloc)
+
+            # account the executed transfers, cross-checking the netsim
+            if result.plan is not None:
+                for move in result.plan.moves:
+                    ledger.add_messages(move.messages, machine.mapping)
+                all_msgs = MessageSet.concat([m.messages for m in result.plan.moves])
+                if len(all_msgs):
+                    _link, load, contributions = (
+                        realloc.simulator.busiest_link_contributions(all_msgs)
+                    )
+                    ledger.add_busiest_link(load, contributions)
+                    sanitizer.after_busiest_link(load, contributions)
+
+            if tamper is not None:
+                tamper(store, step_idx)
+
+            # end-of-step audits: tiling of every live nest, then bits
+            live_sizes = {nid: nests[nid] for nid in alloc.nest_ids}
+            sanitizer.audit_store(store, live_sizes)
+            for nid in sorted(live_sizes):
+                nx, ny = live_sizes[nid]
+                report.data_checks += 1
+                try:
+                    intact = np.array_equal(
+                        gather_nest(store, nid, nx, ny), fields[nid]
+                    )
+                except (KeyError, ValueError) as exc:
+                    intact = False
+                    detail = f" ({exc})"
+                else:
+                    detail = ""
+                if not intact:
+                    report.data_failures += 1
+                    sanitizer.record_violation(
+                        "audit.data",
+                        f"step {step_idx}: nest {nid} data differs from the "
+                        f"seeded ground truth{detail}",
+                    )
+
+        sanitizer.check_ledger(ledger)
+
+    report.checks_run = dict(sanitizer.checks_run)
+    report.violations = list(sanitizer.violations)
+    return report
+
+
+def format_sanitize_report(report: SanitizeReport) -> str:
+    """Human-readable verdict for the CLI."""
+    lines = [
+        f"sanitized run: workload={report.workload} steps={report.n_steps} "
+        f"seed={report.seed} machine={report.machine}"
+        + (" [strict]" if report.strict else ""),
+        f"checkpoints:   {report.total_checks} checks across "
+        f"{len(report.checks_run)} kinds",
+    ]
+    for check in sorted(report.checks_run):
+        lines.append(f"  {check:<22} {report.checks_run[check]}")
+    lines.append(
+        f"data audit:    {report.data_checks} bit-for-bit comparisons, "
+        f"{report.data_failures} failures"
+    )
+    if report.violations:
+        lines.append(f"VIOLATIONS ({len(report.violations)}):")
+        for v in report.violations[:20]:
+            lines.append(f"  {v}")
+        if len(report.violations) > 20:
+            lines.append(f"  ... and {len(report.violations) - 20} more")
+    lines.append("verdict:       " + ("OK" if report.ok else "FAIL"))
+    return "\n".join(lines)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from collections.abc import Iterable, Mapping
 
 from repro.obs import get_flight_recorder, get_recorder
+from repro.sanitize.hooks import get_sanitizer
 from repro.tree.huffman import build_huffman
 from repro.tree.node import TreeNode
 
@@ -162,9 +163,15 @@ def diffusion_edit(
         n_retained=len(retained_weights),
         n_new=len(new_weights),
     ):
-        return _diffusion_edit(
+        result = _diffusion_edit(
             oldtree, deleted, retained_weights, new_weights, insertion
         )
+    sanitizer = get_sanitizer()
+    if sanitizer.enabled:
+        sanitizer.after_tree_edit(
+            result, deleted, dict(retained_weights), dict(new_weights)
+        )
+    return result
 
 
 def _diffusion_edit(

@@ -588,6 +588,75 @@ class TestR008Printing:
         """
         assert rule_ids(src, select=["R008"]) == []
 
+    def test_noqa_alias_suppresses(self):
+        src = """
+        def f():
+            print("intentional")  # repro: noqa=R008
+        """
+        assert rule_ids(src, select=["R008"]) == []
+
+    def test_def_line_suppression_covers_decorators(self):
+        # the finding anchors to the decorator's line, above the def; a
+        # suppression written on the def line must still cover it
+        src = """
+        import numpy as np
+
+        def deco(rng):
+            def wrap(fn):
+                return fn
+            return wrap
+
+        @deco(np.random.default_rng(0))
+        def f():  # reprolint: disable=R001
+            pass
+        """
+        assert rule_ids(src, select=["R001"]) == []
+
+    def test_def_line_noqa_alias_covers_decorators(self):
+        src = """
+        import numpy as np
+
+        def deco(rng):
+            def wrap(fn):
+                return fn
+            return wrap
+
+        @deco(np.random.default_rng(0))
+        def f():  # repro: noqa=R001
+            pass
+        """
+        assert rule_ids(src, select=["R001"]) == []
+
+    def test_decorator_finding_fires_without_suppression(self):
+        src = """
+        import numpy as np
+
+        def deco(rng):
+            def wrap(fn):
+                return fn
+            return wrap
+
+        @deco(np.random.default_rng(0))
+        def f():
+            pass
+        """
+        assert "R001" in rule_ids(src, select=["R001"])
+
+    def test_def_line_suppression_covers_only_its_own_ids(self):
+        src = """
+        import numpy as np
+
+        def deco(rng):
+            def wrap(fn):
+                return fn
+            return wrap
+
+        @deco(np.random.default_rng(0))
+        def f():  # reprolint: disable=R008
+            pass
+        """
+        assert "R001" in rule_ids(src, select=["R001"])
+
 
 # ---------------------------------------------------------------------------
 # engine mechanics: suppression, selection, parse errors, reporting
@@ -855,6 +924,29 @@ class TestReporting:
         table = format_rule_table()
         for cls in ALL_RULES:
             assert cls.rule_id in table
+
+    def test_sarif_format_is_valid_code_scanning_payload(self):
+        from repro.lint import format_sarif
+
+        sarif = json.loads(format_sarif(self._dirty_report()))
+        assert sarif["version"] == "2.1.0"
+        run = sarif["runs"][0]
+        rule_ids_listed = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for cls in ALL_RULES:
+            assert cls.rule_id in rule_ids_listed
+        result = run["results"][0]
+        assert result["ruleId"] == "R002"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["region"]["startLine"] == 2
+        # ruleIndex must point at the matching catalogue entry
+        assert rule_ids_listed[result["ruleIndex"]] == "R002"
+
+    def test_sarif_clean_report_has_no_results(self):
+        from repro.lint import format_sarif
+
+        report = lint_source("__all__ = []\n", module="repro.core.snippet")
+        sarif = json.loads(format_sarif(report))
+        assert sarif["runs"][0]["results"] == []
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,228 @@
+"""Tests for the runtime conservation sanitizer.
+
+Three layers:
+
+* activation — scoped > environment > disabled, with the env read
+  cached once;
+* unit checks — each checkpoint catches a hand-tampered object;
+* end-to-end — the flagship Mumbai trace passes clean under
+  ``repro sanitize run``, and an injected conservation bug (a block
+  silently deleted from the data plane) is detected.
+"""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.mpisim.ledger import CommLedger
+from repro.obs.flight import FlightRecorder, use_flight_recorder
+from repro.sanitize import (
+    NULL_SANITIZER,
+    SanitizeError,
+    Sanitizer,
+    get_sanitizer,
+    use_sanitizer,
+)
+from repro.sanitize import hooks as sanitize_hooks
+from repro.sanitize.runner import (
+    build_workload,
+    format_sanitize_report,
+    run_sanitized,
+)
+
+# ---------------------------------------------------------------------------
+# activation
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def fresh_env_cache():
+    """Clear the one-slot REPRO_SANITIZE cache around a test."""
+    saved = sanitize_hooks._ENV_CACHE[0]
+    sanitize_hooks._ENV_CACHE[0] = None
+    try:
+        yield
+    finally:
+        sanitize_hooks._ENV_CACHE[0] = saved
+
+
+class TestActivation:
+    def test_disabled_by_default(self):
+        assert get_sanitizer().enabled is False
+
+    def test_scoped_activation_restores(self):
+        san = Sanitizer()
+        with use_sanitizer(san):
+            assert get_sanitizer() is san
+        assert get_sanitizer() is not san
+
+    def test_env_activation_is_cached_once(self, monkeypatch, fresh_env_cache):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        first = get_sanitizer()
+        assert first.enabled and isinstance(first, Sanitizer)
+        # later env changes do not flip the cached resolution
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert get_sanitizer() is first
+
+    def test_env_zero_stays_disabled(self, monkeypatch, fresh_env_cache):
+        monkeypatch.setenv("REPRO_SANITIZE", "0")
+        assert get_sanitizer() is NULL_SANITIZER
+
+    def test_scoped_wins_over_environment(self, monkeypatch, fresh_env_cache):
+        monkeypatch.setenv("REPRO_SANITIZE", "1")
+        san = Sanitizer()
+        with use_sanitizer(san):
+            assert get_sanitizer() is san
+
+
+# ---------------------------------------------------------------------------
+# unit checks
+# ---------------------------------------------------------------------------
+
+
+class TestCheckpoints:
+    def test_ledger_totals_catch_tampering(self):
+        ledger = CommLedger(4)
+        san = Sanitizer()
+        san.check_ledger(ledger)
+        assert san.ok  # empty ledger conserves trivially
+
+        ledger.sent[0] += 1024.0  # sent without a matching receive
+        san = Sanitizer()
+        san.check_ledger(ledger)
+        assert not san.ok
+        assert any(v.check == "ledger.totals" for v in san.violations)
+
+    def test_busiest_link_split_must_sum(self):
+        san = Sanitizer()
+        san.after_busiest_link(100.0, {(0, 1): 60.0, (1, 2): 40.0})
+        assert san.ok
+        san.after_busiest_link(100.0, {(0, 1): 60.0})
+        assert any(v.check == "ledger.busiest_link" for v in san.violations)
+
+    def test_pda_coverage_flags_inconsistency(self):
+        ok = SimpleNamespace(
+            coverage=1.0,
+            low_olr_fraction=0.5,
+            n_files_missing=0,
+            n_files_corrupt=0,
+            n_ranks_failed=0,
+            partial=False,
+        )
+        san = Sanitizer()
+        san.after_pda(ok)
+        assert san.ok
+
+        bad = SimpleNamespace(
+            coverage=0.7,
+            low_olr_fraction=0.5,
+            n_files_missing=0,
+            n_files_corrupt=0,
+            n_ranks_failed=0,
+            partial=False,  # claims complete but coverage < 1
+        )
+        san.after_pda(bad)
+        assert any(v.check == "pda.coverage" for v in san.violations)
+
+    def test_strict_mode_raises_on_first_violation(self):
+        san = Sanitizer(strict=True)
+        with pytest.raises(SanitizeError):
+            san.after_busiest_link(-1.0, {})
+
+    def test_violations_reach_the_flight_recorder(self):
+        flight = FlightRecorder()
+        san = Sanitizer()
+        with use_flight_recorder(flight):
+            san.after_busiest_link(-1.0, {})
+        kinds = [e.kind for e in flight.events()]
+        assert "sanitizer.violation" in kinds
+
+
+# ---------------------------------------------------------------------------
+# end to end
+# ---------------------------------------------------------------------------
+
+
+class TestRunSanitized:
+    def test_flagship_trace_passes_clean(self):
+        report = run_sanitized("mumbai", seed=2005, n_steps=10)
+        assert report.ok, [str(v) for v in report.violations[:5]]
+        # every checkpoint family fired, including PDA (the trace runs
+        # the full analysis pipeline while being built)
+        for check in (
+            "plan.conservation",
+            "execute.conservation",
+            "scatter.tiling",
+            "tree.invariants",
+            "pda.coverage",
+            "ledger.totals",
+            "audit.tiling",
+        ):
+            assert report.checks_run.get(check, 0) > 0, check
+        assert report.data_checks > 0 and report.data_failures == 0
+
+    def test_injected_conservation_bug_detected(self):
+        def tamper(store, step):
+            if step == 6:  # silently lose one block late in the run
+                for rank in sorted(store.blocks):
+                    for nid in sorted(store.blocks[rank]):
+                        del store.blocks[rank][nid]
+                        return
+
+        report = run_sanitized("synthetic", seed=7, n_steps=7, tamper=tamper)
+        assert not report.ok
+        checks = {v.check for v in report.violations}
+        assert "audit.tiling" in checks  # points lost from the tiling
+        assert "audit.data" in checks  # and the bits no longer match
+        assert report.data_failures > 0
+
+    def test_corrupted_block_values_detected_bit_for_bit(self):
+        def tamper(store, step):
+            if step == 5:
+                for rank in sorted(store.blocks):
+                    for nid, (block, _rect) in sorted(store.blocks[rank].items()):
+                        block += 1e-12  # tiling intact, bits wrong
+                        return
+
+        report = run_sanitized("synthetic", seed=7, n_steps=6, tamper=tamper)
+        assert not report.ok
+        checks = {v.check for v in report.violations}
+        assert checks == {"audit.data"}
+
+    def test_strict_run_raises_on_injected_bug(self):
+        def tamper(store, step):
+            for rank in sorted(store.blocks):
+                for nid in sorted(store.blocks[rank]):
+                    del store.blocks[rank][nid]
+                    return
+
+        with pytest.raises(SanitizeError):
+            run_sanitized("synthetic", seed=7, n_steps=3, strict=True, tamper=tamper)
+
+    def test_report_formats_and_serializes(self):
+        report = run_sanitized("synthetic", seed=3, n_steps=5)
+        text = format_sanitize_report(report)
+        assert "verdict:       OK" in text
+        d = report.to_dict()
+        assert d["ok"] is True and d["total_checks"] == report.total_checks
+
+    def test_build_workload_rejects_unknown_name(self):
+        with pytest.raises(ValueError):
+            build_workload("nope", seed=0, n_steps=3)
+
+    def test_cli_sanitize_run_exits_zero(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            ["sanitize", "run", "--workload", "synthetic", "--steps", "4", "--seed", "3"]
+        )
+        assert rc == 0
+        assert "verdict:       OK" in capsys.readouterr().out
+
+    def test_ground_truth_survives_resize_and_churn(self):
+        # a longer synthetic soak of the runner itself: nests come, go
+        # and resize; every step must stay conserved and bit-identical
+        report = run_sanitized("synthetic", seed=11, n_steps=15)
+        assert report.ok
+        assert report.checks_run["audit.tiling"] == report.data_checks
