@@ -328,6 +328,76 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--tail", type=int, default=0, help="also show the last N flight events"
     )
+
+    p = sub.add_parser(
+        "serve",
+        help="run the multi-tenant reallocation service (HTTP, stdlib only)",
+        description=(
+            "Starts the asyncio serving tier: a session store with a crash "
+            "journal, a pool of stateless workers advancing every submitted "
+            "scenario one adaptation point at a time, and a plain-HTTP API "
+            "(POST /sessions, GET /sessions/{id}/events, /healthz, /metrics). "
+            "See docs/serving.md."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8642)
+    p.add_argument(
+        "--workers", type=int, default=4, help="scheduler worker tasks (default 4)"
+    )
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=256,
+        help="max sessions held at once (finished ones are evicted when full)",
+    )
+    p.add_argument(
+        "--journal",
+        default=None,
+        help="JSONL journal path; an existing journal is recovered on start",
+    )
+    p.add_argument(
+        "--step-timeout",
+        type=float,
+        default=30.0,
+        help="seconds one adaptation point may take before retry/failure",
+    )
+
+    p = sub.add_parser(
+        "loadgen",
+        help="closed-loop load generator for the serving tier",
+        description=(
+            "Submits a seeded fleet of scenarios, drives them to completion "
+            "and reports sessions/sec plus the p50/p95 decision latency. "
+            "Drives an in-process scheduler by default, the full in-process "
+            "HTTP stack with --via-http, or an external server with --url. "
+            "Exits 1 if any session failed."
+        ),
+    )
+    p.add_argument("--sessions", type=int, default=16)
+    p.add_argument("--steps", type=int, default=6, help="adaptation points per session")
+    p.add_argument("--workers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--workload", choices=["synthetic", "mumbai"], default="synthetic")
+    p.add_argument("--machine", default="bgl-256")
+    p.add_argument(
+        "--strategy", choices=["scratch", "diffusion", "dynamic"], default="diffusion"
+    )
+    p.add_argument("--kernels", choices=["vector", "reference"], default=None)
+    p.add_argument(
+        "--via-http",
+        action="store_true",
+        help="drive an in-process HTTP server instead of the bare scheduler",
+    )
+    p.add_argument(
+        "--url", default=None, help="drive an external server at host:port instead"
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 3 steps per session over the in-process HTTP stack",
+    )
+    p.add_argument("--json", action="store_true", help="print the result as JSON")
     return parser
 
 
@@ -865,6 +935,78 @@ def _cmd_example(_args: argparse.Namespace) -> None:
     print(render_allocation_diff(report.old_allocation, report.scratch_allocation, max_width=32))
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    from pathlib import Path
+
+    from repro.serve.api import ServeServer
+    from repro.serve.scheduler import SchedulerConfig, SessionScheduler
+    from repro.serve.store import SessionStore
+
+    if args.journal is not None and Path(args.journal).exists():
+        store = SessionStore.recover(args.journal, capacity=args.capacity)
+        print(f"recovered {len(store)} session(s) from {args.journal}")
+    else:
+        store = SessionStore(capacity=args.capacity, journal_path=args.journal)
+    scheduler = SessionScheduler(
+        store,
+        SchedulerConfig(workers=args.workers, step_timeout=args.step_timeout),
+    )
+    server = ServeServer(store, scheduler, host=args.host, port=args.port)
+
+    async def _serve() -> None:
+        await server.start()
+        print(f"serving on http://{server.host}:{server.port} (Ctrl-C to stop)")
+        scheduler.submit_all_pending()
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json as json_mod
+
+    from repro.kernels import DEFAULT_KERNELS
+    from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+    config = LoadgenConfig(
+        sessions=args.sessions,
+        steps=3 if args.quick else args.steps,
+        workers=args.workers,
+        seed=args.seed,
+        workload=args.workload,
+        machine=args.machine,
+        strategy=args.strategy,
+        kernels=args.kernels or DEFAULT_KERNELS,
+        via_http=args.via_http or args.quick,
+        url=args.url or "",
+    )
+    result = run_loadgen(config)
+    if args.json:
+        print(json_mod.dumps(result.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(
+            f"{result.sessions} sessions: {result.completed} done, "
+            f"{result.failed} failed in {result.duration:.2f}s "
+            f"({result.sessions_per_sec:.1f} sessions/s, "
+            f"{result.steps_per_sec:.1f} steps/s)"
+        )
+        if result.latency is not None:
+            lat = result.latency
+            print(
+                f"decision latency: p50 {lat.median * 1e3:.2f} ms, "
+                f"p95 {lat.p95 * 1e3:.2f} ms over {lat.count} decisions"
+            )
+    return 1 if result.failed else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     cmd = args.command
@@ -932,6 +1074,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_obs_report(args)
     elif cmd == "faults":
         return _cmd_faults(args)
+    elif cmd == "serve":
+        return _cmd_serve(args)
+    elif cmd == "loadgen":
+        return _cmd_loadgen(args)
     else:  # pragma: no cover - argparse enforces the choices
         raise SystemExit(f"unknown command {cmd!r}")
     return 0

@@ -12,7 +12,12 @@ from repro.experiments.workloads import (
     dynamical_trace_workload,
     paper_example_steps,
 )
-from repro.experiments.runner import RunResult, run_workload, run_both_strategies
+from repro.experiments.runner import (
+    RunResult,
+    WorkloadStepper,
+    run_workload,
+    run_both_strategies,
+)
 from repro.experiments.sweeps import Sweep, SweepRecord, improvement_sweep
 from repro.experiments.stats import BootstrapCI, bootstrap_improvement_ci
 from repro.experiments.report import (
@@ -41,6 +46,7 @@ __all__ = [
     "SweepRecord",
     "improvement_sweep",
     "RunResult",
+    "WorkloadStepper",
     "run_workload",
     "run_both_strategies",
     "table1_report",

@@ -40,7 +40,13 @@ from repro.perfmodel.profiles import ProfileTable
 from repro.topology.machines import MachineSpec
 from repro.util.rng import make_rng
 
-__all__ = ["RunResult", "ExperimentContext", "run_workload", "run_both_strategies"]
+__all__ = [
+    "RunResult",
+    "ExperimentContext",
+    "WorkloadStepper",
+    "run_workload",
+    "run_both_strategies",
+]
 
 
 @dataclass
@@ -125,35 +131,74 @@ def _actual_exec_time(
     )
 
 
-def run_workload(
-    workload: Workload,
-    strategy: ReallocationStrategy,
-    context: ExperimentContext,
-    exec_noise_seed: int = 99,
-    flow_level: bool = False,
-) -> RunResult:
-    """Drive ``strategy`` through every step of ``workload``."""
-    assert context.predictor is not None and context.cost is not None
-    realloc = ProcessorReallocator(
-        context.machine,
-        strategy,
-        context.predictor,
-        context.cost,
-        flow_level=flow_level,
-        kernels=context.kernels,
-    )
-    rng = make_rng(exec_noise_seed)
-    metrics: list[StepMetrics] = []
-    allocations: list[Allocation] = []
-    recorder = context.recorder if context.recorder is not None else get_recorder()
-    timeline = Timeline(recorder)
-    with use_recorder(recorder):
-        for i, nests in enumerate(workload.steps):
-            old_alloc = realloc.allocation
-            with timeline.adaptation_point(
+class WorkloadStepper:
+    """A resumable, per-adaptation-point driver of one (workload, strategy) run.
+
+    :func:`run_workload` is a thin loop over this class; the multi-tenant
+    scheduler (:mod:`repro.serve`) interleaves many steppers in one
+    process, advancing each a single adaptation point at a time.  Each
+    :meth:`advance` call scopes the context's recorder for exactly its
+    own duration, so concurrent steppers driven from worker threads
+    (``asyncio.to_thread`` copies the ambient context) never record into
+    each other's telemetry.
+
+    The stepper owns everything mutable about the run — the reallocator,
+    the execution-noise RNG, the collected metrics — so a (workload,
+    strategy, seed) triple replays identically however its ``advance``
+    calls interleave with other steppers'.
+    """
+
+    def __init__(
+        self,
+        workload: Workload,
+        strategy: ReallocationStrategy,
+        context: ExperimentContext,
+        exec_noise_seed: int = 99,
+        flow_level: bool = False,
+    ) -> None:
+        assert context.predictor is not None and context.cost is not None
+        self.workload = workload
+        self.strategy = strategy
+        self.context = context
+        self.realloc = ProcessorReallocator(
+            context.machine,
+            strategy,
+            context.predictor,
+            context.cost,
+            flow_level=flow_level,
+            kernels=context.kernels,
+        )
+        self.metrics: list[StepMetrics] = []
+        self.allocations: list[Allocation] = []
+        self._rng = make_rng(exec_noise_seed)
+        self._recorder = (
+            context.recorder if context.recorder is not None else get_recorder()
+        )
+        self._timeline = Timeline(self._recorder)
+        self.next_step = 0
+
+    @property
+    def done(self) -> bool:
+        """True once every adaptation point of the workload has run."""
+        return self.next_step >= self.workload.n_steps
+
+    def advance(self) -> StepMetrics:
+        """Run the next adaptation point and return its metrics."""
+        if self.done:
+            raise ValueError(
+                f"workload {self.workload.name!r} is exhausted after "
+                f"{self.workload.n_steps} steps"
+            )
+        context, strategy = self.context, self.strategy
+        assert context.predictor is not None
+        i = self.next_step
+        nests = self.workload.steps[i]
+        with use_recorder(self._recorder):
+            old_alloc = self.realloc.allocation
+            with self._timeline.adaptation_point(
                 step=i, strategy=strategy.name, n_nests=len(nests)
             ):
-                result = realloc.step(nests)
+                result = self.realloc.step(nests)
                 alloc = result.allocation
                 plan = result.plan
                 exec_pred = (
@@ -164,7 +209,9 @@ def run_workload(
                     if nests
                     else 0.0
                 )
-                exec_actual = _actual_exec_time(alloc, nests, context.oracle, rng)
+                exec_actual = _actual_exec_time(
+                    alloc, nests, context.oracle, self._rng
+                )
             choice = ""
             if isinstance(strategy, DynamicStrategy) and strategy.history:
                 choice = strategy.history[-1].chosen
@@ -179,35 +226,59 @@ def run_workload(
                     exec_pred=exec_pred,
                     exec_actual=exec_actual,
                     chosen=choice,
-                    grid=realloc.grid,
+                    grid=self.realloc.grid,
                 )
             if context.ledger is not None and result.plan is not None:
-                _feed_ledger(context.ledger, result, realloc)
-            metrics.append(
-                StepMetrics(
-                    step=i,
-                    n_nests=len(nests),
-                    n_retained=len(result.retained),
-                    predicted_redist=plan.predicted_time if plan else 0.0,
-                    measured_redist=plan.measured_time if plan else 0.0,
-                    hop_bytes_avg=plan.hop_bytes_avg if plan else 0.0,
-                    hop_bytes_total=plan.hop_bytes_total if plan else 0.0,
-                    overlap_fraction=plan.overlap_fraction if plan else 1.0,
-                    exec_predicted=exec_pred,
-                    exec_actual=exec_actual,
-                    strategy_choice=choice,
-                )
+                _feed_ledger(context.ledger, result, self.realloc)
+            metric = StepMetrics(
+                step=i,
+                n_nests=len(nests),
+                n_retained=len(result.retained),
+                predicted_redist=plan.predicted_time if plan else 0.0,
+                measured_redist=plan.measured_time if plan else 0.0,
+                hop_bytes_avg=plan.hop_bytes_avg if plan else 0.0,
+                hop_bytes_total=plan.hop_bytes_total if plan else 0.0,
+                overlap_fraction=plan.overlap_fraction if plan else 1.0,
+                exec_predicted=exec_pred,
+                exec_actual=exec_actual,
+                strategy_choice=choice,
             )
-            allocations.append(alloc)
-    sanitizer = get_sanitizer()
-    if sanitizer.enabled and context.ledger is not None:
-        sanitizer.check_ledger(context.ledger)
-    return RunResult(
-        workload=workload.name,
-        strategy=strategy.name,
-        metrics=metrics,
-        allocations=allocations,
+        self.metrics.append(metric)
+        self.allocations.append(alloc)
+        self.next_step += 1
+        return metric
+
+    def result(self) -> RunResult:
+        """The run so far as a :class:`RunResult` (ledger sanity-checked)."""
+        sanitizer = get_sanitizer()
+        if sanitizer.enabled and self.context.ledger is not None:
+            sanitizer.check_ledger(self.context.ledger)
+        return RunResult(
+            workload=self.workload.name,
+            strategy=self.strategy.name,
+            metrics=list(self.metrics),
+            allocations=list(self.allocations),
+        )
+
+
+def run_workload(
+    workload: Workload,
+    strategy: ReallocationStrategy,
+    context: ExperimentContext,
+    exec_noise_seed: int = 99,
+    flow_level: bool = False,
+) -> RunResult:
+    """Drive ``strategy`` through every step of ``workload``."""
+    stepper = WorkloadStepper(
+        workload,
+        strategy,
+        context,
+        exec_noise_seed=exec_noise_seed,
+        flow_level=flow_level,
     )
+    while not stepper.done:
+        stepper.advance()
+    return stepper.result()
 
 
 def _candidate_choice(

@@ -1,13 +1,24 @@
-"""R013: shared-state mutation reachable from planned async workers.
+"""R013: shared-state mutation reachable from async worker code.
 
-The ROADMAP's multi-tenant service will run today's synchronous entry
+The multi-tenant service (:mod:`repro.serve`) runs the synchronous entry
 points (``run_workload``, ``run_soak``, ``parallel_data_analysis``) on
 worker tasks that share one process.  Any write to process-global state
 — a ``global`` statement, or an attribute assignment on a *shared*
 object handed in by the caller (``ExperimentContext``, the netsim, the
 ledger, recorders) — becomes a race the moment two workers overlap.
 This pass walks the call graph forward from the worker entry points and
-flags those writes now, before the serve PR lands.
+flags those writes.
+
+Roots are the classic entry points **plus** the serve tier's own worker
+surface: every coroutine and every handler-shaped function (``handle*``,
+``advance``, ``submit``) defined in a ``repro.serve`` module — the code
+that actually runs concurrently once the service is up.
+
+Reachable code is also checked for Python's quietest shared-state trap:
+a **mutable default argument** that the function then mutates.  The
+default is created once at ``def`` time and shared by every call from
+every worker, so ``def handler(pending=[])`` + ``pending.append(...)``
+is a cross-session leak wearing a local-variable costume.
 
 ``ProcessorReallocator`` is deliberately not on the shared list: each
 worker owns its reallocator, and fault recovery mutates it in place by
@@ -27,12 +38,37 @@ from repro.lint.rules.base import Finding, ProjectRule
 
 __all__ = ["SharedMutationRule"]
 
-#: functions the planned service will run on concurrent workers
+#: functions the service runs on concurrent workers
 WORKER_ENTRY_POINTS = (
     "run_workload",
     "run_both_strategies",
     "run_soak",
     "parallel_data_analysis",
+)
+
+#: dotted module prefix whose coroutine/handler functions are also roots
+SERVE_MODULE_PREFIX = "repro.serve"
+
+#: handler-shaped function names inside serve modules (beyond coroutines)
+SERVE_HANDLER_NAMES = ("advance", "submit")
+SERVE_HANDLER_PREFIX = "handle"
+
+#: dict/set/list methods that mutate the receiver in place
+_MUTATOR_METHODS = frozenset(
+    {
+        "add",
+        "append",
+        "appendleft",
+        "clear",
+        "discard",
+        "extend",
+        "insert",
+        "pop",
+        "popitem",
+        "remove",
+        "setdefault",
+        "update",
+    }
 )
 
 #: classes whose instances are shared across a run (bare names —
@@ -66,7 +102,7 @@ class SharedMutationRule(ProjectRule):
         roots = [
             q
             for q, fn in project.functions.items()
-            if fn.name in WORKER_ENTRY_POINTS
+            if fn.name in WORKER_ENTRY_POINTS or _is_serve_root(fn)
         ]
         reach = reachable_with_paths(graph.edges, roots)
         for qualname in sorted(reach):
@@ -81,6 +117,7 @@ class SharedMutationRule(ProjectRule):
         self, fn: FunctionInfo
     ) -> Iterator[tuple[ast.AST, str]]:
         shared_params = self._shared_params(fn)
+        mutable_defaults = self._mutable_default_params(fn)
         for node in ast.walk(fn.node):
             if isinstance(node, ast.Global):
                 names = ", ".join(node.names)
@@ -101,6 +138,49 @@ class SharedMutationRule(ProjectRule):
                             f"writes {target.value.id}.{target.attr} on shared "
                             f"{cls} parameter",
                         )
+                    elif (
+                        isinstance(target, ast.Subscript)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id in mutable_defaults
+                    ):
+                        yield (
+                            node,
+                            f"mutates parameter {target.value.id} whose default "
+                            f"is a shared mutable {mutable_defaults[target.value.id]}",
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATOR_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in mutable_defaults
+            ):
+                name = node.func.value.id
+                yield (
+                    node,
+                    f"calls {name}.{node.func.attr}() on parameter {name} whose "
+                    f"default is a shared mutable {mutable_defaults[name]}",
+                )
+
+    @staticmethod
+    def _mutable_default_params(fn: FunctionInfo) -> dict[str, str]:
+        """Parameter name -> kind, for params defaulting to a mutable literal."""
+        out: dict[str, str] = {}
+        args = fn.node.args
+        positional = args.posonlyargs + args.args
+        # defaults align with the *tail* of the positional parameters
+        for p, default in zip(positional[len(positional) - len(args.defaults) :],
+                              args.defaults):
+            kind = _mutable_literal_kind(default)
+            if kind is not None:
+                out[p.arg] = kind
+        for p, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is None:
+                continue
+            kind = _mutable_literal_kind(kw_default)
+            if kind is not None:
+                out[p.arg] = kind
+        return out
 
     @staticmethod
     def _shared_params(fn: FunctionInfo) -> dict[str, str]:
@@ -116,3 +196,34 @@ class SharedMutationRule(ProjectRule):
                     out[p.arg] = bare
                     break
         return out
+
+
+def _is_serve_root(fn: FunctionInfo) -> bool:
+    """Is ``fn`` part of the serve tier's concurrent worker surface?"""
+    module = fn.module
+    if module != SERVE_MODULE_PREFIX and not module.startswith(
+        SERVE_MODULE_PREFIX + "."
+    ):
+        return False
+    if isinstance(fn.node, ast.AsyncFunctionDef):
+        return True
+    return fn.name in SERVE_HANDLER_NAMES or fn.name.startswith(SERVE_HANDLER_PREFIX)
+
+
+def _mutable_literal_kind(node: ast.expr) -> str | None:
+    """"dict"/"list"/"set" when ``node`` is a mutable default literal."""
+    if isinstance(node, ast.Dict):
+        return "dict"
+    if isinstance(node, ast.List):
+        return "list"
+    if isinstance(node, ast.Set):
+        return "set"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("dict", "list", "set")
+        and not node.args
+        and not node.keywords
+    ):
+        return node.func.id
+    return None

@@ -22,6 +22,8 @@ phase                       what it times
 ``redist.plan``             full redistribution planning (cold route cache)
 ``dataplane.roundtrip``     scatter → executed redistribution → gather
 ``e2e.compare``             the ``repro compare`` path, scratch + diffusion
+``serve.throughput``        a session fleet through the async scheduler
+``serve.decision_latency``  one adaptation point through a live session
 ==========================  ==================================================
 
 Every phase runs under a kernel mode (:mod:`repro.kernels`): ``"vector"``
@@ -396,6 +398,61 @@ def _setup_compare(quick: bool, kernels: str) -> Callable[[], object]:
     return run
 
 
+def _setup_serve_throughput(quick: bool, kernels: str) -> Callable[[], object]:
+    import asyncio
+
+    from repro.serve.scheduler import SchedulerConfig, SessionScheduler
+    from repro.serve.session import ScenarioSpec
+    from repro.serve.store import SessionStore
+
+    n_sessions, n_steps = (6, 3) if quick else (8, 4)
+    machine = _QUICK_MACHINE if quick else _FULL_MACHINE
+    specs = [
+        ScenarioSpec(
+            seed=_BENCH_SEED + i,
+            steps=n_steps,
+            machine=machine,
+            kernels=kernels,
+            priority=1 if i % 4 == 0 else 0,
+        )
+        for i in range(n_sessions)
+    ]
+    config = SchedulerConfig(workers=4)
+
+    def run() -> object:
+        store = SessionStore(capacity=n_sessions)
+        for spec in specs:
+            store.create(spec)
+        scheduler = SessionScheduler(store, config)
+        asyncio.run(scheduler.run_until_drained())
+        return store.counts()
+
+    return run
+
+
+def _setup_serve_decision_latency(quick: bool, kernels: str) -> Callable[[], object]:
+    from repro.serve.session import ScenarioSpec, Session
+
+    # one timed call = one adaptation point through a live session; the
+    # session is long enough that warm-up + repeats never exhaust it, and
+    # a fresh identical one replaces it if they somehow do
+    spec = ScenarioSpec(
+        seed=_BENCH_SEED,
+        steps=64 if quick else 128,
+        machine=_QUICK_MACHINE if quick else _FULL_MACHINE,
+        kernels=kernels,
+    )
+    state = {"session": Session("bench-latency", spec)}
+
+    def run() -> object:
+        session = state["session"]
+        if session.terminal:
+            session = state["session"] = Session("bench-latency", spec)
+        return session.advance()
+
+    return run
+
+
 def bench_phases() -> tuple[BenchPhase, ...]:
     """The pinned suite, in dependency-layer order."""
     return (
@@ -453,6 +510,16 @@ def bench_phases() -> tuple[BenchPhase, ...]:
             "e2e.compare",
             "the `repro compare` path, scratch + diffusion",
             _setup_compare,
+        ),
+        BenchPhase(
+            "serve.throughput",
+            "a session fleet through the async scheduler, submit to drain",
+            _setup_serve_throughput,
+        ),
+        BenchPhase(
+            "serve.decision_latency",
+            "one adaptation point through a live session",
+            _setup_serve_decision_latency,
         ),
     )
 

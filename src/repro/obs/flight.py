@@ -25,6 +25,7 @@ This module lives in ``repro.obs`` and therefore may read raw clocks
 from __future__ import annotations
 
 import json
+import threading
 import time
 from collections import deque
 from collections.abc import Iterable, Iterator
@@ -78,7 +79,16 @@ class FlightEvent:
 
 
 class FlightRecorder:
-    """Bounded ring buffer of :class:`FlightEvent` (oldest evicted first)."""
+    """Bounded ring buffer of :class:`FlightEvent` (oldest evicted first).
+
+    Appends are thread-safe: a lock makes the seq-assign + append pair
+    atomic, so workers advancing sessions on ``asyncio.to_thread``
+    threads can share one ring (the process-default ambient ring, say)
+    without tearing the sequence numbering.  Multi-tenant code should
+    still prefer one ring per session — scoped with
+    :func:`use_flight_recorder` — so each session's log stays a clean,
+    per-tenant causal record; the lock is the safety net, not the design.
+    """
 
     enabled = True
 
@@ -89,26 +99,26 @@ class FlightRecorder:
         self.origin = time.perf_counter()
         self._events: deque[FlightEvent] = deque(maxlen=capacity)
         self._seq = 0
+        self._lock = threading.Lock()
 
     def emit(self, kind: str, **data: TagValue) -> None:
         """Append one event; evicts the oldest when the ring is full."""
-        event = FlightEvent(
-            seq=self._seq,
-            t=time.perf_counter() - self.origin,
-            kind=kind,
-            data=dict(data),
-        )
-        self._seq += 1
-        self._events.append(event)
+        t = time.perf_counter() - self.origin
+        with self._lock:
+            event = FlightEvent(seq=self._seq, t=t, kind=kind, data=dict(data))
+            self._seq += 1
+            self._events.append(event)
 
     # -- inspection -----------------------------------------------------
 
     def events(self) -> list[FlightEvent]:
         """The retained events, oldest first."""
-        return list(self._events)
+        with self._lock:
+            return list(self._events)
 
     def __len__(self) -> int:
-        return len(self._events)
+        with self._lock:
+            return len(self._events)
 
     @property
     def total_emitted(self) -> int:
@@ -118,19 +128,21 @@ class FlightRecorder:
     @property
     def dropped(self) -> int:
         """How many events the ring has evicted."""
-        return self._seq - len(self._events)
+        with self._lock:
+            return self._seq - len(self._events)
 
     def reset(self) -> None:
         """Drop every event, restart the clock origin and the sequence."""
-        self._events.clear()
-        self._seq = 0
-        self.origin = time.perf_counter()
+        with self._lock:
+            self._events.clear()
+            self._seq = 0
+            self.origin = time.perf_counter()
 
     # -- JSONL export ---------------------------------------------------
 
     def to_jsonl(self) -> str:
         """The retained events as JSON Lines (one event per line)."""
-        return "".join(ev.to_json() + "\n" for ev in self._events)
+        return "".join(ev.to_json() + "\n" for ev in self.events())
 
     def write_jsonl(self, path: str | Path) -> Path:
         """Serialise the ring to ``path``; returns the path."""

@@ -31,6 +31,7 @@ that everywhere else timing flows through spans.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections.abc import Iterator
 from contextlib import AbstractContextManager, contextmanager
@@ -216,6 +217,15 @@ class InMemoryRecorder:
     with its nesting depth, and merges the ambient tags pushed by
     :meth:`bind` (step/strategy/nest ids) into every span opened inside
     the binding — the "timeline" the exporters consume.
+
+    Counter and gauge updates and the completed-span append are
+    thread-safe (a lock makes each read-modify-write atomic), so workers
+    on ``asyncio.to_thread`` threads can share one recorder for counts
+    without losing increments.  The *span stack* is still strictly
+    nested: concurrent open spans on a single shared recorder interleave
+    their close order and raise — multi-tenant code gives each session
+    its own recorder, scoped with :func:`use_recorder` (a
+    ``ContextVar``, so worker threads inherit the right one).
     """
 
     enabled = True
@@ -227,6 +237,7 @@ class InMemoryRecorder:
         self.gauges: dict[str, float] = {}
         self._stack: list[InMemorySpan] = []
         self._ambient: list[dict[str, TagValue]] = []
+        self._lock = threading.Lock()
 
     # -- Recorder protocol ----------------------------------------------
 
@@ -238,10 +249,12 @@ class InMemoryRecorder:
         return InMemorySpan(self, name, merged)
 
     def count(self, name: str, value: float = 1.0) -> None:
-        self.counters[name] = self.counters.get(name, 0.0) + value
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0.0) + value
 
     def gauge(self, name: str, value: float) -> None:
-        self.gauges[name] = value
+        with self._lock:
+            self.gauges[name] = value
 
     @contextmanager
     def bind(self, **tags: TagValue) -> Iterator[None]:
@@ -266,15 +279,16 @@ class InMemoryRecorder:
                 f"span {span.name!r} closed out of order (spans must nest)"
             )
         self._stack.pop()
-        self.spans.append(
-            SpanRecord(
-                name=span.name,
-                start=span.start,
-                end=end,
-                depth=span.depth,
-                tags=span.tags,
+        with self._lock:
+            self.spans.append(
+                SpanRecord(
+                    name=span.name,
+                    start=span.start,
+                    end=end,
+                    depth=span.depth,
+                    tags=span.tags,
+                )
             )
-        )
 
     # -- maintenance -------------------------------------------------------
 

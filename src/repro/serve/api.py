@@ -1,0 +1,406 @@
+"""A plain-stdlib asyncio HTTP front end for the serving tier.
+
+No web framework — requests are parsed straight off the stream with
+``asyncio.start_server`` (one short-lived connection per request,
+``Connection: close``), which keeps the service dependency-free and the
+whole protocol surface inspectable in one file.
+
+Routes
+------
+
+=======  ==============================  ======================================
+Method   Path                            Meaning
+=======  ==============================  ======================================
+POST     ``/sessions``                   submit a scenario spec; 201 + snapshot
+GET      ``/sessions``                   list session snapshots
+GET      ``/sessions/{id}``              one session's snapshot
+GET      ``/sessions/{id}/events``       NDJSON stream of flight events
+POST     ``/sessions/{id}/kill``         inject a rank crash (fails the session)
+POST     ``/sessions/{id}/pause``        pause a running session
+POST     ``/sessions/{id}/resume``       resume and requeue a paused session
+GET      ``/healthz``                    200 ok / 503 degraded (liveness window)
+GET      ``/metrics``                    JSON counters of the whole service
+=======  ==============================  ======================================
+
+The events stream polls the session's flight ring and writes each new
+event as one JSON line, ending the response (and closing the
+connection) once the session is terminal and every retained event has
+been delivered.
+
+A minimal async client (:func:`http_json`, :func:`http_stream_lines`)
+lives here too, shared by the load generator and the end-to-end tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import AsyncIterator
+
+from repro.serve.scheduler import SessionScheduler
+from repro.serve.session import ScenarioSpec, Session, SessionError
+from repro.serve.store import SessionStore, StoreFull
+from repro.util.logging import get_logger
+
+__all__ = ["ServeServer", "http_json", "http_stream_lines"]
+
+log = get_logger("serve.api")
+
+#: how often the event stream re-checks the flight ring (seconds)
+_STREAM_POLL = 0.02
+
+_REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class _HTTPError(Exception):
+    """Routing-level failure carrying the status code to send back."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+class ServeServer:
+    """The HTTP front end over one store + scheduler pair."""
+
+    def __init__(
+        self,
+        store: SessionStore,
+        scheduler: SessionScheduler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.store = store
+        self.scheduler = scheduler
+        self.host = host
+        self.port = port  # 0 = ephemeral; the real port appears after start()
+        self._server: asyncio.Server | None = None
+
+    async def start(self) -> None:
+        """Bind the socket and spawn the scheduler's worker pool."""
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        sockets = self._server.sockets
+        assert sockets
+        self.port = sockets[0].getsockname()[1]
+        await self.scheduler.start()
+        log.info("serving on http://%s:%d", self.host, self.port)
+
+    async def stop(self) -> None:
+        """Stop accepting connections and cancel the workers."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        await self.scheduler.stop()
+
+    # -- connection handling ---------------------------------------------
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            method, path, body = await _read_request(reader)
+            await self._route(method, path, body, writer)
+        except _HTTPError as exc:
+            await _send_json(writer, exc.status, {"error": exc.message})
+        except (ConnectionError, asyncio.IncompleteReadError) as exc:
+            log.debug("client connection dropped: %s", exc)
+        except Exception:
+            log.exception("request handling failed")
+            try:
+                await _send_json(writer, 500, {"error": "internal error"})
+            except ConnectionError as exc:
+                log.debug("could not deliver 500: %s", exc)
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except ConnectionError as exc:
+                log.debug("connection close raced the client: %s", exc)
+
+    async def _route(
+        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        parts = [p for p in path.split("/") if p]
+        if path == "/healthz" and method == "GET":
+            snap = self.store.counts()
+            health = self.scheduler.health.snapshot()
+            health["sessions"] = snap
+            status = 503 if self.scheduler.health.degraded else 200
+            await _send_json(writer, status, health)
+            return
+        if path == "/metrics" and method == "GET":
+            await _send_json(writer, 200, self._metrics())
+            return
+        if parts and parts[0] == "sessions":
+            await self._route_sessions(method, parts, body, writer)
+            return
+        raise _HTTPError(404, f"no such route: {method} {path}")
+
+    async def _route_sessions(
+        self, method: str, parts: list[str], body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        if len(parts) == 1:
+            if method == "POST":
+                await self._create_session(body, writer)
+            elif method == "GET":
+                snaps = [s.snapshot() for s in self.store.sessions()]
+                await _send_json(writer, 200, {"sessions": snaps})
+            else:
+                raise _HTTPError(405, f"{method} not allowed on /sessions")
+            return
+        session = self._lookup(parts[1])
+        if len(parts) == 2:
+            if method != "GET":
+                raise _HTTPError(405, f"{method} not allowed on a session")
+            await _send_json(writer, 200, session.snapshot())
+            return
+        if len(parts) == 3:
+            await self._session_action(method, parts[2], session, body, writer)
+            return
+        raise _HTTPError(404, "no such route")
+
+    async def _session_action(
+        self,
+        method: str,
+        action: str,
+        session: Session,
+        body: bytes,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        if action == "events" and method == "GET":
+            await self._stream_events(session, writer)
+            return
+        if method != "POST":
+            raise _HTTPError(405, f"{method} not allowed on {action}")
+        if action == "kill":
+            payload = _parse_json(body) if body else {}
+            rank = payload.get("rank", 0)
+            if not isinstance(rank, int) or isinstance(rank, bool):
+                raise _HTTPError(400, "rank must be an int")
+            try:
+                step = session.inject_fault(rank=rank)
+            except SessionError as exc:
+                raise _HTTPError(409, str(exc)) from exc
+            await _send_json(
+                writer, 200, {"id": session.session_id, "kill_at_step": step}
+            )
+            return
+        if action == "pause":
+            try:
+                session.pause()
+            except SessionError as exc:
+                raise _HTTPError(409, str(exc)) from exc
+            await _send_json(writer, 200, session.snapshot())
+            return
+        if action == "resume":
+            try:
+                session.resume()
+            except SessionError as exc:
+                raise _HTTPError(409, str(exc)) from exc
+            self.scheduler.submit(session)
+            await _send_json(writer, 200, session.snapshot())
+            return
+        raise _HTTPError(404, f"no such action: {action}")
+
+    # -- handlers ---------------------------------------------------------
+
+    def _lookup(self, session_id: str) -> Session:
+        try:
+            return self.store.get(session_id)
+        except KeyError as exc:
+            raise _HTTPError(404, str(exc)) from exc
+
+    async def _create_session(
+        self, body: bytes, writer: asyncio.StreamWriter
+    ) -> None:
+        payload = _parse_json(body) if body else {}
+        try:
+            spec = ScenarioSpec.from_dict(payload)
+            session = self.store.create(spec)
+        except ValueError as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        except StoreFull as exc:
+            raise _HTTPError(429, str(exc)) from exc
+        self.scheduler.submit(session)
+        await _send_json(writer, 201, session.snapshot())
+
+    async def _stream_events(
+        self, session: Session, writer: asyncio.StreamWriter
+    ) -> None:
+        writer.write(
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: application/x-ndjson\r\n"
+            b"Connection: close\r\n\r\n"
+        )
+        next_seq = 0
+        while True:
+            fresh = session.events(since_seq=next_seq)
+            for event in fresh:
+                writer.write(event.to_json().encode() + b"\n")
+                next_seq = event.seq + 1
+            if fresh:
+                await writer.drain()
+            if session.terminal and not session.events(since_seq=next_seq):
+                return
+            await asyncio.sleep(_STREAM_POLL)
+
+    def _metrics(self) -> dict[str, object]:
+        return {
+            "sessions": self.store.counts(),
+            "stored": len(self.store),
+            "evicted": self.store.evicted,
+            "queue_depth": self.scheduler.queue_depth,
+            "steps_run": self.scheduler.steps_run,
+            "health": self.scheduler.health.snapshot(),
+        }
+
+
+# -- wire helpers ---------------------------------------------------------
+
+
+async def _read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, bytes]:
+    """Parse one HTTP request: (method, path, body)."""
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        raise _HTTPError(400, "empty request")
+    try:
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise _HTTPError(400, f"malformed request line: {request_line!r}") from exc
+    content_length = 0
+    while True:
+        header = (await reader.readline()).decode("latin-1").strip()
+        if not header:
+            break
+        name, _, value = header.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise _HTTPError(400, f"bad content-length: {value!r}") from exc
+    body = await reader.readexactly(content_length) if content_length else b""
+    path = target.split("?", 1)[0]
+    return method.upper(), path, body
+
+
+def _parse_json(body: bytes) -> dict[str, object]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise _HTTPError(400, f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise _HTTPError(400, "request body must be a JSON object")
+    return payload
+
+
+async def _send_json(
+    writer: asyncio.StreamWriter, status: int, payload: dict[str, object]
+) -> None:
+    body = json.dumps(payload, sort_keys=True).encode()
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# -- minimal async client (shared by loadgen and the e2e tests) -----------
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict[str, object] | None = None,
+) -> tuple[int, dict[str, object]]:
+    """One JSON request/response round trip; returns (status, body)."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status, raw = await _read_response(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    parsed = json.loads(raw.decode()) if raw else {}
+    if not isinstance(parsed, dict):
+        parsed = {"body": parsed}
+    return status, parsed
+
+
+async def http_stream_lines(
+    host: str, port: int, path: str
+) -> AsyncIterator[str]:
+    """GET ``path`` and yield each response line (NDJSON streaming)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        if " 200 " not in status_line:
+            raise RuntimeError(f"stream request failed: {status_line.strip()!r}")
+        while (await reader.readline()).strip():  # drain headers
+            continue
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            text = line.decode().strip()
+            if text:
+                yield text
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read a full close-delimited or Content-Length response."""
+    status_line = (await reader.readline()).decode("latin-1").strip()
+    try:
+        status = int(status_line.split(" ", 2)[1])
+    except (IndexError, ValueError) as exc:
+        raise RuntimeError(f"malformed status line: {status_line!r}") from exc
+    content_length: int | None = None
+    while True:
+        header = (await reader.readline()).decode("latin-1").strip()
+        if not header:
+            break
+        name, _, value = header.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    if content_length is not None:
+        body = await reader.readexactly(content_length)
+    else:
+        body = await reader.read()
+    return status, body

@@ -1,0 +1,270 @@
+"""The asyncio scheduler: stateless workers over the session store.
+
+Workers are interchangeable — all session state lives in the
+:class:`~repro.serve.session.Session`, so any worker can run any
+session's next adaptation point.  Scheduling is a single
+``asyncio.PriorityQueue`` of ``(lane, seq, session_id)`` entries:
+
+* ``lane`` 0 is the priority lane (specs with ``priority > 0``), lane 1
+  the default — the priority lane always drains first;
+* ``seq`` is a monotonic counter, so entries inside a lane are FIFO and
+  a session that just ran goes to the *tail* of its lane — fair
+  round-robin among equals.
+
+Each step runs in a thread (``asyncio.to_thread``) because the
+reallocation pipeline is CPU-bound numpy; the event loop stays free to
+accept requests and stream events.  ``to_thread`` copies the calling
+context, so the session's ContextVar-scoped recorder and flight ring
+travel with the step.  Steps that exceed the per-step timeout are
+retried under the same :class:`~repro.core.dataplane.BackoffPolicy` the
+redistribution dataplane uses — its delays are simulated seconds, which
+the scheduler maps to real sleeps via ``backoff_scale`` — and a step
+that keeps timing out fails its session rather than the service.
+
+Liveness is a sliding window over recent step outcomes
+(:class:`ServiceHealth`): one failure flips ``/healthz`` to degraded,
+and the service reports healthy again once enough healthy steps push
+the failure out of the window — degraded-then-recovered, observable
+from the outside.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from dataclasses import dataclass, field
+from collections import deque
+
+from repro.core.dataplane import BackoffPolicy
+from repro.serve.session import Session, SessionError, SessionKilled
+from repro.serve.store import SessionStore
+from repro.util.logging import get_logger
+from repro.util.rng import make_rng
+
+__all__ = ["SchedulerConfig", "ServiceHealth", "SessionScheduler"]
+
+log = get_logger("serve.scheduler")
+
+#: queue lane of priority sessions (drains before the default lane)
+_PRIORITY_LANE = 0
+_DEFAULT_LANE = 1
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Tuning knobs of the serving tier."""
+
+    workers: int = 4
+    step_timeout: float = 30.0  # real seconds one adaptation point may take
+    max_step_retries: int = 2  # timeout retries before the session fails
+    backoff_scale: float = 0.01  # simulated backoff seconds -> real sleep seconds
+    backoff_seed: int = 424242  # jitter stream of the retry backoff
+    health_window: int = 16  # step outcomes the liveness window remembers
+    backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.step_timeout <= 0:
+            raise ValueError(f"step_timeout must be > 0, got {self.step_timeout}")
+        if self.max_step_retries < 0:
+            raise ValueError(
+                f"max_step_retries must be >= 0, got {self.max_step_retries}"
+            )
+        if self.backoff_scale < 0:
+            raise ValueError(f"backoff_scale must be >= 0, got {self.backoff_scale}")
+        if self.health_window < 1:
+            raise ValueError(f"health_window must be >= 1, got {self.health_window}")
+
+
+class ServiceHealth:
+    """Sliding-window liveness: degraded while a recent step failed.
+
+    The window holds the outcome of the last ``window`` adaptation
+    points across *all* sessions.  Any failure in the window makes the
+    service degraded; it recovers automatically once newer healthy steps
+    age the failure out.  Lifetime totals are kept alongside for
+    ``/metrics``.
+    """
+
+    def __init__(self, window: int = 16) -> None:
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._recent: deque[bool] = deque(maxlen=window)
+        self.steps_ok = 0
+        self.steps_failed = 0
+
+    def record_ok(self) -> None:
+        self._recent.append(True)
+        self.steps_ok += 1
+
+    def record_failure(self) -> None:
+        self._recent.append(False)
+        self.steps_failed += 1
+
+    @property
+    def degraded(self) -> bool:
+        return not all(self._recent)
+
+    @property
+    def status(self) -> str:
+        return "degraded" if self.degraded else "ok"
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "status": self.status,
+            "window": self.window,
+            "recent_failures": sum(1 for ok in self._recent if not ok),
+            "steps_ok": self.steps_ok,
+            "steps_failed": self.steps_failed,
+        }
+
+
+class SessionScheduler:
+    """N stateless asyncio workers advancing store sessions step by step."""
+
+    def __init__(
+        self, store: SessionStore, config: SchedulerConfig | None = None
+    ) -> None:
+        self.store = store
+        self.config = config if config is not None else SchedulerConfig()
+        self.health = ServiceHealth(self.config.health_window)
+        self._queue: asyncio.PriorityQueue[tuple[int, int, str]] = (
+            asyncio.PriorityQueue()
+        )
+        self._seq = itertools.count()
+        self._workers: list[asyncio.Task[None]] = []
+        self._backoff_rng = make_rng(self.config.backoff_seed)
+        self.steps_run = 0
+
+    # -- submission ------------------------------------------------------
+
+    def submit(self, session: Session) -> None:
+        """Queue a session for its next adaptation point."""
+        lane = _PRIORITY_LANE if session.spec.priority > 0 else _DEFAULT_LANE
+        self._queue.put_nowait((lane, next(self._seq), session.session_id))
+
+    def submit_all_pending(self) -> int:
+        """Queue every non-terminal session of the store; returns how many."""
+        sessions = self.store.live()
+        for session in sessions:
+            self.submit(session)
+        return len(sessions)
+
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    # -- worker pool lifecycle -------------------------------------------
+
+    async def start(self) -> None:
+        """Spawn the worker pool (idempotent)."""
+        if self._workers:
+            return
+        self._workers = [
+            asyncio.create_task(self._worker(i), name=f"serve-worker-{i}")
+            for i in range(self.config.workers)
+        ]
+
+    async def stop(self) -> None:
+        """Cancel the workers and wait for them to unwind."""
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                log.debug("worker %s cancelled", task.get_name())
+        self._workers = []
+
+    async def drain(self) -> None:
+        """Wait until every queued session has reached a terminal state.
+
+        Sessions requeue themselves after each step *before* marking the
+        queue entry done, so ``join()`` only completes once nothing is
+        queued and nothing will requeue — i.e. every submitted session is
+        DONE or FAILED.
+        """
+        await self._queue.join()
+
+    async def run_until_drained(self) -> None:
+        """Convenience: submit pending, run workers, drain, stop."""
+        self.submit_all_pending()
+        await self.start()
+        try:
+            await self.drain()
+        finally:
+            await self.stop()
+
+    # -- the worker loop -------------------------------------------------
+
+    async def _worker(self, index: int) -> None:
+        while True:
+            lane, _seq, sid = await self._queue.get()
+            try:
+                await self._advance_one(sid, lane)
+            except Exception:
+                # a worker must never die to one bad session
+                log.exception("worker %d: unexpected error on %s", index, sid)
+                self.health.record_failure()
+            finally:
+                self._queue.task_done()
+
+    async def _advance_one(self, sid: str, lane: int) -> None:
+        try:
+            session = self.store.get(sid)
+        except KeyError:
+            log.debug("session %s vanished before its turn", sid)
+            return
+        if session.terminal:
+            return
+        retries = 0
+        while True:
+            try:
+                await asyncio.wait_for(
+                    asyncio.to_thread(session.advance),
+                    timeout=self.config.step_timeout,
+                )
+                self.steps_run += 1
+                self.health.record_ok()
+                break
+            except SessionKilled:
+                # the session already transitioned to FAILED
+                self.health.record_failure()
+                return
+            except SessionError as exc:
+                # e.g. paused under our feet; not a service failure
+                log.debug("session %s not runnable: %s", sid, exc)
+                return
+            except TimeoutError:
+                retries += 1
+                if retries > self.config.max_step_retries:
+                    session.fail(
+                        f"adaptation point exceeded {self.config.step_timeout}s "
+                        f"{retries} time(s)"
+                    )
+                    self.health.record_failure()
+                    return
+                # simulated backoff seconds scaled into a real pause; the
+                # orphaned step still holds the session lock, so the retry
+                # serialises behind it
+                pause = (
+                    self.config.backoff.delay(retries, self._backoff_rng)
+                    * self.config.backoff_scale
+                )
+                log.warning(
+                    "session %s: step timed out (retry %d after %.3fs)",
+                    sid,
+                    retries,
+                    pause,
+                )
+                await asyncio.sleep(pause)
+            except Exception as exc:
+                session.fail(f"{type(exc).__name__}: {exc}")
+                self.health.record_failure()
+                log.exception("session %s failed", sid)
+                return
+        if not session.terminal:
+            # back of its own lane: fair round-robin among peers
+            self._queue.put_nowait((lane, next(self._seq), sid))

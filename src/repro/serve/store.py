@@ -1,0 +1,237 @@
+"""The session registry: id allocation, capacity, journal, recovery.
+
+The store is the single place the service keeps sessions.  It hands out
+monotonic ids, enforces a capacity bound (evicting the oldest *finished*
+session when full — live tenants are never evicted), and appends every
+create and state transition to an optional JSONL journal so a crashed
+process can be reconstructed with :meth:`SessionStore.recover`:
+
+* terminal sessions (``done``/``failed``) come back in their journaled
+  state, flagged ``recovered`` (their telemetry is gone — only the
+  outcome survives);
+* non-terminal sessions come back as fresh ``pending`` sessions, because
+  a :class:`~repro.serve.session.ScenarioSpec` deterministically
+  reproduces the run — re-running from the start is both correct and
+  bit-identical.
+
+Journal appends happen from worker threads (a session transitions inside
+``asyncio.to_thread``), so the store serialises its mutations with a
+lock.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from pathlib import Path
+
+from repro.serve.session import (
+    ScenarioSpec,
+    Session,
+    SessionState,
+    _Transition,
+)
+from repro.util.logging import get_logger
+
+__all__ = ["SessionStore", "StoreFull"]
+
+log = get_logger("serve.store")
+
+#: default maximum number of sessions held at once
+DEFAULT_CAPACITY = 256
+
+
+class StoreFull(RuntimeError):
+    """The store is at capacity and every session is still live."""
+
+
+class SessionStore:
+    """In-memory session registry with an append-only JSONL journal."""
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        journal_path: str | Path | None = None,
+        flight_capacity: int | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.journal_path = Path(journal_path) if journal_path is not None else None
+        self.flight_capacity = flight_capacity
+        self._sessions: dict[str, Session] = {}  # insertion order = age order
+        self._next_id = 0
+        self._lock = threading.Lock()
+        # journal appends also arrive from worker threads (transitions fire
+        # inside asyncio.to_thread), so they get their own lock
+        self._journal_lock = threading.Lock()
+        self.evicted = 0
+
+    # -- queries ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+    def __contains__(self, session_id: str) -> bool:
+        return session_id in self._sessions
+
+    def get(self, session_id: str) -> Session:
+        try:
+            return self._sessions[session_id]
+        except KeyError:
+            raise KeyError(f"no such session: {session_id!r}") from None
+
+    def sessions(self) -> list[Session]:
+        """Every stored session, oldest first."""
+        return list(self._sessions.values())
+
+    def live(self) -> list[Session]:
+        """Sessions that are not yet terminal, oldest first."""
+        return [s for s in self._sessions.values() if not s.terminal]
+
+    def counts(self) -> dict[str, int]:
+        """How many sessions are in each lifecycle state."""
+        out = {state.value: 0 for state in SessionState}
+        for session in self._sessions.values():
+            out[session.state.value] += 1
+        return out
+
+    # -- mutation --------------------------------------------------------
+
+    def create(self, spec: ScenarioSpec, session_id: str | None = None) -> Session:
+        """Register a new session for ``spec`` (evicting a finished one if full)."""
+        with self._lock:
+            if session_id is None:
+                session_id = f"s{self._next_id:05d}"
+            if session_id in self._sessions:
+                raise ValueError(f"session id {session_id!r} already exists")
+            self._next_id += 1
+            if len(self._sessions) >= self.capacity:
+                self._evict_one_locked()
+            kwargs: dict[str, int] = {}
+            if self.flight_capacity is not None:
+                kwargs["flight_capacity"] = self.flight_capacity
+            session = Session(session_id, spec, **kwargs)
+            session.observer = self._on_transition
+            self._sessions[session_id] = session
+            self._append_journal(
+                {"op": "create", "id": session_id, "spec": spec.to_dict()}
+            )
+            return session
+
+    def remove(self, session_id: str) -> Session:
+        """Drop a session from the store (its journal history remains)."""
+        with self._lock:
+            session = self._sessions.pop(session_id, None)
+        if session is None:
+            raise KeyError(f"no such session: {session_id!r}")
+        return session
+
+    def _evict_one_locked(self) -> None:
+        """Evict the oldest terminal session; raise if none is evictable."""
+        for sid, session in self._sessions.items():
+            if session.terminal:
+                del self._sessions[sid]
+                self.evicted += 1
+                self._append_journal({"op": "evict", "id": sid})
+                log.debug("evicted finished session %s (store full)", sid)
+                return
+        raise StoreFull(
+            f"store holds {len(self._sessions)} live sessions "
+            f"(capacity {self.capacity}); none can be evicted"
+        )
+
+    # -- journal ---------------------------------------------------------
+
+    def _on_transition(self, session: Session, record: _Transition) -> None:
+        self._append_journal(
+            {
+                "op": "state",
+                "id": session.session_id,
+                "state": record.state,
+                "step": record.step,
+                "reason": record.reason,
+            }
+        )
+
+    def _append_journal(self, entry: dict[str, object]) -> None:
+        if self.journal_path is None:
+            return
+        line = json.dumps(entry, sort_keys=True)
+        # opened per append: crash-safe and contention is negligible at
+        # adaptation-point granularity
+        with self._journal_lock, self.journal_path.open("a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+
+    @classmethod
+    def recover(
+        cls,
+        journal_path: str | Path,
+        capacity: int = DEFAULT_CAPACITY,
+        flight_capacity: int | None = None,
+    ) -> SessionStore:
+        """Rebuild a store from its journal after a process crash.
+
+        The new store journals to the same path, appending after what it
+        just replayed.
+        """
+        path = Path(journal_path)
+        specs: dict[str, ScenarioSpec] = {}
+        states: dict[str, tuple[SessionState, int, str]] = {}
+        order: list[str] = []
+        created_total = 0  # including later-evicted sessions: restores the id counter
+        with path.open("r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: invalid journal line: {exc}"
+                    ) from exc
+                op = entry.get("op")
+                sid = entry.get("id")
+                if not isinstance(sid, str):
+                    raise ValueError(f"{path}:{lineno}: journal entry without id")
+                if op == "create":
+                    specs[sid] = ScenarioSpec.from_dict(entry["spec"])
+                    order.append(sid)
+                    created_total += 1
+                elif op == "state":
+                    states[sid] = (
+                        SessionState(entry["state"]),
+                        int(entry.get("step", 0)),
+                        str(entry.get("reason", "")),
+                    )
+                elif op == "evict":
+                    specs.pop(sid, None)
+                    states.pop(sid, None)
+                else:
+                    raise ValueError(f"{path}:{lineno}: unknown journal op {op!r}")
+        # journalling stays off during replay — the entries being replayed
+        # are already in the file
+        store = cls(capacity=capacity, journal_path=None, flight_capacity=flight_capacity)
+        recovered_live = 0
+        for sid in order:
+            if sid not in specs:
+                continue  # evicted later in the journal
+            session = store.create(specs[sid], session_id=sid)
+            state, step, reason = states.get(sid, (SessionState.PENDING, 0, ""))
+            if state in (SessionState.DONE, SessionState.FAILED):
+                session.restore(state, steps=step, error=reason)
+            else:
+                # non-terminal: the spec replays deterministically, so the
+                # session simply starts over as PENDING
+                session.recovered = True
+                recovered_live += 1
+        store._next_id = created_total
+        store.journal_path = path
+        log.info(
+            "recovered %d session(s) from %s (%d will re-run)",
+            len(store),
+            path,
+            recovered_live,
+        )
+        return store

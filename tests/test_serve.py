@@ -1,0 +1,355 @@
+"""Unit and integration tests of the serving tier (no sockets here).
+
+The cross-session isolation regression in ``TestSessionIsolation`` is
+the load-bearing one: interleaving two same-spec sessions step by step
+must produce *bit-identical* flight logs to running each alone, which
+fails immediately if any fixture (route cache, ledger, recorder, RNG)
+leaks between sessions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.obs import FlightRecorder, InMemoryRecorder
+from repro.serve import (
+    ScenarioSpec,
+    SchedulerConfig,
+    ServiceHealth,
+    Session,
+    SessionError,
+    SessionKilled,
+    SessionScheduler,
+    SessionState,
+    SessionStore,
+    StoreFull,
+    flight_signature,
+)
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+
+
+class TestScenarioSpec:
+    def test_defaults_valid(self):
+        spec = ScenarioSpec()
+        assert spec.workload == "synthetic"
+        assert spec.steps >= 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"workload": "bogus"},
+            {"machine": "cray-1"},
+            {"strategy": "telepathy"},
+            {"steps": 0},
+            {"priority": -1},
+            {"kernels": "quantum"},
+        ],
+    )
+    def test_bad_fields_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ScenarioSpec(**kwargs)
+
+    def test_dict_roundtrip(self):
+        spec = ScenarioSpec(seed=7, steps=9, strategy="scratch", priority=2)
+        assert ScenarioSpec.from_dict(spec.to_dict()) == spec
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown spec field"):
+            ScenarioSpec.from_dict({"stepz": 3})
+
+    def test_from_dict_rejects_wrong_types(self):
+        with pytest.raises(ValueError, match="must be int"):
+            ScenarioSpec.from_dict({"steps": "many"})
+        with pytest.raises(ValueError, match="must be an int"):
+            ScenarioSpec.from_dict({"steps": True})
+
+
+class TestSessionLifecycle:
+    def test_runs_to_done(self):
+        session = Session("t1", ScenarioSpec(steps=4))
+        while not session.terminal:
+            session.advance()
+        assert session.state is SessionState.DONE
+        assert session.steps_completed == 4
+        assert len(session.decision_latencies) == 4
+        states = [t.state for t in session.transitions]
+        assert states == ["running", "done"]
+
+    def test_pause_resume(self):
+        session = Session("t2", ScenarioSpec(steps=3))
+        session.advance()
+        session.pause()
+        with pytest.raises(SessionError, match="cannot advance"):
+            session.advance()
+        session.resume()
+        session.advance()
+        assert session.steps_completed == 2
+
+    def test_illegal_transitions_raise(self):
+        session = Session("t3", ScenarioSpec(steps=2))
+        with pytest.raises(SessionError):
+            session.resume()  # PENDING -> RUNNING only via start
+        while not session.terminal:
+            session.advance()
+        with pytest.raises(SessionError):
+            session.pause()  # DONE is terminal
+        with pytest.raises(SessionError, match="cannot advance"):
+            session.advance()
+
+    def test_injected_crash_fails_the_session(self):
+        session = Session("t4", ScenarioSpec(steps=6))
+        session.advance()
+        at = session.inject_fault(rank=5)
+        assert at == 1
+        with pytest.raises(SessionKilled, match="rank 5"):
+            session.advance()
+        assert session.state is SessionState.FAILED
+        assert "rank 5" in session.error
+        kinds = [e.kind for e in session.events()]
+        assert "fault.inject" in kinds
+        with pytest.raises(SessionError):
+            session.inject_fault()  # terminal sessions take no more faults
+
+    def test_snapshot_shape(self):
+        session = Session("t5", ScenarioSpec(steps=2, seed=3))
+        session.advance()
+        snap = session.snapshot()
+        assert snap["id"] == "t5"
+        assert snap["state"] == "running"
+        assert snap["steps_completed"] == 1
+        assert snap["steps_total"] == 2
+        assert snap["spec"]["seed"] == 3
+
+
+class TestSessionIsolation:
+    """Satellite 1: no shared mutable fixtures between sessions."""
+
+    def _sequential_signature(self, spec: ScenarioSpec):
+        session = Session("seq", spec)
+        session.run_to_completion()
+        return flight_signature(session.events())
+
+    def test_interleaved_equals_sequential(self):
+        spec_a = ScenarioSpec(seed=11, steps=6)
+        spec_b = ScenarioSpec(seed=22, steps=6, strategy="scratch")
+        expected_a = self._sequential_signature(spec_a)
+        expected_b = self._sequential_signature(spec_b)
+
+        a, b = Session("a", spec_a), Session("b", spec_b)
+        while not (a.terminal and b.terminal):  # strict alternation
+            if not a.terminal:
+                a.advance()
+            if not b.terminal:
+                b.advance()
+
+        assert flight_signature(a.events()) == expected_a
+        assert flight_signature(b.events()) == expected_b
+
+    def test_same_spec_twice_interleaved_bit_identical(self):
+        spec = ScenarioSpec(seed=5, steps=5)
+        expected = self._sequential_signature(spec)
+        a, b = Session("a", spec), Session("b", spec)
+        for _ in range(5):
+            a.advance()
+            b.advance()
+        assert flight_signature(a.events()) == expected
+        assert flight_signature(b.events()) == expected
+        # the ledgers accumulated independently and identically
+        assert a.ledger.sent.tolist() == b.ledger.sent.tolist()
+
+    def test_concurrent_fleet_matches_sequential(self):
+        """64 sessions in one process, spot-checked against solo runs."""
+        specs = [ScenarioSpec(seed=100 + i, steps=2) for i in range(64)]
+        store = SessionStore(capacity=64)
+        for spec in specs:
+            store.create(spec)
+        scheduler = SessionScheduler(store, SchedulerConfig(workers=8))
+        asyncio.run(scheduler.run_until_drained())
+        sessions = store.sessions()
+        assert len(sessions) == 64
+        assert all(s.state is SessionState.DONE for s in sessions)
+        assert scheduler.health.status == "ok"
+        for idx in (0, 31, 63):  # spot-check determinism under concurrency
+            expected = self._sequential_signature(specs[idx])
+            assert flight_signature(sessions[idx].events()) == expected
+
+
+class TestSessionStore:
+    def test_create_get_len(self):
+        store = SessionStore(capacity=4)
+        s = store.create(ScenarioSpec(steps=2))
+        assert len(store) == 1
+        assert store.get(s.session_id) is s
+        assert s.session_id in store
+        with pytest.raises(KeyError):
+            store.get("nope")
+
+    def test_eviction_prefers_finished(self):
+        store = SessionStore(capacity=2)
+        first = store.create(ScenarioSpec(steps=1))
+        first.run_to_completion()
+        store.create(ScenarioSpec(steps=3))
+        store.create(ScenarioSpec(steps=3))  # evicts `first`
+        assert len(store) == 2
+        assert first.session_id not in store
+        assert store.evicted == 1
+
+    def test_store_full_of_live_sessions_raises(self):
+        store = SessionStore(capacity=2)
+        store.create(ScenarioSpec(steps=3))
+        store.create(ScenarioSpec(steps=3))
+        with pytest.raises(StoreFull):
+            store.create(ScenarioSpec(steps=3))
+
+    def test_journal_and_recovery(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        store = SessionStore(journal_path=journal)
+        done = store.create(ScenarioSpec(steps=2, seed=1))
+        done.run_to_completion()
+        failed = store.create(ScenarioSpec(steps=4, seed=2))
+        failed.advance()
+        failed.inject_fault()
+        with pytest.raises(SessionKilled):
+            failed.advance()
+        running = store.create(ScenarioSpec(steps=4, seed=3))
+        running.advance()
+
+        recovered = SessionStore.recover(journal)
+        assert len(recovered) == 3
+        r_done = recovered.get(done.session_id)
+        assert r_done.state is SessionState.DONE and r_done.recovered
+        r_failed = recovered.get(failed.session_id)
+        assert r_failed.state is SessionState.FAILED
+        assert "rank 0" in r_failed.error
+        r_running = recovered.get(running.session_id)
+        assert r_running.state is SessionState.PENDING  # will re-run from scratch
+        assert r_running.recovered
+        assert r_running.spec == running.spec
+        # the id counter resumes past everything journaled
+        fresh = recovered.create(ScenarioSpec(steps=1))
+        assert fresh.session_id not in (s.session_id for s in (done, failed, running))
+
+    def test_recovered_session_replays_identically(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        store = SessionStore(journal_path=journal)
+        original = store.create(ScenarioSpec(steps=3, seed=9))
+        original.advance()  # interrupted mid-run
+        expected = Session("ref", original.spec)
+        expected.run_to_completion()
+
+        replayed = SessionStore.recover(journal).get(original.session_id)
+        replayed.run_to_completion()
+        assert flight_signature(replayed.events()) == flight_signature(
+            expected.events()
+        )
+
+
+class TestServiceHealth:
+    def test_degraded_then_recovers(self):
+        health = ServiceHealth(window=4)
+        assert health.status == "ok"
+        health.record_ok()
+        health.record_failure()
+        assert health.degraded
+        for _ in range(3):
+            health.record_ok()
+            assert health.degraded  # failure still inside the window
+        health.record_ok()  # 4th success pushes the failure out
+        assert health.status == "ok"
+        assert health.steps_failed == 1
+
+
+class TestScheduler:
+    def test_priority_lane_drains_first(self):
+        store = SessionStore()
+        normal = store.create(ScenarioSpec(steps=1))
+        urgent = store.create(ScenarioSpec(steps=1, priority=1))
+        scheduler = SessionScheduler(store)
+        scheduler.submit(normal)
+        scheduler.submit(urgent)  # submitted later, dequeued first
+        first = scheduler._queue.get_nowait()
+        assert first[2] == urgent.session_id
+
+    def test_drain_completes_all(self):
+        store = SessionStore()
+        for i in range(6):
+            store.create(ScenarioSpec(seed=i, steps=3, priority=i % 2))
+        scheduler = SessionScheduler(store, SchedulerConfig(workers=3))
+        asyncio.run(scheduler.run_until_drained())
+        assert all(s.state is SessionState.DONE for s in store.sessions())
+        assert scheduler.steps_run == 18
+
+    def test_killed_session_degrades_not_the_service(self):
+        store = SessionStore()
+        victim = store.create(ScenarioSpec(seed=1, steps=8))
+        bystander = store.create(ScenarioSpec(seed=2, steps=3))
+        victim.inject_fault(at_step=1)
+        scheduler = SessionScheduler(store, SchedulerConfig(workers=2))
+        asyncio.run(scheduler.run_until_drained())
+        assert victim.state is SessionState.FAILED
+        assert bystander.state is SessionState.DONE
+        assert scheduler.health.steps_failed == 1
+
+
+class TestLoadgen:
+    def test_direct_campaign(self):
+        result = run_loadgen(LoadgenConfig(sessions=5, steps=2, workers=3))
+        assert result.completed == 5
+        assert result.failed == 0
+        assert result.steps_total == 10
+        assert result.sessions_per_sec > 0
+        assert result.latency is not None
+        assert result.latency.count == 10
+        payload = result.to_dict()
+        assert payload["decision_latency"]["count"] == 10
+
+    def test_campaign_is_seeded(self):
+        specs_a = LoadgenConfig(sessions=4, seed=3).specs()
+        specs_b = LoadgenConfig(sessions=4, seed=3).specs()
+        assert specs_a == specs_b
+        assert len({s.seed for s in specs_a}) == 4  # distinct per session
+
+
+class TestObsConcurrency:
+    """Satellite 2: the shared telemetry structures survive real threads."""
+
+    def test_flight_ring_concurrent_emit(self):
+        flight = FlightRecorder(capacity=100_000)
+        n_threads, per_thread = 8, 500
+
+        def emit(worker: int) -> None:
+            for i in range(per_thread):
+                flight.emit("stress", worker=worker, i=i)
+
+        threads = [
+            threading.Thread(target=emit, args=(w,)) for w in range(n_threads)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        events = flight.events()
+        assert len(events) == n_threads * per_thread
+        assert flight.total_emitted == n_threads * per_thread
+        seqs = [e.seq for e in events]
+        assert seqs == sorted(seqs)
+        assert len(set(seqs)) == len(seqs)  # no torn/duplicated sequence numbers
+
+    def test_recorder_concurrent_counts(self):
+        recorder = InMemoryRecorder()
+        n_threads, per_thread = 8, 2000
+
+        def bump() -> None:
+            for _ in range(per_thread):
+                recorder.count("stress.hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        # without the lock this read-modify-write loses increments
+        assert recorder.counters["stress.hits"] == n_threads * per_thread

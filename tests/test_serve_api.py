@@ -1,0 +1,246 @@
+"""End-to-end tests of the HTTP front end (real sockets, real faults).
+
+The centrepiece drives eight scenarios through a live server, kills one
+mid-run through the fault-injection endpoint, and watches ``/healthz``
+go degraded and then recover as healthy steps age the failure out of
+the liveness window — the whole multi-tenant story observable from the
+outside.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serve import SchedulerConfig, SessionScheduler, SessionStore
+from repro.serve.api import ServeServer, http_json, http_stream_lines
+
+
+async def _started_server(
+    workers: int = 2, health_window: int = 8, capacity: int = 64
+) -> ServeServer:
+    store = SessionStore(capacity=capacity)
+    scheduler = SessionScheduler(
+        store, SchedulerConfig(workers=workers, health_window=health_window)
+    )
+    server = ServeServer(store, scheduler)  # ephemeral port
+    await server.start()
+    return server
+
+
+async def _poll(server: ServeServer, path: str, want, timeout: float = 60.0):
+    """Poll ``path`` until ``want(status, body)`` is true; returns the pair."""
+    for _ in range(int(timeout / 0.02)):
+        status, body = await http_json(server.host, server.port, "GET", path)
+        if want(status, body):
+            return status, body
+    raise AssertionError(f"condition on {path} not reached within {timeout}s")
+
+
+class TestServeEndToEnd:
+    def test_eight_sessions_with_a_mid_run_kill(self):
+        async def main() -> None:
+            server = await _started_server(workers=2, health_window=8)
+            try:
+                # one long-running victim plus seven short bystanders
+                status, victim = await http_json(
+                    server.host,
+                    server.port,
+                    "POST",
+                    "/sessions",
+                    {"steps": 40, "seed": 0},
+                )
+                assert status == 201
+
+                # kill the victim at its next adaptation point
+                status, kill = await http_json(
+                    server.host,
+                    server.port,
+                    "POST",
+                    f"/sessions/{victim['id']}/kill",
+                    {"rank": 3},
+                )
+                assert status == 200
+                assert kill["kill_at_step"] >= 0
+
+                # the failure must flip /healthz to 503 (degraded) — and with
+                # no other session running, it stays degraded until observed
+                await _poll(
+                    server, "/healthz", lambda st, b: st == 503 and b["status"] == "degraded"
+                )
+
+                # seven bystanders submitted against a degraded service ...
+                bystanders = []
+                for i in range(7):
+                    status, snap = await http_json(
+                        server.host,
+                        server.port,
+                        "POST",
+                        "/sessions",
+                        {"steps": 6, "seed": i + 1, "priority": i % 2},
+                    )
+                    assert status == 201
+                    bystanders.append(snap["id"])
+
+                # ... all finish despite the dead tenant ...
+                def all_terminal(st, body):
+                    states = {s["id"]: s["state"] for s in body["sessions"]}
+                    return all(v in ("done", "failed") for v in states.values())
+
+                _, listing = await _poll(server, "/sessions", all_terminal)
+                states = {s["id"]: s["state"] for s in listing["sessions"]}
+                assert states[victim["id"]] == "failed"
+                assert all(states[b] == "done" for b in bystanders)
+
+                # ... and the bystanders' healthy steps age the failure out
+                # of the window: degraded-then-recovered
+                await _poll(server, "/healthz", lambda st, b: st == 200)
+                status, health = await http_json(
+                    server.host, server.port, "GET", "/healthz"
+                )
+                assert health["status"] == "ok"
+                assert health["steps_failed"] == 1
+                assert health["sessions"]["done"] == 7
+                assert health["sessions"]["failed"] == 1
+
+                # the victim's flight log records the injected fault
+                status, snap = await http_json(
+                    server.host, server.port, "GET", f"/sessions/{victim['id']}"
+                )
+                assert status == 200
+                assert "rank 3" in snap["error"]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_event_stream_delivers_the_whole_flight_log(self):
+        async def main() -> None:
+            server = await _started_server(workers=1)
+            try:
+                _, snap = await http_json(
+                    server.host, server.port, "POST", "/sessions", {"steps": 4}
+                )
+                events = []
+                async for line in http_stream_lines(
+                    server.host, server.port, f"/sessions/{snap['id']}/events"
+                ):
+                    events.append(json.loads(line))
+                kinds = [e["kind"] for e in events]
+                assert kinds.count("adapt.start") == 4
+                assert kinds.count("adapt.end") == 4
+                assert kinds[-1] == "session.state"
+                assert events[-1]["data"]["state"] == "done"
+                seqs = [e["seq"] for e in events]
+                assert seqs == sorted(seqs)  # in-order, no duplicates
+                assert len(set(seqs)) == len(seqs)
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestServeValidation:
+    @pytest.fixture()
+    def server_main(self):
+        """Run ``fn(server)`` against a started server inside asyncio.run."""
+
+        def runner(fn):
+            async def main():
+                server = await _started_server()
+                try:
+                    await fn(server)
+                finally:
+                    await server.stop()
+
+            asyncio.run(main())
+
+        return runner
+
+    def test_bad_spec_is_400(self, server_main):
+        async def check(server):
+            status, body = await http_json(
+                server.host, server.port, "POST", "/sessions", {"workload": "bogus"}
+            )
+            assert status == 400
+            assert "bogus" in body["error"]
+            status, body = await http_json(
+                server.host, server.port, "POST", "/sessions", {"stepz": 3}
+            )
+            assert status == 400
+
+        server_main(check)
+
+    def test_unknown_session_is_404(self, server_main):
+        async def check(server):
+            status, _ = await http_json(
+                server.host, server.port, "GET", "/sessions/shrug"
+            )
+            assert status == 404
+            status, _ = await http_json(
+                server.host, server.port, "GET", "/frobnicate"
+            )
+            assert status == 404
+
+        server_main(check)
+
+    def test_wrong_method_is_405(self, server_main):
+        async def check(server):
+            status, _ = await http_json(
+                server.host, server.port, "DELETE", "/sessions"
+            )
+            assert status == 405
+
+        server_main(check)
+
+    def test_pause_resume_over_http(self, server_main):
+        async def check(server):
+            _, snap = await http_json(
+                server.host, server.port, "POST", "/sessions", {"steps": 30}
+            )
+            sid = snap["id"]
+            # a freshly created session may still be PENDING (pause only
+            # applies to RUNNING), so retry until the first step started
+            status, paused = 0, {}
+            for _ in range(500):
+                status, paused = await http_json(
+                    server.host, server.port, "POST", f"/sessions/{sid}/pause"
+                )
+                if status == 200:
+                    break
+                await asyncio.sleep(0.01)
+            assert status == 200
+            assert paused["state"] == "paused"
+            status, resumed = await http_json(
+                server.host, server.port, "POST", f"/sessions/{sid}/resume"
+            )
+            assert status == 200
+            await _poll(
+                server,
+                f"/sessions/{sid}",
+                lambda st, b: b.get("state") == "done",
+            )
+
+        server_main(check)
+
+    def test_metrics_shape(self, server_main):
+        async def check(server):
+            _, snap = await http_json(
+                server.host, server.port, "POST", "/sessions", {"steps": 2}
+            )
+            await _poll(
+                server,
+                f"/sessions/{snap['id']}",
+                lambda st, b: b.get("state") == "done",
+            )
+            status, metrics = await http_json(
+                server.host, server.port, "GET", "/metrics"
+            )
+            assert status == 200
+            assert metrics["sessions"]["done"] == 1
+            assert metrics["steps_run"] == 2
+            assert metrics["health"]["status"] == "ok"
+
+        server_main(check)

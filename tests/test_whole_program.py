@@ -405,6 +405,80 @@ class TestR013SharedMutation:
         }
         assert rule_ids(sources, ["R013"]) == []
 
+    def test_serve_coroutine_is_a_root(self):
+        # an async def inside repro.serve is a worker root even though no
+        # classic entry point ever calls it
+        sources = {
+            "repro.serve.api": """
+            def _install(value):
+                global _ROUTES
+                _ROUTES = value
+
+            async def accept(request):
+                _install(request)
+            """
+        }
+        found = findings(sources, ["R013"])
+        assert len(found) == 1
+        assert "module global" in found[0].message
+        assert "accept" in found[0].message  # witness path starts at the root
+
+    def test_serve_handler_name_is_a_root(self):
+        sources = {
+            "repro.serve.scheduler": """
+            def handle_step(store: CommLedger):
+                store.sent = None
+            """
+        }
+        found = findings(sources, ["R013"])
+        assert len(found) == 1
+        assert "CommLedger" in found[0].message
+
+    def test_async_outside_serve_not_a_root(self):
+        sources = {
+            "app.other": """
+            async def accept(request):
+                global _ROUTES
+                _ROUTES = request
+            """
+        }
+        assert rule_ids(sources, ["R013"]) == []
+
+    def test_mutable_default_mutated_in_handler_flagged(self):
+        # the created-once default dict is shared by every call from every
+        # worker: a cross-session leak wearing a local-variable costume
+        sources = {
+            "repro.serve.api": """
+            async def handle_submit(spec, pending={}):
+                pending[spec] = True
+                return pending
+            """
+        }
+        found = findings(sources, ["R013"])
+        assert len(found) == 1
+        assert "shared mutable dict" in found[0].message
+
+    def test_mutable_default_mutator_call_flagged(self):
+        sources = {
+            "repro.serve.scheduler": """
+            def advance(step, seen=[]):
+                seen.append(step)
+            """
+        }
+        found = findings(sources, ["R013"])
+        assert len(found) == 1
+        assert "seen.append()" in found[0].message
+
+    def test_mutable_default_never_mutated_clean(self):
+        # reading a mutable default is fine; only writes are a hazard
+        sources = {
+            "repro.serve.api": """
+            async def handle_lookup(key, table={}):
+                return table.get(key)
+            """
+        }
+        assert rule_ids(sources, ["R013"]) == []
+
 
 # ---------------------------------------------------------------------------
 # R014 — kernel parity
