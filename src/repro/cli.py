@@ -280,6 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--steps", type=int, default=12)
     p.add_argument(
+        "--workload",
+        choices=["synthetic", "mumbai"],
+        default="synthetic",
+        help="which workload to instrument (default synthetic)",
+    )
+    p.add_argument(
         "--html", default=None, help="also write a standalone HTML report here"
     )
     p.add_argument(
@@ -295,6 +301,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--tail", type=int, default=20, help="flight events to show (default 20)"
+    )
+    p = obs_sub.add_parser(
+        "serve",
+        help="mission control: replay flight logs or follow a live fleet in "
+        "a browser",
+        description=(
+            "Boots the mission-control web UI (stdlib HTTP, no framework): "
+            "a canvas view of the processor grid, nest rectangles, per-link "
+            "heat and the scratch-vs-diffusion decision timeline.  "
+            "--replay scrubs through exported flight JSONL files; --attach "
+            "follows a running `repro serve` fleet live."
+        ),
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8643)
+    p.add_argument(
+        "--replay",
+        nargs="+",
+        default=None,
+        metavar="JSONL",
+        help="flight JSONL file(s) to serve as read-only replay sessions",
+    )
+    p.add_argument(
+        "--attach",
+        default=None,
+        metavar="HOST:PORT",
+        help="proxy a live `repro serve` instance instead of replaying files",
     )
 
     p = sub.add_parser(
@@ -528,7 +561,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
 def _instrumented_obs_sections(args: argparse.Namespace) -> list[tuple[str, str]]:
     """Run the three strategies instrumented and build the report sections."""
     from repro.core import DiffusionStrategy, ScratchStrategy
-    from repro.experiments import synthetic_workload
+    from repro.experiments import mumbai_trace_workload, synthetic_workload
     from repro.experiments.runner import ExperimentContext, run_workload
     from repro.mpisim.ledger import CommLedger, format_ledger
     from repro.obs import (
@@ -545,7 +578,10 @@ def _instrumented_obs_sections(args: argparse.Namespace) -> list[tuple[str, str]
     recorder = InMemoryRecorder()
     trail = AuditTrail()
     flight = FlightRecorder()
-    workload = synthetic_workload(seed=args.seed, n_steps=args.steps)
+    if getattr(args, "workload", "synthetic") == "mumbai":
+        workload = mumbai_trace_workload(seed=args.seed, n_steps=args.steps)
+    else:
+        workload = synthetic_workload(seed=args.seed, n_steps=args.steps)
     context = ExperimentContext(machine, recorder=recorder, audit=trail)
     ledgers: dict[str, CommLedger] = {}
     with use_flight_recorder(flight):
@@ -970,6 +1006,41 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.obs.webui import ObsServer
+
+    try:
+        server = ObsServer(
+            host=args.host,
+            port=args.port,
+            replay=tuple(args.replay or ()),
+            attach=args.attach or "",
+        )
+    except (OSError, ValueError) as exc:
+        print(f"repro obs serve: {exc}", file=sys.stderr)
+        return 2
+
+    async def _serve() -> None:
+        await server.start()
+        mode = f"attached to {args.attach}" if args.attach else "replay"
+        print(
+            f"mission control on http://{server.host}:{server.port} "
+            f"[{mode}] (Ctrl-C to stop)"
+        )
+        try:
+            await asyncio.Event().wait()  # until interrupted
+        finally:
+            await server.stop()
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        print("stopped")
+    return 0
+
+
 def _cmd_loadgen(args: argparse.Namespace) -> int:
     import json as json_mod
 
@@ -1071,6 +1142,8 @@ def main(argv: Sequence[str] | None = None) -> int:
     elif cmd == "bench":
         return _cmd_bench(args)
     elif cmd == "obs":
+        if args.obs_command == "serve":
+            return _cmd_obs_serve(args)
         return _cmd_obs_report(args)
     elif cmd == "faults":
         return _cmd_faults(args)

@@ -92,6 +92,8 @@ class ProcessorReallocator:
             step=self.step_count,
             strategy=self.strategy.name,
             n_nests=len(nests),
+            px=self.grid.px,
+            py=self.grid.py,
         )
         with recorder.span(
             "realloc.step",
@@ -124,6 +126,17 @@ class ProcessorReallocator:
                         self.simulator,
                         self.flow_level,
                     )
+        for nid in sorted(new_alloc.rects):
+            rect = new_alloc.rects[nid]
+            flight.emit(
+                "alloc.rect",
+                step=self.step_count,
+                nest=nid,
+                x=rect.x0,
+                y=rect.y0,
+                w=rect.w,
+                h=rect.h,
+            )
         for nid in sorted(set(nests) - old_ids):
             nx, ny = nests[nid]
             flight.emit("nest.insert", step=self.step_count, nest=nid, nx=nx, ny=ny)

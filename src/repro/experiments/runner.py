@@ -28,8 +28,10 @@ from repro.mpisim.ledger import CommLedger
 from repro.obs import (
     AdaptationAudit,
     AuditTrail,
+    FlightTap,
     Recorder,
     Timeline,
+    get_flight_recorder,
     get_recorder,
     use_recorder,
 )
@@ -64,7 +66,11 @@ class ExperimentContext:
     per-rank traffic accounting of every executed redistribution.
     ``kernels`` selects the hot-kernel implementation — ``"vector"``
     (default) or the scalar ``"reference"`` oracle (:mod:`repro.kernels`) —
-    for every simulator the context's runs construct.
+    for every simulator the context's runs construct.  ``tap`` opts into
+    live flight-event streaming: when set, every stepper driven through
+    this context attaches it to the ambient flight ring, so subscribers
+    (:meth:`~repro.obs.stream.FlightTap.subscribe`) watch the run's
+    events as they happen (no subscribers → no overhead).
     """
 
     machine: MachineSpec
@@ -76,6 +82,7 @@ class ExperimentContext:
     audit: AuditTrail | None = None
     ledger: CommLedger | None = None
     kernels: str = DEFAULT_KERNELS
+    tap: FlightTap | None = None
 
     def __post_init__(self) -> None:
         check_kernels(self.kernels)
@@ -194,6 +201,10 @@ class WorkloadStepper:
         i = self.next_step
         nests = self.workload.steps[i]
         with use_recorder(self._recorder):
+            if context.tap is not None:
+                # idempotent: re-attaching on every advance keeps the tap
+                # following the ring even when callers re-scope it
+                get_flight_recorder().attach_tap(context.tap)
             old_alloc = self.realloc.allocation
             with self._timeline.adaptation_point(
                 step=i, strategy=strategy.name, n_nests=len(nests)
@@ -229,7 +240,7 @@ class WorkloadStepper:
                     grid=self.realloc.grid,
                 )
             if context.ledger is not None and result.plan is not None:
-                _feed_ledger(context.ledger, result, self.realloc)
+                _feed_ledger(context.ledger, result, self.realloc, step=i)
             metric = StepMetrics(
                 step=i,
                 n_nests=len(nests),
@@ -347,9 +358,18 @@ def _record_audit(
 
 
 def _feed_ledger(
-    ledger: CommLedger, result: StepResult, realloc: ProcessorReallocator
+    ledger: CommLedger,
+    result: StepResult,
+    realloc: ProcessorReallocator,
+    step: int = 0,
 ) -> None:
-    """Account one adaptation point's executed transfers in the ledger."""
+    """Account one adaptation point's executed transfers in the ledger.
+
+    Also flight-records the step's busiest-link heat (``link.heat``, the
+    top contributing rank pairs) and the cumulative sent-bytes skew
+    (``ledger.skew``) so live mission-control views render hot spots
+    without the ledger object itself.
+    """
     plan = result.plan
     assert plan is not None
     mapping = realloc.machine.mapping
@@ -357,13 +377,30 @@ def _feed_ledger(
         ledger.add_messages(move.messages, mapping)
     all_msgs = MessageSet.concat([m.messages for m in plan.moves])
     if len(all_msgs):
-        _link, load, contributions = realloc.simulator.busiest_link_contributions(
+        link, load, contributions = realloc.simulator.busiest_link_contributions(
             all_msgs
         )
         ledger.add_busiest_link(load, contributions)
         sanitizer = get_sanitizer()
         if sanitizer.enabled:
             sanitizer.after_busiest_link(load, contributions)
+        flight = get_flight_recorder()
+        top = sorted(contributions.items(), key=lambda kv: (-kv[1], kv[0]))[:5]
+        flight.emit(
+            "link.heat",
+            step=step,
+            link=int(link),
+            load=float(load),
+            pairs=";".join(f"{s}>{d}:{b:.0f}" for (s, d), b in top),
+        )
+        skew = ledger.skew("sent")
+        flight.emit(
+            "ledger.skew",
+            step=step,
+            gini=round(skew.gini, 6),
+            max_over_mean=round(skew.max_over_mean, 6),
+            total=float(skew.total),
+        )
 
 
 def run_both_strategies(

@@ -27,6 +27,17 @@ package) may read raw clocks — reprolint rule R007 keeps
 
 from __future__ import annotations
 
+from repro.obs.aggregate import (
+    FleetRollup,
+    PromMetric,
+    PromSample,
+    QuantileDigest,
+    aggregate_fleet,
+    fleet_metrics,
+    gini_of,
+    parse_prometheus,
+    render_prometheus,
+)
 from repro.obs.audit import AdaptationAudit, AuditTrail, RecoveryDecision, pearson
 from repro.obs.bench import (
     BenchPhase,
@@ -75,6 +86,11 @@ from repro.obs.recorder import (
     use_recorder,
 )
 from repro.obs.stats import PhaseStats, percentile, summarise
+from repro.obs.stream import (
+    DEFAULT_SUBSCRIBER_CAPACITY,
+    FlightTap,
+    TapSubscription,
+)
 from repro.obs.timeline import (
     ADAPTATION_SPAN,
     Timeline,
@@ -86,42 +102,54 @@ from repro.obs.timeline import (
 __all__ = [
     "ADAPTATION_SPAN",
     "DEFAULT_FLIGHT_CAPACITY",
+    "DEFAULT_SUBSCRIBER_CAPACITY",
     "NULL_RECORDER",
     "AdaptationAudit",
     "AuditTrail",
     "BenchComparison",
     "BenchPhase",
     "BenchResult",
+    "FleetRollup",
     "FlightEvent",
     "FlightLog",
     "FlightRecorder",
+    "FlightTap",
     "InMemoryRecorder",
     "NullFlightRecorder",
     "NullRecorder",
     "PhaseDelta",
     "PhaseStats",
+    "PromMetric",
+    "PromSample",
+    "QuantileDigest",
     "Recorder",
     "RecoveryDecision",
     "SpanRecord",
     "TagValue",
+    "TapSubscription",
     "Timeline",
+    "aggregate_fleet",
     "bench_phases",
     "chrome_trace",
     "compare_bench",
+    "fleet_metrics",
     "format_bench",
     "format_comparison",
     "format_flight",
     "format_report",
     "get_flight_recorder",
     "get_recorder",
+    "gini_of",
     "html_report",
     "load_bench_json",
     "load_flight_jsonl",
     "metrics_snapshot",
+    "parse_prometheus",
     "pearson",
     "per_step_phase_times",
     "percentile",
     "phase_totals",
+    "render_prometheus",
     "replay_flight",
     "run_bench",
     "set_flight_recorder",

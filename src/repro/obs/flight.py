@@ -33,8 +33,12 @@ from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 from repro.obs.recorder import InMemoryRecorder, SpanRecord, TagValue
+
+if TYPE_CHECKING:
+    from repro.obs.stream import FlightTap
 
 __all__ = [
     "DEFAULT_FLIGHT_CAPACITY",
@@ -100,14 +104,41 @@ class FlightRecorder:
         self._events: deque[FlightEvent] = deque(maxlen=capacity)
         self._seq = 0
         self._lock = threading.Lock()
+        self._taps: tuple[FlightTap, ...] = ()
 
     def emit(self, kind: str, **data: TagValue) -> None:
-        """Append one event; evicts the oldest when the ring is full."""
+        """Append one event; evicts the oldest when the ring is full.
+
+        Attached taps (:meth:`attach_tap`) are published from inside the
+        lock, so subscribers observe events in exact ``seq`` order; with
+        no taps the extra cost is one empty-tuple truthiness check.
+        """
         t = time.perf_counter() - self.origin
         with self._lock:
             event = FlightEvent(seq=self._seq, t=t, kind=kind, data=dict(data))
             self._seq += 1
             self._events.append(event)
+            if self._taps:
+                for tap in self._taps:
+                    tap.publish(event)
+
+    # -- live streaming ---------------------------------------------------
+
+    def attach_tap(self, tap: FlightTap) -> None:
+        """Publish every future event into ``tap`` too (idempotent)."""
+        with self._lock:
+            if tap not in self._taps:
+                self._taps = (*self._taps, tap)
+
+    def detach_tap(self, tap: FlightTap) -> None:
+        """Stop publishing into ``tap``; idempotent."""
+        with self._lock:
+            self._taps = tuple(t for t in self._taps if t is not tap)
+
+    @property
+    def taps(self) -> tuple[FlightTap, ...]:
+        """The currently attached taps (an immutable snapshot)."""
+        return self._taps
 
     # -- inspection -----------------------------------------------------
 
@@ -358,14 +389,20 @@ def format_flight(recorder: FlightRecorder, tail: int = 20) -> str:
     for event in events:
         counts[event.kind] = counts.get(event.kind, 0) + 1
     count_rows = [(kind, str(n)) for kind, n in sorted(counts.items())]
+    title = (
+        f"flight recorder — {len(events)} events retained, "
+        f"{recorder.dropped} dropped (capacity {recorder.capacity})"
+    )
+    taps = recorder.taps
+    if taps:
+        n_subs = sum(t.subscriber_count for t in taps)
+        tap_dropped = sum(t.dropped_total for t in taps)
+        title += f"; {len(taps)} tap(s), {n_subs} subscriber(s), {tap_dropped} tap-dropped"
     parts = [
         format_table(
             ["event kind", "count"],
             count_rows,
-            title=(
-                f"flight recorder — {len(events)} events retained, "
-                f"{recorder.dropped} dropped (capacity {recorder.capacity})"
-            ),
+            title=title,
         )
     ]
     if events:

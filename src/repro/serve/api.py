@@ -3,7 +3,9 @@
 No web framework — requests are parsed straight off the stream with
 ``asyncio.start_server`` (one short-lived connection per request,
 ``Connection: close``), which keeps the service dependency-free and the
-whole protocol surface inspectable in one file.
+whole protocol surface inspectable in one file.  The wire dialect (and
+the minimal async client) is shared with the mission-control UI server
+through :mod:`repro.serve.wire`.
 
 Routes
 ------
@@ -19,7 +21,9 @@ POST     ``/sessions/{id}/kill``         inject a rank crash (fails the session)
 POST     ``/sessions/{id}/pause``        pause a running session
 POST     ``/sessions/{id}/resume``       resume and requeue a paused session
 GET      ``/healthz``                    200 ok / 503 degraded (liveness window)
-GET      ``/metrics``                    JSON counters of the whole service
+GET      ``/metrics``                    Prometheus text exposition of the whole
+                                         service (``?format=json`` for the raw
+                                         counter dict)
 =======  ==============================  ======================================
 
 The events stream polls the session's flight ring and writes each new
@@ -27,48 +31,133 @@ event as one JSON line, ending the response (and closing the
 connection) once the session is terminal and every retained event has
 been delivered.
 
-A minimal async client (:func:`http_json`, :func:`http_stream_lines`)
-lives here too, shared by the load generator and the end-to-end tests.
+``/metrics`` renders through :mod:`repro.obs.aggregate`: service-level
+gauges (sessions by state, queue depth, lane submissions) plus the
+fleet rollup of every stored session's recorder, ledger, audit trail
+and flight ring — scrapeable by a stock Prometheus, validated by
+:func:`repro.obs.aggregate.parse_prometheus` in the tests.
 """
 
 from __future__ import annotations
 
 import asyncio
-import json
-from collections.abc import AsyncIterator
+from collections.abc import Sequence
 
+from repro.obs import (
+    PromMetric,
+    PromSample,
+    aggregate_fleet,
+    fleet_metrics,
+    render_prometheus,
+)
 from repro.serve.scheduler import SessionScheduler
 from repro.serve.session import ScenarioSpec, Session, SessionError
 from repro.serve.store import SessionStore, StoreFull
+from repro.serve.wire import (
+    HTTPError,
+    http_json,
+    http_stream_lines,
+    parse_json,
+    read_request,
+    send_json,
+    send_text,
+)
 from repro.util.logging import get_logger
 
-__all__ = ["ServeServer", "http_json", "http_stream_lines"]
+__all__ = ["ServeServer", "http_json", "http_stream_lines", "serve_metrics"]
 
 log = get_logger("serve.api")
 
 #: how often the event stream re-checks the flight ring (seconds)
 _STREAM_POLL = 0.02
 
-_REASONS = {
-    200: "OK",
-    201: "Created",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    409: "Conflict",
-    429: "Too Many Requests",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
+#: the content type Prometheus scrapers expect from a /metrics endpoint
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 
-class _HTTPError(Exception):
-    """Routing-level failure carrying the status code to send back."""
+def serve_metrics(
+    store: SessionStore, scheduler: SessionScheduler
+) -> list[PromMetric]:
+    """Every metric family of one store + scheduler pair.
 
-    def __init__(self, status: int, message: str) -> None:
-        super().__init__(message)
-        self.status = status
-        self.message = message
+    Service-level families under ``repro_serve_*`` plus the
+    ``repro_fleet_*`` rollup of all stored sessions' telemetry.
+    """
+    sessions: Sequence[Session] = store.sessions()
+    health = scheduler.health
+    recent_failures = health.snapshot()["recent_failures"]
+    assert isinstance(recent_failures, int)
+
+    def single(name: str, kind: str, help_text: str, value: float) -> PromMetric:
+        return PromMetric(
+            name=name, kind=kind, help=help_text, samples=(PromSample(value=value),)
+        )
+
+    metrics = [
+        PromMetric(
+            name="repro_serve_sessions",
+            kind="gauge",
+            help="Stored sessions by lifecycle state.",
+            samples=tuple(
+                PromSample(value=float(n), labels=(("state", state),))
+                for state, n in sorted(store.counts().items())
+            ),
+        ),
+        single(
+            "repro_serve_sessions_evicted_total",
+            "counter",
+            "Finished sessions evicted to make room.",
+            float(store.evicted),
+        ),
+        single(
+            "repro_serve_queue_depth",
+            "gauge",
+            "Scheduler queue entries waiting for a worker.",
+            float(scheduler.queue_depth),
+        ),
+        PromMetric(
+            name="repro_serve_submitted_total",
+            kind="counter",
+            help="Queue submissions by scheduling lane.",
+            samples=tuple(
+                PromSample(value=float(n), labels=(("lane", lane),))
+                for lane, n in sorted(scheduler.lane_submitted.items())
+            ),
+        ),
+        single(
+            "repro_serve_steps_total",
+            "counter",
+            "Adaptation points run to completion by the worker pool.",
+            float(scheduler.steps_run),
+        ),
+        single(
+            "repro_serve_steps_failed_total",
+            "counter",
+            "Adaptation points that failed or timed out.",
+            float(health.steps_failed),
+        ),
+        single(
+            "repro_serve_health_degraded",
+            "gauge",
+            "1 while a failure sits in the liveness window, else 0.",
+            1.0 if health.degraded else 0.0,
+        ),
+        single(
+            "repro_serve_recent_failures",
+            "gauge",
+            "Failures currently inside the liveness window.",
+            float(recent_failures),
+        ),
+    ]
+    rollup = aggregate_fleet(
+        recorders=[s.recorder for s in sessions],
+        ledgers=[s.ledger for s in sessions],
+        audits=[s.audit for s in sessions],
+        flights=[s.flight for s in sessions],
+        taps=[s.tap for s in sessions],
+    )
+    metrics.extend(fleet_metrics(rollup))
+    return metrics
 
 
 class ServeServer:
@@ -110,16 +199,16 @@ class ServeServer:
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
         try:
-            method, path, body = await _read_request(reader)
-            await self._route(method, path, body, writer)
-        except _HTTPError as exc:
-            await _send_json(writer, exc.status, {"error": exc.message})
+            method, path, query, body = await read_request(reader)
+            await self._route(method, path, query, body, writer)
+        except HTTPError as exc:
+            await send_json(writer, exc.status, {"error": exc.message})
         except (ConnectionError, asyncio.IncompleteReadError) as exc:
             log.debug("client connection dropped: %s", exc)
         except Exception:
             log.exception("request handling failed")
             try:
-                await _send_json(writer, 500, {"error": "internal error"})
+                await send_json(writer, 500, {"error": "internal error"})
             except ConnectionError as exc:
                 log.debug("could not deliver 500: %s", exc)
         finally:
@@ -130,23 +219,35 @@ class ServeServer:
                 log.debug("connection close raced the client: %s", exc)
 
     async def _route(
-        self, method: str, path: str, body: bytes, writer: asyncio.StreamWriter
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        body: bytes,
+        writer: asyncio.StreamWriter,
     ) -> None:
         parts = [p for p in path.split("/") if p]
         if path == "/healthz" and method == "GET":
             snap = self.store.counts()
             health = self.scheduler.health.snapshot()
             health["sessions"] = snap
+            health["flight"] = self._flight_totals()
             status = 503 if self.scheduler.health.degraded else 200
-            await _send_json(writer, status, health)
+            await send_json(writer, status, health)
             return
         if path == "/metrics" and method == "GET":
-            await _send_json(writer, 200, self._metrics())
+            if query.get("format") == "json":
+                await send_json(writer, 200, self._metrics())
+            else:
+                text = render_prometheus(serve_metrics(self.store, self.scheduler))
+                await send_text(
+                    writer, 200, text, content_type=PROMETHEUS_CONTENT_TYPE
+                )
             return
         if parts and parts[0] == "sessions":
             await self._route_sessions(method, parts, body, writer)
             return
-        raise _HTTPError(404, f"no such route: {method} {path}")
+        raise HTTPError(404, f"no such route: {method} {path}")
 
     async def _route_sessions(
         self, method: str, parts: list[str], body: bytes, writer: asyncio.StreamWriter
@@ -156,20 +257,20 @@ class ServeServer:
                 await self._create_session(body, writer)
             elif method == "GET":
                 snaps = [s.snapshot() for s in self.store.sessions()]
-                await _send_json(writer, 200, {"sessions": snaps})
+                await send_json(writer, 200, {"sessions": snaps})
             else:
-                raise _HTTPError(405, f"{method} not allowed on /sessions")
+                raise HTTPError(405, f"{method} not allowed on /sessions")
             return
         session = self._lookup(parts[1])
         if len(parts) == 2:
             if method != "GET":
-                raise _HTTPError(405, f"{method} not allowed on a session")
-            await _send_json(writer, 200, session.snapshot())
+                raise HTTPError(405, f"{method} not allowed on a session")
+            await send_json(writer, 200, session.snapshot())
             return
         if len(parts) == 3:
             await self._session_action(method, parts[2], session, body, writer)
             return
-        raise _HTTPError(404, "no such route")
+        raise HTTPError(404, "no such route")
 
     async def _session_action(
         self,
@@ -183,17 +284,17 @@ class ServeServer:
             await self._stream_events(session, writer)
             return
         if method != "POST":
-            raise _HTTPError(405, f"{method} not allowed on {action}")
+            raise HTTPError(405, f"{method} not allowed on {action}")
         if action == "kill":
-            payload = _parse_json(body) if body else {}
+            payload = parse_json(body) if body else {}
             rank = payload.get("rank", 0)
             if not isinstance(rank, int) or isinstance(rank, bool):
-                raise _HTTPError(400, "rank must be an int")
+                raise HTTPError(400, "rank must be an int")
             try:
                 step = session.inject_fault(rank=rank)
             except SessionError as exc:
-                raise _HTTPError(409, str(exc)) from exc
-            await _send_json(
+                raise HTTPError(409, str(exc)) from exc
+            await send_json(
                 writer, 200, {"id": session.session_id, "kill_at_step": step}
             )
             return
@@ -201,18 +302,18 @@ class ServeServer:
             try:
                 session.pause()
             except SessionError as exc:
-                raise _HTTPError(409, str(exc)) from exc
-            await _send_json(writer, 200, session.snapshot())
+                raise HTTPError(409, str(exc)) from exc
+            await send_json(writer, 200, session.snapshot())
             return
         if action == "resume":
             try:
                 session.resume()
             except SessionError as exc:
-                raise _HTTPError(409, str(exc)) from exc
+                raise HTTPError(409, str(exc)) from exc
             self.scheduler.submit(session)
-            await _send_json(writer, 200, session.snapshot())
+            await send_json(writer, 200, session.snapshot())
             return
-        raise _HTTPError(404, f"no such action: {action}")
+        raise HTTPError(404, f"no such action: {action}")
 
     # -- handlers ---------------------------------------------------------
 
@@ -220,21 +321,21 @@ class ServeServer:
         try:
             return self.store.get(session_id)
         except KeyError as exc:
-            raise _HTTPError(404, str(exc)) from exc
+            raise HTTPError(404, str(exc)) from exc
 
     async def _create_session(
         self, body: bytes, writer: asyncio.StreamWriter
     ) -> None:
-        payload = _parse_json(body) if body else {}
+        payload = parse_json(body) if body else {}
         try:
             spec = ScenarioSpec.from_dict(payload)
             session = self.store.create(spec)
         except ValueError as exc:
-            raise _HTTPError(400, str(exc)) from exc
+            raise HTTPError(400, str(exc)) from exc
         except StoreFull as exc:
-            raise _HTTPError(429, str(exc)) from exc
+            raise HTTPError(429, str(exc)) from exc
         self.scheduler.submit(session)
-        await _send_json(writer, 201, session.snapshot())
+        await send_json(writer, 201, session.snapshot())
 
     async def _stream_events(
         self, session: Session, writer: asyncio.StreamWriter
@@ -256,151 +357,23 @@ class ServeServer:
                 return
             await asyncio.sleep(_STREAM_POLL)
 
+    def _flight_totals(self) -> dict[str, int]:
+        """Fleet-wide flight accounting — event loss must never be silent."""
+        sessions = self.store.sessions()
+        return {
+            "events": sum(s.flight.total_emitted for s in sessions),
+            "dropped": sum(s.flight.dropped for s in sessions),
+            "tap_dropped": sum(s.tap.dropped_total for s in sessions),
+        }
+
     def _metrics(self) -> dict[str, object]:
         return {
             "sessions": self.store.counts(),
             "stored": len(self.store),
             "evicted": self.store.evicted,
             "queue_depth": self.scheduler.queue_depth,
+            "lanes": dict(self.scheduler.lane_submitted),
             "steps_run": self.scheduler.steps_run,
+            "flight": self._flight_totals(),
             "health": self.scheduler.health.snapshot(),
         }
-
-
-# -- wire helpers ---------------------------------------------------------
-
-
-async def _read_request(
-    reader: asyncio.StreamReader,
-) -> tuple[str, str, bytes]:
-    """Parse one HTTP request: (method, path, body)."""
-    request_line = (await reader.readline()).decode("latin-1").strip()
-    if not request_line:
-        raise _HTTPError(400, "empty request")
-    try:
-        method, target, _version = request_line.split(" ", 2)
-    except ValueError as exc:
-        raise _HTTPError(400, f"malformed request line: {request_line!r}") from exc
-    content_length = 0
-    while True:
-        header = (await reader.readline()).decode("latin-1").strip()
-        if not header:
-            break
-        name, _, value = header.partition(":")
-        if name.strip().lower() == "content-length":
-            try:
-                content_length = int(value.strip())
-            except ValueError as exc:
-                raise _HTTPError(400, f"bad content-length: {value!r}") from exc
-    body = await reader.readexactly(content_length) if content_length else b""
-    path = target.split("?", 1)[0]
-    return method.upper(), path, body
-
-
-def _parse_json(body: bytes) -> dict[str, object]:
-    try:
-        payload = json.loads(body.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise _HTTPError(400, f"request body is not valid JSON: {exc}") from exc
-    if not isinstance(payload, dict):
-        raise _HTTPError(400, "request body must be a JSON object")
-    return payload
-
-
-async def _send_json(
-    writer: asyncio.StreamWriter, status: int, payload: dict[str, object]
-) -> None:
-    body = json.dumps(payload, sort_keys=True).encode()
-    reason = _REASONS.get(status, "Unknown")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"Content-Type: application/json\r\n"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: close\r\n\r\n"
-    ).encode("latin-1")
-    writer.write(head + body)
-    await writer.drain()
-
-
-# -- minimal async client (shared by loadgen and the e2e tests) -----------
-
-
-async def http_json(
-    host: str,
-    port: int,
-    method: str,
-    path: str,
-    payload: dict[str, object] | None = None,
-) -> tuple[int, dict[str, object]]:
-    """One JSON request/response round trip; returns (status, body)."""
-    body = json.dumps(payload).encode() if payload is not None else b""
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        head = (
-            f"{method} {path} HTTP/1.1\r\n"
-            f"Host: {host}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("latin-1")
-        writer.write(head + body)
-        await writer.drain()
-        status, raw = await _read_response(reader)
-    finally:
-        writer.close()
-        await writer.wait_closed()
-    parsed = json.loads(raw.decode()) if raw else {}
-    if not isinstance(parsed, dict):
-        parsed = {"body": parsed}
-    return status, parsed
-
-
-async def http_stream_lines(
-    host: str, port: int, path: str
-) -> AsyncIterator[str]:
-    """GET ``path`` and yield each response line (NDJSON streaming)."""
-    reader, writer = await asyncio.open_connection(host, port)
-    try:
-        head = (
-            f"GET {path} HTTP/1.1\r\n"
-            f"Host: {host}\r\n"
-            f"Connection: close\r\n\r\n"
-        ).encode("latin-1")
-        writer.write(head)
-        await writer.drain()
-        status_line = (await reader.readline()).decode("latin-1")
-        if " 200 " not in status_line:
-            raise RuntimeError(f"stream request failed: {status_line.strip()!r}")
-        while (await reader.readline()).strip():  # drain headers
-            continue
-        while True:
-            line = await reader.readline()
-            if not line:
-                return
-            text = line.decode().strip()
-            if text:
-                yield text
-    finally:
-        writer.close()
-        await writer.wait_closed()
-
-
-async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
-    """Read a full close-delimited or Content-Length response."""
-    status_line = (await reader.readline()).decode("latin-1").strip()
-    try:
-        status = int(status_line.split(" ", 2)[1])
-    except (IndexError, ValueError) as exc:
-        raise RuntimeError(f"malformed status line: {status_line!r}") from exc
-    content_length: int | None = None
-    while True:
-        header = (await reader.readline()).decode("latin-1").strip()
-        if not header:
-            break
-        name, _, value = header.partition(":")
-        if name.strip().lower() == "content-length":
-            content_length = int(value.strip())
-    if content_length is not None:
-        body = await reader.readexactly(content_length)
-    else:
-        body = await reader.read()
-    return status, body

@@ -137,12 +137,17 @@ class SessionScheduler:
         self._workers: list[asyncio.Task[None]] = []
         self._backoff_rng = make_rng(self.config.backoff_seed)
         self.steps_run = 0
+        #: external submissions by lane name (requeues after a completed
+        #: step bypass ``submit`` on purpose and are not counted here)
+        self.lane_submitted: dict[str, int] = {"priority": 0, "default": 0}
 
     # -- submission ------------------------------------------------------
 
     def submit(self, session: Session) -> None:
         """Queue a session for its next adaptation point."""
         lane = _PRIORITY_LANE if session.spec.priority > 0 else _DEFAULT_LANE
+        name = "priority" if lane == _PRIORITY_LANE else "default"
+        self.lane_submitted[name] += 1
         self._queue.put_nowait((lane, next(self._seq), session.session_id))
 
     def submit_all_pending(self) -> int:

@@ -55,6 +55,7 @@ from repro.obs import (
     AuditTrail,
     FlightEvent,
     FlightRecorder,
+    FlightTap,
     InMemoryRecorder,
     use_flight_recorder,
 )
@@ -222,6 +223,10 @@ class Session:
         # -- per-session fixtures: nothing here is shared across sessions
         self.recorder = InMemoryRecorder()
         self.flight = FlightRecorder(capacity=flight_capacity)
+        #: the live-streaming surface: subscribe to follow this session's
+        #: flight events as they happen (zero overhead while nobody does)
+        self.tap = FlightTap()
+        self.flight.attach_tap(self.tap)
         self.audit = AuditTrail()
         machine = MACHINES[spec.machine]
         self.ledger = CommLedger(machine.ncores)
@@ -264,6 +269,8 @@ class Session:
             "steps_completed": self.steps_completed,
             "steps_total": self.spec.steps,
             "events_emitted": self.flight.total_emitted,
+            "events_dropped": self.flight.dropped,
+            "tap_dropped": self.tap.dropped_total,
             "decisions": len(self.decision_latencies),
             "recovered": self.recovered,
         }

@@ -1,0 +1,236 @@
+"""Shared HTTP wire helpers for the stdlib-asyncio servers.
+
+Both HTTP front ends — the serving tier (:mod:`repro.serve.api`) and
+mission control (:mod:`repro.obs.webui.server`) — speak the same
+minimal dialect: one short-lived connection per request
+(``Connection: close``), requests parsed straight off the stream, JSON
+or plain-text responses.  This module is that dialect in one place, plus
+the minimal async client the load generator, the ``--attach`` proxy and
+the end-to-end tests share.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from collections.abc import AsyncIterator
+
+__all__ = [
+    "HTTPError",
+    "REASONS",
+    "http_json",
+    "http_stream_lines",
+    "http_text",
+    "parse_json",
+    "parse_query",
+    "read_request",
+    "read_response",
+    "send_json",
+    "send_text",
+]
+
+REASONS = {
+    200: "OK",
+    201: "Created",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HTTPError(Exception):
+    """Routing-level failure carrying the status code to send back."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+# -- server side -----------------------------------------------------------
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> tuple[str, str, dict[str, str], bytes]:
+    """Parse one HTTP request: (method, path, query, body)."""
+    request_line = (await reader.readline()).decode("latin-1").strip()
+    if not request_line:
+        raise HTTPError(400, "empty request")
+    try:
+        method, target, _version = request_line.split(" ", 2)
+    except ValueError as exc:
+        raise HTTPError(400, f"malformed request line: {request_line!r}") from exc
+    content_length = 0
+    while True:
+        header = (await reader.readline()).decode("latin-1").strip()
+        if not header:
+            break
+        name, _, value = header.partition(":")
+        if name.strip().lower() == "content-length":
+            try:
+                content_length = int(value.strip())
+            except ValueError as exc:
+                raise HTTPError(400, f"bad content-length: {value!r}") from exc
+    body = await reader.readexactly(content_length) if content_length else b""
+    path, _, raw_query = target.partition("?")
+    return method.upper(), path, parse_query(raw_query), body
+
+
+def parse_query(raw: str) -> dict[str, str]:
+    """A query string as a flat dict (last value wins; no list support)."""
+    query: dict[str, str] = {}
+    for part in raw.split("&"):
+        if not part:
+            continue
+        key, _, value = part.partition("=")
+        query[key] = value
+    return query
+
+
+def parse_json(body: bytes) -> dict[str, object]:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise HTTPError(400, f"request body is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise HTTPError(400, "request body must be a JSON object")
+    return payload
+
+
+async def send_json(
+    writer: asyncio.StreamWriter, status: int, payload: dict[str, object]
+) -> None:
+    body = json.dumps(payload, sort_keys=True).encode()
+    await _send_body(writer, status, "application/json", body)
+
+
+async def send_text(
+    writer: asyncio.StreamWriter,
+    status: int,
+    text: str,
+    content_type: str = "text/plain; charset=utf-8",
+) -> None:
+    await _send_body(writer, status, content_type, text.encode("utf-8"))
+
+
+async def _send_body(
+    writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+) -> None:
+    reason = REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"Content-Type: {content_type}\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: close\r\n\r\n"
+    ).encode("latin-1")
+    writer.write(head + body)
+    await writer.drain()
+
+
+# -- minimal async client --------------------------------------------------
+
+
+async def http_json(
+    host: str,
+    port: int,
+    method: str,
+    path: str,
+    payload: dict[str, object] | None = None,
+) -> tuple[int, dict[str, object]]:
+    """One JSON request/response round trip; returns (status, body)."""
+    body = json.dumps(payload).encode() if payload is not None else b""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status, raw = await read_response(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    parsed = json.loads(raw.decode()) if raw else {}
+    if not isinstance(parsed, dict):
+        parsed = {"body": parsed}
+    return status, parsed
+
+
+async def http_text(
+    host: str, port: int, path: str
+) -> tuple[int, str]:
+    """GET ``path`` and return (status, decoded body) — for text routes."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        status, raw = await read_response(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return status, raw.decode("utf-8", errors="replace")
+
+
+async def http_stream_lines(
+    host: str, port: int, path: str
+) -> AsyncIterator[str]:
+    """GET ``path`` and yield each response line (NDJSON streaming)."""
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"GET {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head)
+        await writer.drain()
+        status_line = (await reader.readline()).decode("latin-1")
+        if " 200 " not in status_line:
+            raise RuntimeError(f"stream request failed: {status_line.strip()!r}")
+        while (await reader.readline()).strip():  # drain headers
+            continue
+        while True:
+            line = await reader.readline()
+            if not line:
+                return
+            text = line.decode().strip()
+            if text:
+                yield text
+    finally:
+        writer.close()
+        await writer.wait_closed()
+
+
+async def read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read a full close-delimited or Content-Length response."""
+    status_line = (await reader.readline()).decode("latin-1").strip()
+    try:
+        status = int(status_line.split(" ", 2)[1])
+    except (IndexError, ValueError) as exc:
+        raise RuntimeError(f"malformed status line: {status_line!r}") from exc
+    content_length: int | None = None
+    while True:
+        header = (await reader.readline()).decode("latin-1").strip()
+        if not header:
+            break
+        name, _, value = header.partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    if content_length is not None:
+        body = await reader.readexactly(content_length)
+    else:
+        body = await reader.read()
+    return status, body

@@ -14,14 +14,19 @@ import json
 
 import pytest
 
+from repro.obs import parse_prometheus
 from repro.serve import SchedulerConfig, SessionScheduler, SessionStore
 from repro.serve.api import ServeServer, http_json, http_stream_lines
+from repro.serve.wire import http_text
 
 
 async def _started_server(
-    workers: int = 2, health_window: int = 8, capacity: int = 64
+    workers: int = 2,
+    health_window: int = 8,
+    capacity: int = 64,
+    flight_capacity: int | None = None,
 ) -> ServeServer:
-    store = SessionStore(capacity=capacity)
+    store = SessionStore(capacity=capacity, flight_capacity=flight_capacity)
     scheduler = SessionScheduler(
         store, SchedulerConfig(workers=workers, health_window=health_window)
     )
@@ -225,7 +230,7 @@ class TestServeValidation:
 
         server_main(check)
 
-    def test_metrics_shape(self, server_main):
+    def test_metrics_json_fallback_shape(self, server_main):
         async def check(server):
             _, snap = await http_json(
                 server.host, server.port, "POST", "/sessions", {"steps": 2}
@@ -236,11 +241,105 @@ class TestServeValidation:
                 lambda st, b: b.get("state") == "done",
             )
             status, metrics = await http_json(
-                server.host, server.port, "GET", "/metrics"
+                server.host, server.port, "GET", "/metrics?format=json"
             )
             assert status == 200
             assert metrics["sessions"]["done"] == 1
             assert metrics["steps_run"] == 2
+            assert metrics["lanes"] == {"priority": 0, "default": 1}
+            assert metrics["flight"]["dropped"] == 0
             assert metrics["health"]["status"] == "ok"
 
         server_main(check)
+
+    def test_metrics_default_is_valid_prometheus(self, server_main):
+        async def check(server):
+            _, snap = await http_json(
+                server.host, server.port, "POST", "/sessions", {"steps": 2}
+            )
+            await _poll(
+                server,
+                f"/sessions/{snap['id']}",
+                lambda st, b: b.get("state") == "done",
+            )
+            status, text = await http_text(server.host, server.port, "/metrics")
+            assert status == 200
+            # the strict line-format validator accepts the whole exposition
+            samples = parse_prometheus(text)
+            assert samples["repro_serve_sessions"] == [
+                ({"state": "done"}, 1.0),
+                ({"state": "failed"}, 0.0),
+                ({"state": "paused"}, 0.0),
+                ({"state": "pending"}, 0.0),
+                ({"state": "running"}, 0.0),
+            ]
+            assert samples["repro_serve_steps_total"] == [({}, 2.0)]
+            assert ({"lane": "default"}, 1.0) in samples[
+                "repro_serve_submitted_total"
+            ]
+            assert samples["repro_fleet_sources"] == [({}, 1.0)]
+            # the session's telemetry rolls up: span digests + decisions
+            span_names = {
+                labels["name"]
+                for labels, _ in samples["repro_fleet_span_seconds"]
+            }
+            assert "adaptation_point" in span_names
+            assert "realloc.step" in span_names
+            assert ({"chosen": "diffusion"}, 2.0) in samples[
+                "repro_fleet_decisions_total"
+            ]
+            assert samples["repro_fleet_flight_dropped_total"] == [({}, 0.0)]
+
+        server_main(check)
+
+    def test_healthz_surfaces_flight_drop_counts(self, server_main):
+        async def check(server):
+            _, snap = await http_json(
+                server.host, server.port, "POST", "/sessions", {"steps": 2}
+            )
+            await _poll(
+                server,
+                f"/sessions/{snap['id']}",
+                lambda st, b: b.get("state") == "done",
+            )
+            status, health = await http_json(
+                server.host, server.port, "GET", "/healthz"
+            )
+            assert status == 200
+            assert health["flight"]["events"] > 0
+            assert health["flight"]["dropped"] == 0
+            assert health["flight"]["tap_dropped"] == 0
+
+        server_main(check)
+
+    def test_ring_overflow_surfaces_drop_counts(self):
+        # regression: a session whose flight ring overflows must report
+        # the eviction count in its snapshot, /healthz and /metrics —
+        # silent drops are how a truncated log gets misread as complete
+        async def main() -> None:
+            server = await _started_server(workers=1, flight_capacity=8)
+            try:
+                _, snap = await http_json(
+                    server.host, server.port, "POST", "/sessions", {"steps": 3}
+                )
+                _, snap = await _poll(
+                    server,
+                    f"/sessions/{snap['id']}",
+                    lambda st, b: b.get("state") == "done",
+                )
+                assert snap["events_emitted"] > 8
+                assert snap["events_dropped"] == snap["events_emitted"] - 8
+                status, health = await http_json(
+                    server.host, server.port, "GET", "/healthz"
+                )
+                assert status == 200
+                assert health["flight"]["dropped"] == snap["events_dropped"]
+                _, text = await http_text(server.host, server.port, "/metrics")
+                samples = parse_prometheus(text)
+                assert samples["repro_fleet_flight_dropped_total"] == [
+                    ({}, float(snap["events_dropped"]))
+                ]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())

@@ -1,0 +1,190 @@
+"""Tests for the flight-event tap bus (``repro.obs.stream``).
+
+Covers the streaming tentpole layer: bounded per-subscriber queues with
+drop-with-count backpressure, zero overhead on the no-subscriber path,
+in-order fan-out from a live ``FlightRecorder``, and drop accounting
+that survives subscriber churn.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_SUBSCRIBER_CAPACITY,
+    FlightRecorder,
+    FlightTap,
+    TapSubscription,
+    format_flight,
+)
+
+
+class TestTapBasics:
+    def test_publish_fans_out_to_all_subscribers(self):
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        a, b = tap.subscribe(), tap.subscribe()
+        ring.emit("tick", i=0)
+        ring.emit("tick", i=1)
+        assert [ev.data["i"] for ev in a.drain()] == [0, 1]
+        assert [ev.data["i"] for ev in b.drain()] == [0, 1]
+        assert tap.published == 2
+
+    def test_drain_empties_queue(self):
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        sub = tap.subscribe()
+        ring.emit("tick")
+        assert len(sub.drain()) == 1
+        assert sub.drain() == []
+        assert len(sub) == 0
+
+    def test_events_arrive_in_seq_order(self):
+        # publish happens inside the recorder's emit lock, so subscriber
+        # order matches ring seq order even under concurrent emitters
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        sub = tap.subscribe()
+
+        def emitter(k):
+            for _ in range(50):
+                ring.emit("tick", src=k)
+
+        threads = [threading.Thread(target=emitter, args=(k,)) for k in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        seqs = [ev.seq for ev in sub.drain()]
+        assert seqs == sorted(seqs)
+        assert len(seqs) == 200
+
+    def test_default_capacity(self):
+        sub = FlightTap().subscribe()
+        assert sub.capacity == DEFAULT_SUBSCRIBER_CAPACITY
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightTap().subscribe(capacity=0)
+
+
+class TestBackpressure:
+    def test_bounded_queue_drops_oldest_with_count(self):
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        sub = tap.subscribe(capacity=4)
+        for i in range(10):
+            ring.emit("tick", i=i)
+        assert sub.dropped == 6
+        assert sub.received == 10
+        # newest events survive, oldest evicted
+        assert [ev.data["i"] for ev in sub.drain()] == [6, 7, 8, 9]
+
+    def test_slow_subscriber_does_not_affect_fast_one(self):
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        slow = tap.subscribe(capacity=2)
+        fast = tap.subscribe(capacity=64)
+        for i in range(8):
+            ring.emit("tick", i=i)
+        assert slow.dropped == 6 and len(slow) == 2
+        assert fast.dropped == 0 and len(fast) == 8
+
+    def test_dropped_total_survives_subscriber_close(self):
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        sub = tap.subscribe(capacity=2)
+        for i in range(5):
+            ring.emit("tick", i=i)
+        assert tap.dropped_total == 3
+        sub.close()
+        # retired subscriber drops are folded into the tap-level total
+        assert tap.dropped_total == 3
+        live = tap.subscribe(capacity=1)
+        ring.emit("tick")
+        ring.emit("tick")
+        assert live.dropped == 1
+        assert tap.dropped_total == 4
+
+
+class TestLifecycle:
+    def test_close_unsubscribes(self):
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        sub = tap.subscribe()
+        assert tap.subscriber_count == 1
+        sub.close()
+        assert tap.subscriber_count == 0
+        ring.emit("tick")
+        assert sub.drain() == []
+        assert sub.closed
+
+    def test_close_is_idempotent(self):
+        tap = FlightTap()
+        sub = tap.subscribe()
+        sub.close()
+        sub.close()
+        assert tap.subscriber_count == 0
+
+    def test_context_manager_closes(self):
+        tap = FlightTap()
+        with tap.subscribe() as sub:
+            assert isinstance(sub, TapSubscription)
+            assert tap.subscriber_count == 1
+        assert sub.closed and tap.subscriber_count == 0
+
+    def test_zero_subscriber_publish_is_free(self):
+        # the bail-out path: publish with no subscribers must not count
+        # anything or take locks — `published` only counts delivered fan-out
+        tap = FlightTap()
+        ring = FlightRecorder()
+        ring.attach_tap(tap)
+        for _ in range(100):
+            ring.emit("tick")
+        assert tap.published == 0
+        assert tap.dropped_total == 0
+
+
+class TestRecorderIntegration:
+    def test_attach_detach(self):
+        ring = FlightRecorder()
+        tap = FlightTap()
+        ring.attach_tap(tap)
+        assert tap in ring.taps
+        ring.attach_tap(tap)  # idempotent
+        assert len(ring.taps) == 1
+        ring.detach_tap(tap)
+        assert tap not in ring.taps
+        ring.detach_tap(tap)  # no-op after removal
+
+    def test_tap_sees_events_evicted_from_ring(self):
+        # a subscriber with a bigger budget than the ring keeps eventing
+        # past the ring's horizon — the point of streaming vs. snapshots
+        ring = FlightRecorder(capacity=4)
+        tap = FlightTap()
+        ring.attach_tap(tap)
+        sub = tap.subscribe(capacity=64)
+        for i in range(16):
+            ring.emit("tick", i=i)
+        assert ring.dropped == 12
+        assert [ev.data["i"] for ev in sub.drain()] == list(range(16))
+
+    def test_format_flight_reports_tap_state(self):
+        ring = FlightRecorder()
+        tap = FlightTap()
+        ring.attach_tap(tap)
+        sub = tap.subscribe(capacity=1)
+        ring.emit("tick")
+        ring.emit("tick")
+        text = format_flight(ring)
+        assert "1 tap(s)" in text
+        assert "1 subscriber(s)" in text
+        assert "1 tap-dropped" in text
+        sub.close()

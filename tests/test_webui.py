@@ -1,0 +1,427 @@
+"""Tests for mission control (``repro.obs.webui``).
+
+Covers the UI tentpole layer end to end: the pure frame folder
+(:func:`replay_frames`), the replay HTTP server over exported flight
+JSONL, and the acceptance E2E — a live ``repro serve`` fleet attached
+through the obs server delivers every flight event for a completed
+session bit-identically (same ``flight_signature``) to the session's
+own ring export, and replay mode over the same JSONL serves frames
+identical to folding the streamed events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.experiments import synthetic_workload
+from repro.experiments.runner import ExperimentContext, run_workload
+from repro.mpisim.ledger import CommLedger
+from repro.obs import (
+    AuditTrail,
+    FlightEvent,
+    FlightRecorder,
+    InMemoryRecorder,
+    load_flight_jsonl,
+    parse_prometheus,
+    use_flight_recorder,
+)
+from repro.obs.webui import ObsServer, replay_frames
+from repro.obs.webui.server import KNOWN_EVENT_KINDS
+from repro.serve import (
+    SchedulerConfig,
+    SessionScheduler,
+    SessionStore,
+    flight_signature,
+)
+from repro.serve.api import ServeServer
+from repro.serve.wire import http_json, http_stream_lines, http_text
+from repro.topology import MACHINES
+
+#: one representative payload per emitted event kind, for the loader
+#: round-trip satellite: every kind the library emits today must survive
+#: JSONL and render in replay without an unknown-event fallback
+_SAMPLE_DATA: dict[str, dict[str, object]] = {
+    "adapt.start": {"step": 0, "strategy": "dynamic", "n_nests": 2, "px": 16, "py": 16},
+    "adapt.end": {"step": 0, "redist_predicted": 0.25, "redist_measured": 0.3},
+    "alloc.rect": {"step": 0, "nest": 1, "x": 0, "y": 0, "w": 8, "h": 8},
+    "nest.insert": {"nest": 1, "nx": 60, "ny": 90},
+    "nest.retain": {"nest": 2, "weight": 1.5},
+    "nest.delete": {"nest": 3},
+    "tree.free": {"slot": 0},
+    "tree.fill_slot": {"slot": 1, "nest": 4},
+    "tree.huffman_fill": {"n": 2},
+    "tree.pair_insert": {"nest": 5},
+    "tree.prune_slot": {"slot": 2},
+    "redist.round": {"round": 0, "nbytes": 1024.0},
+    "redist.retry": {"round": 1, "attempt": 2},
+    "redist.round_failed": {"round": 1, "reason": "timeout"},
+    "redist.round_timeout": {"round": 1},
+    "redist.recovered": {"round": 1},
+    "redist.aborted": {"round": 2},
+    "dynamic.choice": {
+        "chosen": "diffusion",
+        "scratch_exec": 1.0,
+        "scratch_redist": 0.5,
+        "diffusion_exec": 1.0,
+        "diffusion_redist": 0.2,
+    },
+    "link.heat": {"step": 0, "link": 7, "load": 4096.0, "pairs": "0>1:2048;2>3:2048"},
+    "ledger.skew": {"step": 0, "gini": 0.42, "max_over_mean": 3.5, "total": 8192.0},
+    "fault.inject": {"fault": "rank_crash", "rank": 3},
+    "fault.detected": {"step": 4, "rank": 3},
+    "recovery.start": {"step": 4},
+    "recovery.shrink": {"ncores": 192},
+    "recovery.drop_nest": {"nest": 2},
+    "recovery.verified": {"step": 4},
+    "recovery.nest_rebuilt": {"nest": 1},
+    "recovery.done": {"step": 4},
+    "sanitizer.violation": {"check": "bytes_conserved"},
+    "session.state": {"state": "done", "step": 3},
+    "pda.partial": {"missing": 1},
+    "soak.data_mismatch": {"nest": 1},
+    "soak.invariant_violation": {"what": "overlap"},
+}
+
+
+def _instrumented_flight(n_steps: int = 5) -> FlightRecorder:
+    """A real dynamic-strategy run with the ledger feed, so the log holds
+    adapt/alloc/churn/choice/heat/skew events like production traffic."""
+    machine = MACHINES["bgl-256"]
+    context = ExperimentContext(
+        machine,
+        recorder=InMemoryRecorder(),
+        audit=AuditTrail(),
+        ledger=CommLedger(machine.ncores),
+    )
+    flight = FlightRecorder()
+    with use_flight_recorder(flight):
+        run_workload(
+            synthetic_workload(seed=3, n_steps=n_steps),
+            context.make_dynamic_strategy(),
+            context,
+        )
+    return flight
+
+
+def _events_from_ndjson(lines: list[str]) -> list[FlightEvent]:
+    out = []
+    for line in lines:
+        d = json.loads(line)
+        out.append(
+            FlightEvent(seq=d["seq"], t=d["t"], kind=d["kind"], data=d["data"])
+        )
+    return out
+
+
+class TestKnownKinds:
+    def test_sample_table_covers_exactly_the_known_kinds(self):
+        assert set(_SAMPLE_DATA) == set(KNOWN_EVENT_KINDS)
+
+    def test_every_kind_round_trips_through_jsonl(self, tmp_path):
+        ring = FlightRecorder()
+        for kind in sorted(_SAMPLE_DATA):
+            ring.emit(kind, **_SAMPLE_DATA[kind])
+        loaded = load_flight_jsonl(ring.write_jsonl(tmp_path / "kinds.jsonl"))
+        assert loaded == ring.events()
+        assert loaded.skipped_lines == 0
+
+    def test_every_kind_renders_without_unknown_fallback(self):
+        events = [
+            FlightEvent(seq=i, t=float(i), kind=kind, data=dict(_SAMPLE_DATA[kind]))  # type: ignore[arg-type]
+            for i, kind in enumerate(sorted(_SAMPLE_DATA))
+        ]
+        frames = replay_frames(events)
+        assert frames
+        assert all(frame["unknown"] == {} for frame in frames)
+
+    def test_real_run_emits_only_known_kinds(self):
+        flight = _instrumented_flight()
+        kinds = {ev.kind for ev in flight.events()}
+        assert kinds <= KNOWN_EVENT_KINDS
+        # the enriched stream carries everything the canvas renders
+        assert {
+            "adapt.start",
+            "adapt.end",
+            "alloc.rect",
+            "dynamic.choice",
+            "link.heat",
+            "ledger.skew",
+        } <= kinds
+        assert all(f["unknown"] == {} for f in replay_frames(flight.events()))
+
+
+class TestReplayFrames:
+    def test_folds_one_frame_per_adaptation_point(self):
+        flight = _instrumented_flight(n_steps=4)
+        frames = replay_frames(flight.events())
+        assert len(frames) == 4
+        for step, frame in enumerate(frames):
+            assert frame["step"] == step
+            assert frame["closed"] is True
+            assert frame["px"] == 16 and frame["py"] == 16
+            assert frame["rects"]  # every point lays out rectangles
+            assert frame["choice"] in ("scratch", "diffusion")
+            assert frame["skew_gini"] >= 0.0
+
+    def test_frame_fields_from_synthetic_events(self):
+        events = [
+            FlightEvent(0, 0.0, "adapt.start", {"step": 2, "strategy": "dynamic", "n_nests": 2, "px": 8, "py": 4}),
+            FlightEvent(1, 0.1, "alloc.rect", {"nest": 7, "x": 1, "y": 2, "w": 3, "h": 4}),
+            FlightEvent(2, 0.2, "nest.insert", {"nest": 7}),
+            FlightEvent(3, 0.3, "nest.delete", {"nest": 5}),
+            FlightEvent(4, 0.4, "dynamic.choice", {"chosen": "scratch", "scratch_exec": 1.0, "scratch_redist": 0.5, "diffusion_exec": 2.0, "diffusion_redist": 0.25}),
+            FlightEvent(5, 0.5, "link.heat", {"load": 9.0, "pairs": "0>1:9"}),
+            FlightEvent(6, 0.6, "ledger.skew", {"gini": 0.5, "max_over_mean": 2.0}),
+            FlightEvent(7, 0.7, "redist.round", {"round": 0}),
+            FlightEvent(8, 0.8, "adapt.end", {"step": 2, "redist_predicted": 0.5, "redist_measured": 0.75}),
+        ]
+        (frame,) = replay_frames(events)
+        assert frame["step"] == 2 and frame["px"] == 8 and frame["py"] == 4
+        assert frame["rects"] == {"7": [1, 2, 3, 4]}
+        assert frame["inserted"] == [7] and frame["deleted"] == [5]
+        assert frame["choice"] == "scratch"
+        assert frame["choice_scratch_cost"] == pytest.approx(1.5)
+        assert frame["choice_diffusion_cost"] == pytest.approx(2.25)
+        assert frame["heat_load"] == 9.0 and frame["heat_pairs"] == "0>1:9"
+        assert frame["skew_gini"] == 0.5
+        assert frame["redist_measured"] == 0.75
+        assert frame["other"] == {"redist.round": 1}
+        assert frame["closed"] is True
+
+    def test_between_frame_events_attach_to_next_frame(self):
+        events = [
+            FlightEvent(0, 0.0, "session.state", {"state": "running"}),
+            FlightEvent(1, 0.1, "adapt.start", {"step": 0}),
+            FlightEvent(2, 0.2, "adapt.end", {"step": 0}),
+        ]
+        (frame,) = replay_frames(events)
+        assert frame["other"] == {"session.state": 1}
+
+    def test_trailing_events_attach_to_last_frame(self):
+        events = [
+            FlightEvent(0, 0.0, "adapt.start", {"step": 0}),
+            FlightEvent(1, 0.1, "adapt.end", {"step": 0}),
+            FlightEvent(2, 0.2, "session.state", {"state": "done"}),
+        ]
+        (frame,) = replay_frames(events)
+        assert frame["other"] == {"session.state": 1}
+
+    def test_unclosed_frame_flushed_open(self):
+        events = [
+            FlightEvent(0, 0.0, "adapt.start", {"step": 0}),
+            FlightEvent(1, 0.1, "adapt.end", {"step": 0}),
+            FlightEvent(2, 0.2, "adapt.start", {"step": 1}),
+        ]
+        frames = replay_frames(events)
+        assert [f["closed"] for f in frames] == [True, False]
+
+    def test_unknown_kind_tallied(self):
+        events = [
+            FlightEvent(0, 0.0, "adapt.start", {"step": 0}),
+            FlightEvent(1, 0.1, "martian.telemetry", {}),
+            FlightEvent(2, 0.2, "adapt.end", {"step": 0}),
+        ]
+        (frame,) = replay_frames(events)
+        assert frame["unknown"] == {"martian.telemetry": 1}
+
+    def test_deterministic(self):
+        flight = _instrumented_flight(n_steps=3)
+        events = flight.events()
+        assert replay_frames(events) == replay_frames(list(events))
+
+    def test_empty_log_no_frames(self):
+        assert replay_frames([]) == []
+
+
+class TestObsServerReplay:
+    @pytest.fixture()
+    def log_path(self, tmp_path):
+        return _instrumented_flight(n_steps=4).write_jsonl(tmp_path / "run.jsonl")
+
+    def _serve(self, fn, *paths, attach=""):
+        async def main():
+            server = ObsServer(replay=paths, attach=attach)
+            await server.start()
+            try:
+                await fn(server)
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_mode_is_exclusive(self, log_path):
+        with pytest.raises(ValueError, match="exactly one"):
+            ObsServer()
+        with pytest.raises(ValueError, match="exactly one"):
+            ObsServer(replay=[log_path], attach="127.0.0.1:1")
+        with pytest.raises(ValueError, match="HOST:PORT"):
+            ObsServer(attach="no-port")
+
+    def test_healthz_and_static_assets(self, log_path):
+        async def check(server):
+            status, health = await http_json(
+                server.host, server.port, "GET", "/healthz"
+            )
+            assert status == 200
+            assert health == {"status": "ok", "mode": "replay", "sessions": 1}
+            status, index = await http_text(server.host, server.port, "/")
+            assert status == 200 and "mission control" in index
+            status, js = await http_text(
+                server.host, server.port, "/static/visualization.js"
+            )
+            assert status == 200 and "foldEvent" in js
+            status, _ = await http_text(
+                server.host, server.port, "/static/nope.js"
+            )
+            assert status == 404
+            # path traversal shapes never reach the filesystem
+            status, _ = await http_text(
+                server.host, server.port, "/static/..%2Fserver.py"
+            )
+            assert status == 404
+
+        self._serve(check, log_path)
+
+    def test_sessions_events_and_frames(self, log_path):
+        log = load_flight_jsonl(log_path)
+
+        async def check(server):
+            status, listing = await http_json(
+                server.host, server.port, "GET", "/api/sessions"
+            )
+            assert status == 200
+            (snap,) = listing["sessions"]
+            assert snap["id"] == "run"
+            assert snap["state"] == "replay"
+            assert snap["events_emitted"] == len(log)
+            assert snap["steps_completed"] == 4
+
+            lines = []
+            async for line in http_stream_lines(
+                server.host, server.port, "/api/sessions/run/events"
+            ):
+                lines.append(line)
+            assert flight_signature(_events_from_ndjson(lines)) == flight_signature(
+                list(log)
+            )
+
+            status, body = await http_json(
+                server.host, server.port, "GET", "/api/sessions/run/frames"
+            )
+            assert status == 200
+            assert body["frames"] == replay_frames(list(log))
+
+            status, _ = await http_json(
+                server.host, server.port, "GET", "/api/sessions/nope/frames"
+            )
+            assert status == 404
+            status, _ = await http_json(
+                server.host, server.port, "POST", "/api/sessions"
+            )
+            assert status == 405
+
+        self._serve(check, log_path)
+
+    def test_metrics_validate_under_replay_prefix(self, log_path):
+        async def check(server):
+            status, text = await http_text(server.host, server.port, "/api/metrics")
+            assert status == 200
+            samples = parse_prometheus(text)
+            assert samples["repro_replay_sources"] == [({}, 1.0)]
+            # the replayed log lands as flight.* counters in the rollup
+            assert ({"name": "flight.adapt.end"}, 4.0) in samples[
+                "repro_replay_counter_total"
+            ]
+
+        self._serve(check, log_path)
+
+    def test_duplicate_stems_get_suffixed(self, tmp_path):
+        (tmp_path / "a").mkdir()
+        (tmp_path / "b").mkdir()
+        a = _instrumented_flight(n_steps=2).write_jsonl(tmp_path / "a" / "run.jsonl")
+        b = _instrumented_flight(n_steps=2).write_jsonl(tmp_path / "b" / "run.jsonl")
+
+        async def check(server):
+            _, listing = await http_json(
+                server.host, server.port, "GET", "/api/sessions"
+            )
+            assert [s["id"] for s in listing["sessions"]] == ["run", "run-2"]
+
+        self._serve(check, a, b)
+
+
+class TestEndToEndAttach:
+    """The acceptance E2E: live fleet -> attach stream -> replay identity."""
+
+    def test_attach_stream_matches_ring_export_and_replay(self, tmp_path):
+        async def main():
+            store = SessionStore(capacity=8)
+            scheduler = SessionScheduler(store, SchedulerConfig(workers=1))
+            upstream = ServeServer(store, scheduler)
+            await upstream.start()
+            obs = ObsServer(attach=f"{upstream.host}:{upstream.port}")
+            await obs.start()
+            try:
+                status, snap = await http_json(
+                    upstream.host, upstream.port, "POST", "/sessions", {"steps": 3}
+                )
+                assert status == 201
+                sid = snap["id"]
+
+                # follow the session through the attach proxy until terminal
+                lines = []
+                async for line in http_stream_lines(
+                    obs.host, obs.port, f"/api/sessions/{sid}/events"
+                ):
+                    lines.append(line)
+                streamed = _events_from_ndjson(lines)
+
+                # bit-identical to the session's own ring export
+                session = store.get(sid)
+                assert session.terminal
+                assert flight_signature(streamed) == flight_signature(
+                    session.events()
+                )
+
+                # the proxied session list and metrics pass through
+                status, listing = await http_json(
+                    obs.host, obs.port, "GET", "/api/sessions"
+                )
+                assert status == 200
+                assert [s["id"] for s in listing["sessions"]] == [sid]
+                status, text = await http_text(obs.host, obs.port, "/api/metrics")
+                assert status == 200
+                samples = parse_prometheus(text)
+                assert samples["repro_serve_sessions"][0][0] == {"state": "done"}
+
+                # frames are a replay-mode concept: attach mode is 409
+                status, _ = await http_json(
+                    obs.host, obs.port, "GET", f"/api/sessions/{sid}/frames"
+                )
+                assert status == 409
+
+                # replay mode over the same JSONL serves identical frames
+                path = tmp_path / f"{sid}.jsonl"
+                path.write_text(
+                    "".join(line + "\n" for line in lines), encoding="utf-8"
+                )
+                replay = ObsServer(replay=[path])
+                await replay.start()
+                try:
+                    status, body = await http_json(
+                        replay.host, replay.port, "GET", f"/api/sessions/{sid}/frames"
+                    )
+                    assert status == 200
+                    assert body["frames"] == replay_frames(streamed)
+                    assert len(body["frames"]) == 3
+                    assert all(f["closed"] for f in body["frames"])
+                finally:
+                    await replay.stop()
+            finally:
+                await obs.stop()
+                await upstream.stop()
+
+        asyncio.run(main())
