@@ -1,0 +1,49 @@
+"""Chaos engineering for the serving tier.
+
+Seeded, fully deterministic fault campaigns against a live serve fleet:
+:mod:`repro.chaos.plan` describes the faults (pure data, validated at
+construction), :mod:`repro.chaos.harness` plays a plan against the real
+store/scheduler/API stack and renders a verdict, and
+:mod:`repro.chaos.suites` names the campaign sets CI runs
+(``repro chaos run --suite quick``).
+"""
+
+from repro.chaos.harness import CampaignConfig, CampaignReport, run_campaign
+from repro.chaos.plan import (
+    ChaosFault,
+    ChaosPlan,
+    ConsumerDisconnect,
+    JournalCorrupt,
+    JournalTruncate,
+    SessionKill,
+    SlowConsumer,
+    StepStall,
+    TapStorm,
+    WorkerCrash,
+)
+from repro.chaos.suites import (
+    SUITE_NAMES,
+    build_suite,
+    format_campaign_report,
+    run_suite,
+)
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignReport",
+    "ChaosFault",
+    "ChaosPlan",
+    "ConsumerDisconnect",
+    "JournalCorrupt",
+    "JournalTruncate",
+    "SUITE_NAMES",
+    "SessionKill",
+    "SlowConsumer",
+    "StepStall",
+    "TapStorm",
+    "WorkerCrash",
+    "build_suite",
+    "format_campaign_report",
+    "run_campaign",
+    "run_suite",
+]

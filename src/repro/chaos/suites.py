@@ -1,0 +1,169 @@
+"""Named chaos suites: the campaigns CI and the CLI actually run.
+
+``quick`` is the acceptance gate (the ``chaos-smoke`` CI job runs it
+twice and diffs the verdicts): a supervised worker-crash campaign plus
+a crash/recover journal-truncation campaign.  ``full`` adds the HTTP
+edge — slow and abruptly-disconnecting NDJSON consumers with the drain
+discipline checked at the end — and mid-file journal corruption.
+
+Every campaign in a suite derives from the suite ``seed``, so
+``build_suite(name, seed)`` is a pure function: same name and seed,
+same plans, same verdicts.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.harness import CampaignConfig, CampaignReport, run_campaign
+from repro.chaos.plan import (
+    ChaosPlan,
+    ConsumerDisconnect,
+    SlowConsumer,
+    TapStorm,
+)
+
+__all__ = ["SUITE_NAMES", "build_suite", "format_campaign_report", "run_suite"]
+
+SUITE_NAMES = ("quick", "full")
+
+
+def build_suite(name: str, seed: int = 0) -> list[CampaignConfig]:
+    """The campaign list of a named suite, fully derived from ``seed``."""
+    if name not in SUITE_NAMES:
+        raise ValueError(f"unknown suite {name!r}; choose from {SUITE_NAMES}")
+    quick = [
+        CampaignConfig(
+            name="worker-crash",
+            seed=seed,
+            sessions=6,
+            steps=5,
+            workers=3,
+            plan=ChaosPlan.seeded(
+                seed,
+                n_sessions=6,
+                n_steps=5,
+                workers=3,
+                n_worker_crashes=2,
+                n_stalls=1,
+                n_kills=1,
+                n_tap_storms=1,
+                stall_seconds=0.5,
+            ),
+        ),
+        CampaignConfig(
+            name="journal-truncate",
+            seed=seed + 1,
+            sessions=4,
+            steps=4,
+            workers=2,
+            plan=ChaosPlan.seeded(
+                seed + 1,
+                n_sessions=4,
+                n_steps=4,
+                workers=2,
+                n_worker_crashes=0,
+                n_stalls=0,
+                n_kills=0,
+                n_tap_storms=0,
+                journal="truncate",
+            ),
+        ),
+    ]
+    if name == "quick":
+        return quick
+    return quick + [
+        CampaignConfig(
+            name="consumer-churn",
+            seed=seed + 2,
+            sessions=5,
+            steps=4,
+            workers=2,
+            use_http=True,
+            plan=ChaosPlan(
+                faults=(
+                    TapStorm(session_index=0),
+                    SlowConsumer(session_index=1),
+                    SlowConsumer(session_index=2, read_limit=3),
+                    ConsumerDisconnect(session_index=3),
+                    ConsumerDisconnect(session_index=4, after_lines=1),
+                )
+            ),
+        ),
+        CampaignConfig(
+            name="journal-corrupt",
+            seed=seed + 3,
+            sessions=4,
+            steps=4,
+            workers=2,
+            plan=ChaosPlan.seeded(
+                seed + 3,
+                n_sessions=4,
+                n_steps=4,
+                workers=2,
+                n_worker_crashes=0,
+                n_stalls=0,
+                n_kills=0,
+                n_tap_storms=0,
+                journal="corrupt",
+            ),
+        ),
+    ]
+
+
+def run_suite(name: str, seed: int = 0) -> list[CampaignReport]:
+    """Run every campaign of a suite in order; reports in the same order."""
+    return [run_campaign(config) for config in build_suite(name, seed)]
+
+
+def format_campaign_report(report: CampaignReport) -> str:
+    """A compact human-readable verdict block for the CLI."""
+    flag = "PASS" if report.ok else "FAIL"
+    lines = [
+        f"campaign {report.name!r} (seed {report.seed}) — {flag}",
+        (
+            f"  fleet     : {report.sessions} session(s) x {report.steps} "
+            f"step(s); done={report.sessions_done} "
+            f"failed={report.sessions_failed} stuck={report.sessions_stuck}"
+        ),
+        (
+            f"  faults    : {report.n_faults} planned; "
+            f"worker crashes {report.worker_crashes} "
+            f"(restarts {report.worker_restarts}), "
+            f"stalls {report.stalls_scheduled}, kills {report.kills_scheduled}"
+        ),
+        (
+            f"  signatures: {report.signature_matches}/"
+            f"{report.signatures_checked} bit-identical to twins "
+            f"({'ok' if report.signature_ok else 'DIVERGED'})"
+        ),
+        (
+            f"  sanitizer : armed={bool(report.sanitizer_armed)} "
+            f"checks={report.sanitizer_checks} "
+            f"violations={report.sanitizer_violations}; "
+            f"invariant violations={report.invariant_violations}"
+        ),
+    ]
+    if report.tap_subscriptions:
+        lines.append(
+            f"  tap storm : {report.tap_overflowed}/{report.tap_subscriptions} "
+            f"subscriber(s) overflowed (dropped {report.tap_dropped_events})"
+        )
+    if report.consumers_slow or report.consumers_disconnected:
+        lines.append(
+            f"  consumers : {report.consumers_slow} slow + "
+            f"{report.consumers_disconnected} disconnecting; "
+            f"{report.consumer_lines} line(s) read, "
+            f"{report.consumer_errors} error(s)"
+        )
+    if report.drain_expected:
+        lines.append(
+            f"  drain     : drained={bool(report.drained)} "
+            f"post-drain shed={bool(report.shed_after_drain)}"
+        )
+    if report.journal_skipped_lines >= 0:
+        lines.append(
+            f"  journal   : skipped {report.journal_skipped_lines} "
+            f"truncated line(s), corruption detected="
+            f"{bool(report.corruption_detected)}, "
+            f"compacted to {report.journal_records} record(s)"
+        )
+    return "\n".join(lines)

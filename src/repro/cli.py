@@ -363,6 +363,43 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser(
+        "chaos",
+        help="seeded chaos campaigns against the serving tier",
+        description=(
+            "Runs deterministic fault campaigns against a live serve fleet: "
+            "worker-task crashes under the supervisor, step stalls, mid-run "
+            "session kills, tap-overflow storms, misbehaving NDJSON "
+            "consumers and journal truncation/corruption across a crash "
+            "restart.  Every campaign is fully determined by (plan, seed) "
+            "and ends with a verdict: zero stuck sessions, recovered flight "
+            "logs bit-identical to unperturbed twins, sanitizer armed and "
+            "clean.  See docs/robustness.md."
+        ),
+    )
+    chaos_sub = p.add_subparsers(dest="chaos_command", required=True)
+    p = chaos_sub.add_parser(
+        "run", help="run a chaos suite and report every campaign's verdict"
+    )
+    p.add_argument(
+        "--suite",
+        choices=["quick", "full"],
+        default="quick",
+        help="quick = worker-crash + journal-truncate (CI gate); "
+        "full adds the HTTP consumer churn and journal corruption",
+    )
+    p.add_argument("--seed", type=int, default=0, help="suite seed")
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="print the deterministic verdicts as a JSON array (CI diffs this)",
+    )
+    p.add_argument(
+        "--export-flight",
+        default=None,
+        help="write the harness's chaos.* flight events as JSONL here",
+    )
+
+    p = sub.add_parser(
         "serve",
         help="run the multi-tenant reallocation service (HTTP, stdlib only)",
         description=(
@@ -674,6 +711,41 @@ def _cmd_faults(args: argparse.Namespace) -> int:
         )
         return 1
     return exit_code
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.chaos import build_suite, format_campaign_report, run_campaign
+    from repro.obs.flight import FlightRecorder
+
+    reports = []
+    for config in build_suite(args.suite, seed=args.seed):
+        report = run_campaign(config)
+        reports.append(report)
+        if not args.json:
+            print(format_campaign_report(report))
+            print()
+    if args.json:
+        print(_json.dumps([r.verdict() for r in reports], indent=2, sort_keys=True))
+    if args.export_flight:
+        merged = FlightRecorder(capacity=512 * len(reports))
+        for report in reports:
+            for event in report.flight.events():
+                merged.emit(event.kind, **event.data)
+        merged.write_jsonl(args.export_flight)
+        print(f"chaos flight log -> {args.export_flight}", file=sys.stderr)
+    failed = [r.name for r in reports if not r.ok]
+    if failed:
+        print(
+            f"repro chaos run: FAILED — campaign(s) {', '.join(failed)} "
+            f"did not meet their verdict",
+            file=sys.stderr,
+        )
+        return 1
+    if not args.json:
+        print(f"repro chaos run: all {len(reports)} campaign(s) PASS")
+    return 0
 
 
 def _changed_python_files(base: str) -> list[str]:
@@ -1147,6 +1219,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return _cmd_obs_report(args)
     elif cmd == "faults":
         return _cmd_faults(args)
+    elif cmd == "chaos":
+        return _cmd_chaos(args)
     elif cmd == "serve":
         return _cmd_serve(args)
     elif cmd == "loadgen":

@@ -26,6 +26,7 @@ from repro.lint.rules.parity import KernelParityRule
 from repro.lint.rules.printing import BarePrintRule
 from repro.lint.rules.randomness import UnseededRandomnessRule
 from repro.lint.rules.swallow import SwallowedExceptionRule
+from repro.lint.rules.tasks import FireAndForgetTaskRule
 from repro.lint.rules.timing import DirectTimingRule
 from repro.lint.rules.validation import MissingValidationRule
 from repro.lint.rules.vectorization import ScalarMessageLoopRule
@@ -50,6 +51,7 @@ __all__ = [
     "OrderDependenceRule",
     "SharedMutationRule",
     "KernelParityRule",
+    "FireAndForgetTaskRule",
     "ALL_RULES",
     "get_rules",
 ]
@@ -70,6 +72,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     OrderDependenceRule,
     SharedMutationRule,
     KernelParityRule,
+    FireAndForgetTaskRule,
 )
 
 

@@ -24,6 +24,7 @@ phase                       what it times
 ``e2e.compare``             the ``repro compare`` path, scratch + diffusion
 ``serve.throughput``        a session fleet through the async scheduler
 ``serve.decision_latency``  one adaptation point through a live session
+``serve.recovery_latency``  cold journal recovery of a crashed fleet
 ``obs.tap_overhead``        flagship trace with a tap attached, 0 subscribers
 ``obs.tap_fanout``          flagship trace fanning out to 2 subscribers
 ==========================  ==================================================
@@ -455,6 +456,57 @@ def _setup_serve_decision_latency(quick: bool, kernels: str) -> Callable[[], obj
     return run
 
 
+def _setup_serve_recovery_latency(quick: bool, kernels: str) -> Callable[[], object]:
+    import json
+    import tempfile
+    from pathlib import Path
+
+    from repro.serve.session import ScenarioSpec
+    from repro.serve.store import SessionStore
+
+    # a crashed service's journal: a mix of finished, mid-run and pending
+    # sessions plus the truncated trailing record a crash mid-append
+    # leaves behind; one timed call = one cold SessionStore.recover()
+    # (compact=False so every repeat parses the identical file)
+    n_sessions = 32 if quick else 96
+    spec = ScenarioSpec(
+        seed=_BENCH_SEED,
+        steps=4,
+        machine=_QUICK_MACHINE if quick else _FULL_MACHINE,
+        kernels=kernels,
+    )
+    path = Path(tempfile.mkdtemp(prefix="repro-bench-recover-")) / "journal.jsonl"
+    lines = [json.dumps({"op": "counter", "next": n_sessions}, sort_keys=True)]
+    for i in range(n_sessions):
+        sid = f"s{i:05d}"
+        lines.append(
+            json.dumps(
+                {"op": "create", "id": sid, "spec": spec.to_dict()}, sort_keys=True
+            )
+        )
+        if i % 3 == 0:
+            state = {"op": "state", "id": sid, "state": "done", "step": 4, "reason": ""}
+        elif i % 3 == 1:
+            state = {
+                "op": "state",
+                "id": sid,
+                "state": "running",
+                "step": 2,
+                "reason": "",
+            }
+        else:
+            continue  # still pending: create record only
+        lines.append(json.dumps(state, sort_keys=True))
+    payload = "\n".join(lines) + "\n" + '{"op": "state", "id": "s000'
+    path.write_text(payload, encoding="utf-8")
+
+    def run() -> object:
+        store = SessionStore.recover(path, capacity=n_sessions + 1, compact=False)
+        return (len(store), store.journal_skipped_lines)
+
+    return run
+
+
 def _obs_tap_setup(
     quick: bool, kernels: str, n_subscribers: int
 ) -> Callable[[], object]:
@@ -559,6 +611,11 @@ def bench_phases() -> tuple[BenchPhase, ...]:
             "serve.decision_latency",
             "one adaptation point through a live session",
             _setup_serve_decision_latency,
+        ),
+        BenchPhase(
+            "serve.recovery_latency",
+            "cold SessionStore.recover() of a crashed fleet's journal",
+            _setup_serve_recovery_latency,
         ),
         BenchPhase(
             "obs.tap_overhead",

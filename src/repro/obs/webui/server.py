@@ -100,9 +100,13 @@ KNOWN_EVENT_KINDS = frozenset(
         "recovery.done",
         "sanitizer.violation",
         "session.state",
+        "stream.gap",
         "pda.partial",
         "soak.data_mismatch",
         "soak.invariant_violation",
+        "chaos.phase",
+        "chaos.fault",
+        "chaos.verdict",
     }
 )
 

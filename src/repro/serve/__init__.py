@@ -11,7 +11,17 @@ the API (:mod:`repro.serve.api`) exposes it all over plain-stdlib HTTP;
 and the load generator (:mod:`repro.serve.loadgen`) measures the whole
 stack closed-loop for the ``serve.*`` benchmark phases.
 
-See ``docs/serving.md`` for the architecture tour.
+The tier is hardened for failure on purpose: the scheduler supervises
+its workers (crashed worker tasks restart with seeded backoff and their
+in-flight session is re-queued exactly once), the API sheds load with
+503 + ``Retry-After`` when draining or over the queue high-water mark,
+``POST /drain`` shuts the service down gracefully, and the store's
+journal is crash-consistent (truncated tails skipped and counted,
+mid-file corruption refused, compaction on recovery).
+:mod:`repro.chaos` drives all of it through seeded fault campaigns.
+
+See ``docs/serving.md`` for the architecture tour and
+``docs/robustness.md`` for the chaos campaigns.
 """
 
 from repro.serve.session import (

@@ -20,16 +20,29 @@ GET      ``/sessions/{id}/events``       NDJSON stream of flight events
 POST     ``/sessions/{id}/kill``         inject a rank crash (fails the session)
 POST     ``/sessions/{id}/pause``        pause a running session
 POST     ``/sessions/{id}/resume``       resume and requeue a paused session
-GET      ``/healthz``                    200 ok / 503 degraded (liveness window)
+POST     ``/drain``                      graceful shutdown: stop intake, finish
+                                         running steps, compact the journal
+GET      ``/healthz``                    200 ok / 503 degraded or draining
+                                         (liveness window + drain flag)
 GET      ``/metrics``                    Prometheus text exposition of the whole
                                          service (``?format=json`` for the raw
                                          counter dict)
 =======  ==============================  ======================================
 
+Admission control: ``POST /sessions`` sheds with ``503`` + a
+``Retry-After`` header while the service is degraded, draining, or the
+scheduler queue sits above the configured high-water mark — a struggling
+service says "later" at the door instead of queueing work it cannot
+digest (counted in ``repro_serve_shed_total``).
+
 The events stream polls the session's flight ring and writes each new
 event as one JSON line, ending the response (and closing the
 connection) once the session is terminal and every retained event has
-been delivered.
+been delivered.  The ring is the bounded per-client buffer: a stalled
+consumer blocks only its own coroutine (TCP backpressure on one
+connection), and when it falls behind the ring's capacity the stream
+inserts a ``{"kind": "stream.gap", "lost": n}`` line — loss is counted,
+never silent, exactly like :class:`~repro.obs.stream.FlightTap`.
 
 ``/metrics`` renders through :mod:`repro.obs.aggregate`: service-level
 gauges (sessions by state, queue depth, lane submissions) plus the
@@ -41,6 +54,7 @@ and flight ring — scrapeable by a stock Prometheus, validated by
 from __future__ import annotations
 
 import asyncio
+import json
 from collections.abc import Sequence
 
 from repro.obs import (
@@ -148,6 +162,30 @@ def serve_metrics(
             "Failures currently inside the liveness window.",
             float(recent_failures),
         ),
+        single(
+            "repro_serve_shed_total",
+            "counter",
+            "Session submissions rejected by admission control (503).",
+            float(scheduler.shed_total),
+        ),
+        single(
+            "repro_serve_worker_restarts_total",
+            "counter",
+            "Crashed workers restarted by the supervisor.",
+            float(scheduler.worker_restarts),
+        ),
+        single(
+            "repro_serve_step_timeouts_total",
+            "counter",
+            "Adaptation points that exceeded the step timeout (incl. retries).",
+            float(scheduler.step_timeouts),
+        ),
+        single(
+            "repro_serve_draining",
+            "gauge",
+            "1 once a drain began (intake off), else 0.",
+            1.0 if scheduler.draining else 0.0,
+        ),
     ]
     rollup = aggregate_fleet(
         recorders=[s.recorder for s in sessions],
@@ -202,7 +240,9 @@ class ServeServer:
             method, path, query, body = await read_request(reader)
             await self._route(method, path, query, body, writer)
         except HTTPError as exc:
-            await send_json(writer, exc.status, {"error": exc.message})
+            await send_json(
+                writer, exc.status, {"error": exc.message}, headers=exc.headers
+            )
         except (ConnectionError, asyncio.IncompleteReadError) as exc:
             log.debug("client connection dropped: %s", exc)
         except Exception:
@@ -232,8 +272,20 @@ class ServeServer:
             health = self.scheduler.health.snapshot()
             health["sessions"] = snap
             health["flight"] = self._flight_totals()
-            status = 503 if self.scheduler.health.degraded else 200
+            if self.scheduler.draining:
+                # draining outranks degraded: the service is leaving on
+                # purpose, not struggling — load balancers treat both as
+                # "stop sending traffic" but operators must not page on it
+                health["status"] = "draining"
+            status = (
+                503
+                if (self.scheduler.draining or self.scheduler.health.degraded)
+                else 200
+            )
             await send_json(writer, status, health)
+            return
+        if path == "/drain" and method == "POST":
+            await self._drain(writer)
             return
         if path == "/metrics" and method == "GET":
             if query.get("format") == "json":
@@ -323,9 +375,37 @@ class ServeServer:
         except KeyError as exc:
             raise HTTPError(404, str(exc)) from exc
 
+    def _admission_reason(self) -> tuple[str, str] | None:
+        """Why a new session must be shed right now: (reason, retry-after).
+
+        Draining is permanent for this process (retry elsewhere, later);
+        degraded and queue pressure are transient (retry here, soon).
+        """
+        scheduler = self.scheduler
+        if scheduler.draining:
+            return "service is draining; not accepting new sessions", "60"
+        if scheduler.config.shed_when_degraded and scheduler.health.degraded:
+            return "service is degraded; retry shortly", "1"
+        if scheduler.queue_depth > scheduler.config.admission_high_water:
+            return (
+                f"scheduler queue above high-water mark "
+                f"({scheduler.queue_depth} > "
+                f"{scheduler.config.admission_high_water}); retry shortly",
+                "1",
+            )
+        return None
+
     async def _create_session(
         self, body: bytes, writer: asyncio.StreamWriter
     ) -> None:
+        shed = self._admission_reason()
+        if shed is not None:
+            reason, retry_after = shed
+            self.scheduler.shed_total += 1
+            log.warning("shedding session submission: %s", reason)
+            raise HTTPError(
+                503, reason, headers=(("Retry-After", retry_after),)
+            )
         payload = parse_json(body) if body else {}
         try:
             spec = ScenarioSpec.from_dict(payload)
@@ -336,6 +416,29 @@ class ServeServer:
             raise HTTPError(429, str(exc)) from exc
         self.scheduler.submit(session)
         await send_json(writer, 201, session.snapshot())
+
+    async def _drain(self, writer: asyncio.StreamWriter) -> None:
+        """Graceful shutdown: stop intake, finish steps, flush the journal.
+
+        Idempotent — a second POST reports the already-drained state.
+        The response only returns once the queue is empty and the journal
+        is compacted, so callers can treat a 200 as "safe to kill the
+        process".
+        """
+        already = self.scheduler.draining
+        self.scheduler.begin_drain()
+        await self.scheduler.drain()
+        compacted = self.store.compact()
+        await send_json(
+            writer,
+            200,
+            {
+                "status": "draining",
+                "already_draining": already,
+                "sessions": self.store.counts(),
+                "journal_records": compacted,
+            },
+        )
 
     async def _stream_events(
         self, session: Session, writer: asyncio.StreamWriter
@@ -348,6 +451,11 @@ class ServeServer:
         next_seq = 0
         while True:
             fresh = session.events(since_seq=next_seq)
+            if fresh and fresh[0].seq > next_seq:
+                # the ring wrapped past this client (it stalled, or it
+                # subscribed late): report the hole instead of hiding it
+                gap = {"kind": "stream.gap", "lost": fresh[0].seq - next_seq}
+                writer.write(json.dumps(gap, sort_keys=True).encode() + b"\n")
             for event in fresh:
                 writer.write(event.to_json().encode() + b"\n")
                 next_seq = event.seq + 1
@@ -374,6 +482,10 @@ class ServeServer:
             "queue_depth": self.scheduler.queue_depth,
             "lanes": dict(self.scheduler.lane_submitted),
             "steps_run": self.scheduler.steps_run,
+            "step_timeouts": self.scheduler.step_timeouts,
+            "shed": self.scheduler.shed_total,
+            "worker_restarts": self.scheduler.worker_restarts,
+            "draining": self.scheduler.draining,
             "flight": self._flight_totals(),
             "health": self.scheduler.health.snapshot(),
         }

@@ -26,6 +26,22 @@ Liveness is a sliding window over recent step outcomes
 and the service reports healthy again once enough healthy steps push
 the failure out of the window — degraded-then-recovered, observable
 from the outside.
+
+The pool is *supervised*: a supervisor task watches the workers and
+restarts any that die (chaos kills them on purpose through
+:meth:`SessionScheduler.crash_worker`; a bug could too) after a seeded
+backoff pause.  A worker cancelled mid-step records which session it
+was advancing, and the supervisor re-queues exactly that session exactly
+once — safe because ``advance`` is idempotent at the queue level: the
+orphaned ``to_thread`` step finishes under the session lock, the
+re-queued entry simply runs the *next* step from the
+:class:`~repro.experiments.runner.WorkloadStepper` resume point (or
+no-ops if the session meanwhile reached a terminal state).
+
+``begin_drain`` flips the scheduler into drain mode: queued entries are
+discarded as they surface (their ``task_done`` still fires, so
+``drain()`` completes), in-flight steps finish naturally, and completed
+steps stop re-queueing — intake off, nothing abandoned mid-step.
 """
 
 from __future__ import annotations
@@ -61,6 +77,14 @@ class SchedulerConfig:
     backoff_seed: int = 424242  # jitter stream of the retry backoff
     health_window: int = 16  # step outcomes the liveness window remembers
     backoff: BackoffPolicy = field(default_factory=BackoffPolicy)
+    supervised: bool = True  # restart crashed workers
+    max_worker_restarts: int = 32  # supervisor gives up past this (crash loop)
+    admission_high_water: int = 256  # queue depth beyond which intake sheds
+    #: also shed while the liveness window holds a failure.  Off by
+    #: default: only *steps* heal the window, so a degraded-but-idle
+    #: service that shed everything could never recover — enable it where
+    #: a load balancer retries elsewhere (and in chaos campaigns)
+    shed_when_degraded: bool = False
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -75,6 +99,14 @@ class SchedulerConfig:
             raise ValueError(f"backoff_scale must be >= 0, got {self.backoff_scale}")
         if self.health_window < 1:
             raise ValueError(f"health_window must be >= 1, got {self.health_window}")
+        if self.max_worker_restarts < 0:
+            raise ValueError(
+                f"max_worker_restarts must be >= 0, got {self.max_worker_restarts}"
+            )
+        if self.admission_high_water < 1:
+            raise ValueError(
+                f"admission_high_water must be >= 1, got {self.admission_high_water}"
+            )
 
 
 class ServiceHealth:
@@ -135,17 +167,35 @@ class SessionScheduler:
         )
         self._seq = itertools.count()
         self._workers: list[asyncio.Task[None]] = []
+        self._supervisor: asyncio.Task[None] | None = None
+        self._stopping = False
+        #: worker index -> session id it was advancing when cancelled; the
+        #: supervisor pops each entry exactly once when it restarts the worker
+        self._interrupted: dict[int, str] = {}
         self._backoff_rng = make_rng(self.config.backoff_seed)
+        # the supervisor jitters restart pauses from its own stream so a
+        # chaos campaign's timeline never shifts the step-retry jitter
+        self._restart_rng = make_rng(self.config.backoff_seed + 1)
         self.steps_run = 0
+        self.step_timeouts = 0
+        self.worker_restarts = 0
+        #: sessions rejected at the door (admission control lives in the
+        #: API layer, the counter here so /metrics sees one scheduler)
+        self.shed_total = 0
+        self.draining = False
         #: external submissions by lane name (requeues after a completed
         #: step bypass ``submit`` on purpose and are not counted here)
         self.lane_submitted: dict[str, int] = {"priority": 0, "default": 0}
 
     # -- submission ------------------------------------------------------
 
+    @staticmethod
+    def _lane_of(session: Session) -> int:
+        return _PRIORITY_LANE if session.spec.priority > 0 else _DEFAULT_LANE
+
     def submit(self, session: Session) -> None:
         """Queue a session for its next adaptation point."""
-        lane = _PRIORITY_LANE if session.spec.priority > 0 else _DEFAULT_LANE
+        lane = self._lane_of(session)
         name = "priority" if lane == _PRIORITY_LANE else "default"
         self.lane_submitted[name] += 1
         self._queue.put_nowait((lane, next(self._seq), session.session_id))
@@ -164,16 +214,29 @@ class SessionScheduler:
     # -- worker pool lifecycle -------------------------------------------
 
     async def start(self) -> None:
-        """Spawn the worker pool (idempotent)."""
+        """Spawn the worker pool and its supervisor (idempotent)."""
         if self._workers:
             return
-        self._workers = [
-            asyncio.create_task(self._worker(i), name=f"serve-worker-{i}")
-            for i in range(self.config.workers)
-        ]
+        self._stopping = False
+        self._workers = [self._spawn_worker(i) for i in range(self.config.workers)]
+        if self.config.supervised:
+            self._supervisor = asyncio.create_task(
+                self._supervise(), name="serve-supervisor"
+            )
+
+    def _spawn_worker(self, index: int) -> asyncio.Task[None]:
+        return asyncio.create_task(self._worker(index), name=f"serve-worker-{index}")
 
     async def stop(self) -> None:
-        """Cancel the workers and wait for them to unwind."""
+        """Cancel the supervisor and workers and wait for them to unwind."""
+        self._stopping = True
+        if self._supervisor is not None:
+            self._supervisor.cancel()
+            try:
+                await self._supervisor
+            except asyncio.CancelledError:
+                log.debug("supervisor cancelled")
+            self._supervisor = None
         for task in self._workers:
             task.cancel()
         for task in self._workers:
@@ -182,6 +245,111 @@ class SessionScheduler:
             except asyncio.CancelledError:
                 log.debug("worker %s cancelled", task.get_name())
         self._workers = []
+        self._interrupted.clear()
+
+    # -- chaos + supervision ---------------------------------------------
+
+    def crash_worker(self, index: int) -> str:
+        """Chaos seam: kill one live worker task as if it had crashed.
+
+        The supervisor notices, restarts the slot after a seeded backoff,
+        and re-queues whatever session the worker was holding.  If the
+        targeted slot is already dead (e.g. a previous crash whose
+        restart is still in its backoff pause), the next live worker is
+        crashed instead, so every planned crash costs exactly one
+        worker.  Returns the cancelled task's name.
+        """
+        if not self._workers:
+            raise RuntimeError("scheduler is not running")
+        n = len(self._workers)
+        for offset in range(n):
+            task = self._workers[(index + offset) % n]
+            # a task with a pending cancel request is already as good as
+            # dead — two back-to-back crashes must cost two workers, not
+            # collapse onto one not-yet-reaped victim
+            if not task.done() and task.cancelling() == 0:
+                task.cancel()
+                return task.get_name()
+        raise RuntimeError("no live worker left to crash")
+
+    async def _supervise(self) -> None:
+        """Restart dead workers with seeded backoff; re-queue their session.
+
+        Each round first sweeps for *already*-dead workers — a worker can
+        die while the supervisor is asleep in a previous restart's
+        backoff, and a wait over only-live tasks would never see it —
+        and only parks in ``asyncio.wait`` once every slot is alive (or
+        permanently abandoned to a spent restart budget).
+        """
+        abandoned: set[int] = set()
+        while True:
+            if self._stopping:
+                return
+            dead = [
+                (i, t)
+                for i, t in enumerate(self._workers)
+                if t.done() and i not in abandoned
+            ]
+            if not dead:
+                pending = [t for t in self._workers if not t.done()]
+                if not pending:
+                    log.error("supervisor: no live workers left")
+                    return
+                await asyncio.wait(pending, return_when=asyncio.FIRST_COMPLETED)
+                continue
+            for index, task in dead:
+                try:
+                    exc = task.exception()
+                except asyncio.CancelledError:
+                    exc = None
+                if self.worker_restarts >= self.config.max_worker_restarts:
+                    log.error(
+                        "worker %s died (%r) but the restart budget (%d) is "
+                        "spent — leaving the slot dead",
+                        task.get_name(),
+                        exc,
+                        self.config.max_worker_restarts,
+                    )
+                    abandoned.add(index)
+                    continue
+                self.worker_restarts += 1
+                pause = (
+                    self.config.backoff.delay(1, self._restart_rng)
+                    * self.config.backoff_scale
+                )
+                log.warning(
+                    "worker %s died (%r); restarting after %.3fs",
+                    task.get_name(),
+                    exc,
+                    pause,
+                )
+                await asyncio.sleep(pause)
+                self._workers[index] = self._spawn_worker(index)
+                self._requeue_interrupted(index)
+
+    def _requeue_interrupted(self, index: int) -> None:
+        """Re-queue the session a cancelled worker was mid-step on, once."""
+        sid = self._interrupted.pop(index, None)
+        if sid is None:
+            return
+        try:
+            session = self.store.get(sid)
+        except KeyError:
+            return
+        if session.terminal or self.draining:
+            return
+        self._queue.put_nowait((self._lane_of(session), next(self._seq), sid))
+        log.info("re-queued session %s after worker %d crash", sid, index)
+
+    def begin_drain(self) -> None:
+        """Stop intake: discard queued entries, let in-flight steps finish.
+
+        After this, ``drain()`` completes as soon as the queue empties —
+        completed steps no longer re-queue their session.  The flag is
+        one-way for the scheduler's lifetime; restart the service to
+        accept work again.
+        """
+        self.draining = True
 
     async def drain(self) -> None:
         """Wait until every queued session has reached a terminal state.
@@ -189,7 +357,7 @@ class SessionScheduler:
         Sessions requeue themselves after each step *before* marking the
         queue entry done, so ``join()`` only completes once nothing is
         queued and nothing will requeue — i.e. every submitted session is
-        DONE or FAILED.
+        DONE or FAILED (or, after :meth:`begin_drain`, simply parked).
         """
         await self._queue.join()
 
@@ -209,6 +377,11 @@ class SessionScheduler:
             lane, _seq, sid = await self._queue.get()
             try:
                 await self._advance_one(sid, lane)
+            except asyncio.CancelledError:
+                # crashed (or chaos-cancelled) mid-step: leave a note so the
+                # supervisor can re-queue this session with the restart
+                self._interrupted[index] = sid
+                raise
             except Exception:
                 # a worker must never die to one bad session
                 log.exception("worker %d: unexpected error on %s", index, sid)
@@ -217,6 +390,8 @@ class SessionScheduler:
                 self._queue.task_done()
 
     async def _advance_one(self, sid: str, lane: int) -> None:
+        if self.draining:
+            return  # drain discards queued work; in-flight steps finish
         try:
             session = self.store.get(sid)
         except KeyError:
@@ -227,10 +402,14 @@ class SessionScheduler:
         retries = 0
         while True:
             try:
-                await asyncio.wait_for(
-                    asyncio.to_thread(session.advance),
-                    timeout=self.config.step_timeout,
-                )
+                # asyncio.timeout, not wait_for: under 3.11 wait_for can
+                # absorb an *external* Task.cancel() that races its own
+                # timeout cancellation, leaving a chaos-crashed worker
+                # alive with its cancel silently lost.  timeout() only
+                # converts its own expiry to TimeoutError; a real cancel
+                # always propagates.
+                async with asyncio.timeout(self.config.step_timeout):
+                    await asyncio.to_thread(session.advance)
                 self.steps_run += 1
                 self.health.record_ok()
                 break
@@ -244,6 +423,7 @@ class SessionScheduler:
                 return
             except TimeoutError:
                 retries += 1
+                self.step_timeouts += 1
                 if retries > self.config.max_step_retries:
                     session.fail(
                         f"adaptation point exceeded {self.config.step_timeout}s "
@@ -270,6 +450,6 @@ class SessionScheduler:
                 self.health.record_failure()
                 log.exception("session %s failed", sid)
                 return
-        if not session.terminal:
+        if not session.terminal and not self.draining:
             # back of its own lane: fair round-robin among peers
             self._queue.put_nowait((lane, next(self._seq), sid))

@@ -38,6 +38,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 
 from repro.core.diffusion import DiffusionStrategy
+from repro.core.invariants import InvariantViolation, check_all
 from repro.core.metrics import StepMetrics
 from repro.core.scratch import ScratchStrategy
 from repro.core.strategy import ReallocationStrategy
@@ -61,6 +62,7 @@ from repro.obs import (
 )
 from repro.obs.timeline import ADAPTATION_SPAN
 from repro.topology import MACHINES
+from repro.util.logging import get_logger
 
 __all__ = [
     "ScenarioSpec",
@@ -74,6 +76,8 @@ __all__ = [
 #: events kept per session ring — enough for every adaptation event of a
 #: long scenario while keeping 64+ concurrent sessions bounded in memory
 DEFAULT_SESSION_FLIGHT_CAPACITY = 2048
+
+log = get_logger("serve.session")
 
 _WORKLOADS = ("synthetic", "mumbai")
 _STRATEGIES = ("scratch", "diffusion", "dynamic")
@@ -239,6 +243,7 @@ class Session:
         )
         self._stepper: WorkloadStepper | None = None
         self._injector: FaultInjector | None = None
+        self._stalls: dict[int, float] = {}  # chaos: step index -> extra seconds
         self._lock = threading.Lock()
 
     # -- introspection --------------------------------------------------
@@ -246,6 +251,16 @@ class Session:
     @property
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
+
+    @property
+    def busy(self) -> bool:
+        """Whether a step currently holds the session lock.
+
+        Cancelling a worker task does not stop its ``to_thread`` step;
+        the chaos harness polls this to wait for true quiescence before
+        it damages the journal under a stopped scheduler.
+        """
+        return self._lock.locked()
 
     @property
     def steps_completed(self) -> int:
@@ -366,6 +381,50 @@ class Session:
             self._injector = FaultInjector(plan)
             return step
 
+    def stall_step(self, seconds: float, at_step: int | None = None) -> int:
+        """Chaos seam: hold the given adaptation point for ``seconds``.
+
+        The stall happens inside ``advance`` while the session lock is
+        held, which is exactly how a genuinely slow step looks to the
+        scheduler — its ``wait_for`` fires, the retry serialises behind
+        the lock, and the step still completes.  The pause is a pure
+        delay (``threading.Event.wait``), so it perturbs *scheduling*
+        without touching the simulation's deterministic state.  Returns
+        the step that will stall (the next one by default).
+        """
+        if seconds < 0:
+            raise ValueError(f"seconds must be >= 0, got {seconds}")
+        with self._lock:
+            if self.terminal:
+                raise SessionError(
+                    f"session {self.session_id}: cannot stall a "
+                    f"{self.state.value} session"
+                )
+            step = self.steps_completed if at_step is None else at_step
+            self._stalls[step] = seconds
+            return step
+
+    def check_invariants(self) -> int:
+        """Run the core invariant suite on the current allocation.
+
+        Returns the number of violations (0 or 1 — ``check_all`` stops at
+        the first).  A session that never built its stepper, or whose
+        reallocator holds no allocation yet, vacuously passes.
+        """
+        stepper = self._stepper
+        if stepper is None or stepper.realloc.allocation is None:
+            return 0
+        try:
+            check_all(
+                stepper.realloc.allocation,
+                plan=None,
+                nest_sizes=dict(stepper.realloc.nest_sizes),
+            )
+        except InvariantViolation as exc:
+            log.error("session %s: invariant violated: %s", self.session_id, exc)
+            return 1
+        return 0
+
     # -- the hot path ----------------------------------------------------
 
     def advance(self) -> StepMetrics:
@@ -380,6 +439,11 @@ class Session:
                 )
             stepper = self._stepper
             assert stepper is not None
+            stall = self._stalls.pop(stepper.next_step, 0.0)
+            if stall > 0:
+                # a fresh Event is never set: wait() is a plain interruptible
+                # sleep that holds the session lock, like a slow step would
+                threading.Event().wait(stall)
             with use_flight_recorder(self.flight):
                 if self._injector is not None:
                     fired = self._injector.apply_step(stepper.next_step)

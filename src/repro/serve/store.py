@@ -17,11 +17,22 @@ process can be reconstructed with :meth:`SessionStore.recover`:
 Journal appends happen from worker threads (a session transitions inside
 ``asyncio.to_thread``), so the store serialises its mutations with a
 lock.
+
+Crash consistency mirrors the flight-recorder loader
+(:func:`repro.obs.flight.load_flight_jsonl`): a process that dies
+mid-append leaves a truncated *trailing* record, which recovery skips
+and counts (``journal_skipped_lines``) — the affected session simply
+replays its last transition or re-runs from its spec.  A bad line
+*before* a good one cannot be explained by a crash mid-append, so it is
+treated as corruption and recovery refuses to guess.  Recovery then
+:meth:`~SessionStore.compact`\\ s the journal — an atomic rewrite down to
+the minimal current state — so damage never survives a restart.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 from pathlib import Path
 
@@ -66,6 +77,8 @@ class SessionStore:
         # inside asyncio.to_thread), so they get their own lock
         self._journal_lock = threading.Lock()
         self.evicted = 0
+        #: truncated trailing journal lines skipped by the last recovery
+        self.journal_skipped_lines = 0
 
     # -- queries ---------------------------------------------------------
 
@@ -163,23 +176,80 @@ class SessionStore:
         with self._journal_lock, self.journal_path.open("a", encoding="utf-8") as fh:
             fh.write(line + "\n")
 
+    def compact(self) -> int:
+        """Atomically rewrite the journal down to the current state.
+
+        The append-only journal grows one line per transition and keeps
+        history for sessions long evicted.  Compaction rewrites it to the
+        minimal equivalent: one ``counter`` record (so the id counter
+        survives the loss of evicted sessions' ``create`` lines), one
+        ``create`` per stored session, and one ``state`` per session that
+        has left PENDING.  The rewrite goes through a temp file and
+        ``os.replace``, so a crash mid-compaction leaves either the old
+        or the new journal — never a mix.  Returns the number of records
+        written (0 when the store has no journal).
+        """
+        if self.journal_path is None:
+            return 0
+        with self._lock:
+            sessions = list(self._sessions.values())
+            next_id = self._next_id
+        entries: list[dict[str, object]] = [{"op": "counter", "next": next_id}]
+        for session in sessions:
+            entries.append(
+                {
+                    "op": "create",
+                    "id": session.session_id,
+                    "spec": session.spec.to_dict(),
+                }
+            )
+            if session.state is SessionState.PENDING:
+                continue
+            step = session.transitions[-1].step if session.transitions else 0
+            entries.append(
+                {
+                    "op": "state",
+                    "id": session.session_id,
+                    "state": session.state.value,
+                    "step": max(step, session.steps_completed),
+                    "reason": session.error,
+                }
+            )
+        payload = "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries)
+        tmp = self.journal_path.with_name(self.journal_path.name + ".compact")
+        with self._journal_lock:
+            tmp.write_text(payload, encoding="utf-8")
+            os.replace(tmp, self.journal_path)
+        log.info(
+            "compacted journal %s to %d record(s)", self.journal_path, len(entries)
+        )
+        return len(entries)
+
     @classmethod
     def recover(
         cls,
         journal_path: str | Path,
         capacity: int = DEFAULT_CAPACITY,
         flight_capacity: int | None = None,
+        compact: bool = True,
     ) -> SessionStore:
         """Rebuild a store from its journal after a process crash.
 
-        The new store journals to the same path, appending after what it
-        just replayed.
+        The journal is read with the same lenient policy as
+        :func:`repro.obs.flight.load_flight_jsonl`: a bad *trailing* line
+        is the signature of a crash mid-append, so it is skipped and
+        counted in ``journal_skipped_lines``; a bad line *before* a good
+        one means the file was damaged some other way and recovery raises
+        ``ValueError`` rather than silently dropping records.
+
+        The new store journals to the same path.  With ``compact`` (the
+        default) the journal is rewritten to the minimal recovered state
+        so truncation damage and stale history do not survive the
+        restart; pass ``compact=False`` to leave the file untouched
+        (read-only inspection, benchmarks).
         """
         path = Path(journal_path)
-        specs: dict[str, ScenarioSpec] = {}
-        states: dict[str, tuple[SessionState, int, str]] = {}
-        order: list[str] = []
-        created_total = 0  # including later-evicted sessions: restores the id counter
+        parsed: list[tuple[int, dict[str, object] | None, str]] = []
         with path.open("r", encoding="utf-8") as fh:
             for lineno, line in enumerate(fh, start=1):
                 line = line.strip()
@@ -187,29 +257,51 @@ class SessionStore:
                     continue
                 try:
                     entry = json.loads(line)
-                except json.JSONDecodeError as exc:
-                    raise ValueError(
-                        f"{path}:{lineno}: invalid journal line: {exc}"
-                    ) from exc
-                op = entry.get("op")
-                sid = entry.get("id")
-                if not isinstance(sid, str):
-                    raise ValueError(f"{path}:{lineno}: journal entry without id")
-                if op == "create":
-                    specs[sid] = ScenarioSpec.from_dict(entry["spec"])
-                    order.append(sid)
-                    created_total += 1
-                elif op == "state":
-                    states[sid] = (
-                        SessionState(entry["state"]),
-                        int(entry.get("step", 0)),
-                        str(entry.get("reason", "")),
+                    if not isinstance(entry, dict):
+                        raise ValueError("journal entry must be a JSON object")
+                    parsed.append((lineno, entry, ""))
+                except (json.JSONDecodeError, ValueError) as exc:
+                    parsed.append(
+                        (lineno, None, f"{path}:{lineno}: invalid journal line: {exc}")
                     )
-                elif op == "evict":
-                    specs.pop(sid, None)
-                    states.pop(sid, None)
-                else:
-                    raise ValueError(f"{path}:{lineno}: unknown journal op {op!r}")
+        good_indices = [i for i, (_, entry, _) in enumerate(parsed) if entry is not None]
+        last_good = good_indices[-1] if good_indices else -1
+        skipped = 0
+        specs: dict[str, ScenarioSpec] = {}
+        states: dict[str, tuple[SessionState, int, str]] = {}
+        order: list[str] = []
+        counter = 0  # restores the id counter past compaction + evictions
+        created_total = 0
+        for index, (lineno, entry, error) in enumerate(parsed):
+            if entry is None:
+                if index < last_good:
+                    raise ValueError(f"{error} (mid-file corruption)")
+                # crash mid-append: the half-written tail is expected loss
+                skipped += 1
+                log.warning("skipping truncated journal tail: %s", error)
+                continue
+            op = entry.get("op")
+            if op == "counter":
+                counter = max(counter, int(entry.get("next", 0)))  # type: ignore[call-overload]
+                continue
+            sid = entry.get("id")
+            if not isinstance(sid, str):
+                raise ValueError(f"{path}:{lineno}: journal entry without id")
+            if op == "create":
+                specs[sid] = ScenarioSpec.from_dict(entry["spec"])  # type: ignore[arg-type]
+                order.append(sid)
+                created_total += 1
+            elif op == "state":
+                states[sid] = (
+                    SessionState(entry["state"]),  # type: ignore[arg-type]
+                    int(entry.get("step", 0)),  # type: ignore[call-overload]
+                    str(entry.get("reason", "")),
+                )
+            elif op == "evict":
+                specs.pop(sid, None)
+                states.pop(sid, None)
+            else:
+                raise ValueError(f"{path}:{lineno}: unknown journal op {op!r}")
         # journalling stays off during replay — the entries being replayed
         # are already in the file
         store = cls(capacity=capacity, journal_path=None, flight_capacity=flight_capacity)
@@ -226,12 +318,16 @@ class SessionStore:
                 # session simply starts over as PENDING
                 session.recovered = True
                 recovered_live += 1
-        store._next_id = created_total
+        store._next_id = max(counter, created_total)
         store.journal_path = path
+        store.journal_skipped_lines = skipped
+        if compact and (skipped or parsed):
+            store.compact()
         log.info(
-            "recovered %d session(s) from %s (%d will re-run)",
+            "recovered %d session(s) from %s (%d will re-run, %d line(s) skipped)",
             len(store),
             path,
             recovered_live,
+            skipped,
         )
         return store

@@ -25,6 +25,7 @@ __all__ = [
     "parse_query",
     "read_request",
     "read_response",
+    "read_response_headers",
     "send_json",
     "send_text",
 ]
@@ -43,12 +44,22 @@ REASONS = {
 
 
 class HTTPError(Exception):
-    """Routing-level failure carrying the status code to send back."""
+    """Routing-level failure carrying the status code to send back.
 
-    def __init__(self, status: int, message: str) -> None:
+    ``headers`` are extra response headers, e.g. ``Retry-After`` on a
+    503 shed by admission control.
+    """
+
+    def __init__(
+        self,
+        status: int,
+        message: str,
+        headers: tuple[tuple[str, str], ...] = (),
+    ) -> None:
         super().__init__(message)
         self.status = status
         self.message = message
+        self.headers = headers
 
 
 # -- server side -----------------------------------------------------------
@@ -103,10 +114,13 @@ def parse_json(body: bytes) -> dict[str, object]:
 
 
 async def send_json(
-    writer: asyncio.StreamWriter, status: int, payload: dict[str, object]
+    writer: asyncio.StreamWriter,
+    status: int,
+    payload: dict[str, object],
+    headers: tuple[tuple[str, str], ...] = (),
 ) -> None:
     body = json.dumps(payload, sort_keys=True).encode()
-    await _send_body(writer, status, "application/json", body)
+    await _send_body(writer, status, "application/json", body, headers=headers)
 
 
 async def send_text(
@@ -119,13 +133,19 @@ async def send_text(
 
 
 async def _send_body(
-    writer: asyncio.StreamWriter, status: int, content_type: str, body: bytes
+    writer: asyncio.StreamWriter,
+    status: int,
+    content_type: str,
+    body: bytes,
+    headers: tuple[tuple[str, str], ...] = (),
 ) -> None:
     reason = REASONS.get(status, "Unknown")
+    extra = "".join(f"{name}: {value}\r\n" for name, value in headers)
     head = (
         f"HTTP/1.1 {status} {reason}\r\n"
         f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
+        f"{extra}"
         f"Connection: close\r\n\r\n"
     ).encode("latin-1")
     writer.write(head + body)
@@ -214,23 +234,37 @@ async def http_stream_lines(
         await writer.wait_closed()
 
 
-async def read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+async def read_response(
+    reader: asyncio.StreamReader,
+) -> tuple[int, bytes]:
     """Read a full close-delimited or Content-Length response."""
+    status, _headers, body = await read_response_headers(reader)
+    return status, body
+
+
+async def read_response_headers(
+    reader: asyncio.StreamReader,
+) -> tuple[int, dict[str, str], bytes]:
+    """Like :func:`read_response` but also returns the response headers.
+
+    Header names are lower-cased; clients asserting on ``Retry-After``
+    and friends go through this.
+    """
     status_line = (await reader.readline()).decode("latin-1").strip()
     try:
         status = int(status_line.split(" ", 2)[1])
     except (IndexError, ValueError) as exc:
         raise RuntimeError(f"malformed status line: {status_line!r}") from exc
-    content_length: int | None = None
+    headers: dict[str, str] = {}
     while True:
         header = (await reader.readline()).decode("latin-1").strip()
         if not header:
             break
         name, _, value = header.partition(":")
-        if name.strip().lower() == "content-length":
-            content_length = int(value.strip())
+        headers[name.strip().lower()] = value.strip()
+    content_length = headers.get("content-length")
     if content_length is not None:
-        body = await reader.readexactly(content_length)
+        body = await reader.readexactly(int(content_length))
     else:
         body = await reader.read()
-    return status, body
+    return status, headers, body

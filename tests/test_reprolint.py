@@ -823,6 +823,67 @@ class TestR010ScalarMessageLoops:
         assert rule_ids(src, select=["R010"]) == []
 
 
+class TestR015FireAndForget:
+    def test_bare_create_task_flagged(self):
+        src = """
+        import asyncio
+        async def f():
+            asyncio.create_task(work())
+        """
+        assert "R015" in rule_ids(src, select=["R015"])
+
+    def test_ensure_future_flagged(self):
+        src = """
+        import asyncio
+        async def f():
+            asyncio.ensure_future(work())
+        """
+        assert "R015" in rule_ids(src, select=["R015"])
+
+    def test_underscore_assignment_is_still_discarding(self):
+        src = """
+        import asyncio
+        async def f():
+            _ = asyncio.create_task(work())
+        """
+        assert "R015" in rule_ids(src, select=["R015"])
+
+    def test_retained_task_clean(self):
+        src = """
+        import asyncio
+        async def f(self):
+            self.task = asyncio.create_task(work())
+            pending = asyncio.create_task(more())
+            await pending
+        """
+        assert rule_ids(src, select=["R015"]) == []
+
+    def test_appended_to_registry_clean(self):
+        src = """
+        import asyncio
+        async def f(tasks):
+            tasks.append(asyncio.create_task(work()))
+        """
+        assert rule_ids(src, select=["R015"]) == []
+
+    def test_supervised_roots_exempt(self):
+        src = """
+        import asyncio
+        async def f():
+            asyncio.create_task(work())
+        """
+        assert rule_ids(src, module="repro.serve.scheduler", select=["R015"]) == []
+        assert rule_ids(src, module="repro.chaos.harness", select=["R015"]) == []
+
+    def test_other_serve_modules_not_exempt(self):
+        src = """
+        import asyncio
+        async def f():
+            asyncio.create_task(work())
+        """
+        assert "R015" in rule_ids(src, module="repro.serve.api", select=["R015"])
+
+
 class TestSuppression:
     def test_line_suppression(self):
         src = """

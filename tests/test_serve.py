@@ -353,3 +353,139 @@ class TestObsConcurrency:
             t.join()
         # without the lock this read-modify-write loses increments
         assert recorder.counters["stress.hits"] == n_threads * per_thread
+
+
+class TestJournalCrashConsistency:
+    """The journal must survive the ways processes actually die."""
+
+    def _seed_journal(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        store = SessionStore(journal_path=journal)
+        done = store.create(ScenarioSpec(steps=1, seed=1))
+        done.run_to_completion()
+        tail = store.create(ScenarioSpec(steps=3, seed=2))
+        return journal, done, tail
+
+    def test_truncated_tail_is_skipped_and_counted(self, tmp_path):
+        journal, done, tail = self._seed_journal(tmp_path)
+        raw = journal.read_bytes()
+        journal.write_bytes(raw[:-7])  # process died mid-append of the last record
+
+        recovered = SessionStore.recover(journal, compact=False)
+        assert recovered.journal_skipped_lines == 1
+        # the half-written record was `tail`'s create: that session is the
+        # expected loss, everything before it survives intact
+        assert len(recovered) == 1
+        assert tail.session_id not in recovered
+        assert recovered.get(done.session_id).state is SessionState.DONE
+
+    def test_midfile_corruption_is_refused(self, tmp_path):
+        journal, _, _ = self._seed_journal(tmp_path)
+        lines = journal.read_text(encoding="utf-8").splitlines()
+        lines[0] = '{"op": "create", "id": "s000'  # damage *before* good lines
+        journal.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        with pytest.raises(ValueError, match="mid-file corruption"):
+            SessionStore.recover(journal)
+
+    def test_recovery_compacts_the_damage_away(self, tmp_path):
+        journal, _, _ = self._seed_journal(tmp_path)
+        raw = journal.read_bytes()
+        journal.write_bytes(raw[:-7])
+
+        first = SessionStore.recover(journal)  # compact=True by default
+        assert first.journal_skipped_lines == 1
+        second = SessionStore.recover(journal, compact=False)
+        assert second.journal_skipped_lines == 0
+        assert len(second) == len(first)
+
+    def test_compact_rewrites_to_minimal_state(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        store = SessionStore(journal_path=journal)
+        done = store.create(ScenarioSpec(steps=2, seed=1))
+        done.run_to_completion()
+        pending = store.create(ScenarioSpec(steps=2, seed=2))
+        grown = len(journal.read_text(encoding="utf-8").splitlines())
+
+        records = store.compact()
+        # one counter + two creates + one state (PENDING writes no state)
+        assert records == 4
+        assert records <= grown
+        assert len(journal.read_text(encoding="utf-8").splitlines()) == records
+
+        recovered = SessionStore.recover(journal, compact=False)
+        assert recovered.get(done.session_id).state is SessionState.DONE
+        assert recovered.get(pending.session_id).state is SessionState.PENDING
+
+    def test_id_counter_survives_compaction(self, tmp_path):
+        journal = tmp_path / "journal.jsonl"
+        store = SessionStore(journal_path=journal)
+        taken = [store.create(ScenarioSpec(steps=1, seed=i)) for i in range(3)]
+        for session in taken:
+            session.run_to_completion()
+        store.compact()
+
+        recovered = SessionStore.recover(journal)
+        fresh = recovered.create(ScenarioSpec(steps=1))
+        assert fresh.session_id not in {s.session_id for s in taken}
+
+
+class TestSupervisedScheduler:
+    def test_crashed_worker_restarts_and_fleet_completes(self):
+        async def scenario() -> SessionScheduler:
+            store = SessionStore()
+            for i in range(4):
+                store.create(ScenarioSpec(seed=i, steps=3))
+            scheduler = SessionScheduler(
+                store, SchedulerConfig(workers=2, backoff_scale=0.001)
+            )
+            scheduler.submit_all_pending()
+            await scheduler.start()
+            while scheduler.steps_run == 0:  # let the fleet get going
+                await asyncio.sleep(0.001)
+            scheduler.crash_worker(0)
+            try:
+                await asyncio.wait_for(scheduler.drain(), timeout=30)
+            finally:
+                await scheduler.stop()
+            return scheduler
+
+        scheduler = asyncio.run(scenario())
+        assert scheduler.worker_restarts == 1
+        assert all(
+            s.state is SessionState.DONE for s in scheduler.store.sessions()
+        )
+
+    def test_spent_restart_budget_abandons_the_slot(self):
+        async def scenario() -> SessionScheduler:
+            store = SessionStore()
+            for i in range(3):
+                store.create(ScenarioSpec(seed=i, steps=2))
+            scheduler = SessionScheduler(
+                store,
+                SchedulerConfig(
+                    workers=2, backoff_scale=0.001, max_worker_restarts=0
+                ),
+            )
+            scheduler.submit_all_pending()
+            await scheduler.start()
+            while scheduler.steps_run == 0:
+                await asyncio.sleep(0.001)
+            scheduler.crash_worker(0)
+            try:
+                # the surviving worker must keep the queue draining alone
+                await asyncio.wait_for(scheduler.drain(), timeout=30)
+            finally:
+                await scheduler.stop()
+            return scheduler
+
+        scheduler = asyncio.run(scenario())
+        assert scheduler.worker_restarts == 0
+        # the dead slot is never restarted, so the one session it may have
+        # held mid-step is parked (no restart -> no re-queue); everything
+        # else still completes
+        parked = [
+            s
+            for s in scheduler.store.sessions()
+            if s.state is not SessionState.DONE
+        ]
+        assert len(parked) <= 1

@@ -17,7 +17,7 @@ import pytest
 from repro.obs import parse_prometheus
 from repro.serve import SchedulerConfig, SessionScheduler, SessionStore
 from repro.serve.api import ServeServer, http_json, http_stream_lines
-from repro.serve.wire import http_text
+from repro.serve.wire import http_text, read_response_headers
 
 
 async def _started_server(
@@ -339,6 +339,211 @@ class TestServeValidation:
                 assert samples["repro_fleet_flight_dropped_total"] == [
                     ({}, float(snap["events_dropped"]))
                 ]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
+async def _configured_server(
+    config: SchedulerConfig, flight_capacity: int | None = None
+) -> ServeServer:
+    store = SessionStore(capacity=64, flight_capacity=flight_capacity)
+    server = ServeServer(store, SessionScheduler(store, config))
+    await server.start()
+    return server
+
+
+async def _post_raw(host, port, path, payload):
+    """POST returning (status, headers, parsed body) — for header asserts."""
+    body = json.dumps(payload).encode()
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        head = (
+            f"POST {path} HTTP/1.1\r\n"
+            f"Host: {host}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"Connection: close\r\n\r\n"
+        ).encode("latin-1")
+        writer.write(head + body)
+        await writer.drain()
+        status, headers, raw = await read_response_headers(reader)
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return status, headers, json.loads(raw.decode()) if raw else {}
+
+
+class TestAdmissionControl:
+    def test_degraded_service_sheds_with_retry_after(self):
+        async def main() -> None:
+            server = await _configured_server(
+                SchedulerConfig(workers=2, shed_when_degraded=True)
+            )
+            try:
+                server.scheduler.health.record_failure()
+                status, headers, body = await _post_raw(
+                    server.host, server.port, "/sessions", {"steps": 2}
+                )
+                assert status == 503
+                assert headers["retry-after"] == "1"
+                assert "degraded" in body["error"]
+                assert server.scheduler.shed_total == 1
+                # the shed is visible from the outside
+                _, text = await http_text(server.host, server.port, "/metrics")
+                samples = parse_prometheus(text)
+                assert samples["repro_serve_shed_total"] == [({}, 1.0)]
+                assert samples["repro_serve_worker_restarts_total"] == [({}, 0.0)]
+                assert samples["repro_serve_draining"] == [({}, 0.0)]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_queue_high_water_sheds(self):
+        async def main() -> None:
+            server = await _configured_server(
+                SchedulerConfig(workers=1, admission_high_water=1)
+            )
+            try:
+                # park the workers so submissions pile up deterministically
+                await server.scheduler.stop()
+                for i in range(2):
+                    status, _, _ = await _post_raw(
+                        server.host, server.port, "/sessions", {"steps": 3, "seed": i}
+                    )
+                    assert status == 201
+                status, headers, body = await _post_raw(
+                    server.host, server.port, "/sessions", {"steps": 3, "seed": 9}
+                )
+                assert status == 503
+                assert headers["retry-after"] == "1"
+                assert "high-water" in body["error"]
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_drain_endpoint_stops_intake(self):
+        async def main() -> None:
+            server = await _configured_server(SchedulerConfig(workers=2))
+            try:
+                _, snap = await http_json(
+                    server.host, server.port, "POST", "/sessions", {"steps": 2}
+                )
+                status, drained = await http_json(
+                    server.host, server.port, "POST", "/drain"
+                )
+                assert status == 200
+                assert drained["status"] == "draining"
+                assert drained["already_draining"] is False
+                # a 200 means the queue emptied: in-flight steps finished
+                # and the parked session is accounted for, not lost
+                assert sum(drained["sessions"].values()) == 1
+
+                # draining outranks degraded on /healthz
+                status, health = await http_json(
+                    server.host, server.port, "GET", "/healthz"
+                )
+                assert status == 503
+                assert health["status"] == "draining"
+
+                # intake is off: new sessions shed with the long retry
+                status, headers, _ = await _post_raw(
+                    server.host, server.port, "/sessions", {"steps": 2}
+                )
+                assert status == 503
+                assert headers["retry-after"] == "60"
+
+                # idempotent: a second drain reports the drained state
+                status, again = await http_json(
+                    server.host, server.port, "POST", "/drain"
+                )
+                assert status == 200
+                assert again["already_draining"] is True
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+
+class TestEventStreamRobustness:
+    def test_slow_consumer_does_not_block_others(self):
+        # regression for the chaos campaigns' SlowConsumer fault: a client
+        # that stops reading its /events stream must stall only its own
+        # connection — the fleet and other consumers never notice
+        async def main() -> None:
+            server = await _started_server(workers=2)
+            try:
+                _, stalled = await http_json(
+                    server.host, server.port, "POST", "/sessions", {"steps": 6}
+                )
+                _, brisk = await http_json(
+                    server.host,
+                    server.port,
+                    "POST",
+                    "/sessions",
+                    {"steps": 6, "seed": 1},
+                )
+                # open a stream on the first session and then never read it
+                reader, writer = await asyncio.open_connection(
+                    server.host, server.port
+                )
+                writer.write(
+                    (
+                        f"GET /sessions/{stalled['id']}/events HTTP/1.1\r\n"
+                        f"Host: {server.host}\r\nConnection: close\r\n\r\n"
+                    ).encode("latin-1")
+                )
+                await writer.drain()
+                await reader.readline()  # status line only, then stall
+
+                # the healthy consumer still gets a complete stream
+                events = []
+                async for line in http_stream_lines(
+                    server.host, server.port, f"/sessions/{brisk['id']}/events"
+                ):
+                    events.append(json.loads(line))
+                assert events[-1]["data"]["state"] == "done"
+
+                # and the stalled session itself still finishes
+                await _poll(
+                    server,
+                    f"/sessions/{stalled['id']}",
+                    lambda st, b: b.get("state") == "done",
+                )
+                writer.close()
+                await writer.wait_closed()
+            finally:
+                await server.stop()
+
+        asyncio.run(main())
+
+    def test_late_subscriber_sees_a_counted_gap(self):
+        # a client that attaches after the bounded ring wrapped gets a
+        # stream.gap record up front — loss is counted, never hidden
+        async def main() -> None:
+            server = await _configured_server(
+                SchedulerConfig(workers=1), flight_capacity=8
+            )
+            try:
+                _, snap = await http_json(
+                    server.host, server.port, "POST", "/sessions", {"steps": 4}
+                )
+                _, snap = await _poll(
+                    server,
+                    f"/sessions/{snap['id']}",
+                    lambda st, b: b.get("state") == "done",
+                )
+                assert snap["events_emitted"] > 8
+                lines = []
+                async for line in http_stream_lines(
+                    server.host, server.port, f"/sessions/{snap['id']}/events"
+                ):
+                    lines.append(json.loads(line))
+                assert lines[0]["kind"] == "stream.gap"
+                assert lines[0]["lost"] == snap["events_emitted"] - 8
+                assert len(lines) == 9  # the gap record plus the ring
             finally:
                 await server.stop()
 

@@ -80,9 +80,13 @@ _SAMPLE_DATA: dict[str, dict[str, object]] = {
     "recovery.done": {"step": 4},
     "sanitizer.violation": {"check": "bytes_conserved"},
     "session.state": {"state": "done", "step": 3},
+    "stream.gap": {"lost": 12},
     "pda.partial": {"missing": 1},
     "soak.data_mismatch": {"nest": 1},
     "soak.invariant_violation": {"what": "overlap"},
+    "chaos.phase": {"phase": "fleet", "campaign": "worker-crash"},
+    "chaos.fault": {"fault": "worker.crash", "worker": 1, "fleet_step": 7},
+    "chaos.verdict": {"campaign": "worker-crash", "ok": 1, "stuck": 0},
 }
 
 
