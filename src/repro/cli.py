@@ -218,13 +218,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--output",
         default=None,
-        help="baseline JSON path (default: BENCH_baseline.json)",
+        help="baseline JSON path (default: BENCH_baseline.json, or "
+        "BENCH_scale_baseline.json for --suite scale)",
     )
     p.add_argument(
         "--phases",
         nargs="+",
         default=None,
         help="subset of phase names to run (default: all)",
+    )
+    p.add_argument(
+        "--suite",
+        choices=["default", "scale"],
+        default="default",
+        help="phase suite: 'default' times the pinned hot paths, 'scale' "
+        "times steady-state adaptation steps across machine presets up "
+        "to 64k ranks (quick stops at 4096)",
+    )
+    p.add_argument(
+        "--route-cache-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="override the preset-derived route-cache size of the scale "
+        "suite's network simulators (default: sized from the machine)",
     )
     p.add_argument(
         "--kernels",
@@ -475,6 +492,7 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.kernels import DEFAULT_KERNELS
     from repro.obs.bench import (
         DEFAULT_BASELINE_PATH,
+        SCALE_BASELINE_PATH,
         format_bench,
         run_bench,
         write_baseline,
@@ -501,6 +519,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             phases=args.phases,
             progress=lambda name: print(f"  timing {name} ...", file=sys.stderr),
             kernels=args.kernels if args.kernels is not None else DEFAULT_KERNELS,
+            suite=args.suite,
+            route_cache_size=args.route_cache_size,
         )
     except ValueError as exc:
         print(f"repro bench: {exc}", file=sys.stderr)
@@ -531,7 +551,10 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             write_baseline(result, args.output)
             print(f"\ncurrent run -> {args.output}")
     else:
-        path = args.output or DEFAULT_BASELINE_PATH
+        default_path = (
+            SCALE_BASELINE_PATH if args.suite == "scale" else DEFAULT_BASELINE_PATH
+        )
+        path = args.output or default_path
         write_baseline(result, path)
         print(f"\nbaseline -> {path}")
     if args.trace:

@@ -63,10 +63,21 @@ class RankStore:
 
     nranks: int
     blocks: dict[int, dict[int, tuple[np.ndarray, Rect]]] = field(default_factory=dict)
+    #: nest id -> ranks that hold (or held) a block of it.  ``put`` and
+    #: ``drop_nest`` keep it exact; code that deletes from ``blocks``
+    #: directly (fault injectors) leaves stale entries, so readers
+    #: re-verify membership against ``blocks`` — the index is a superset,
+    #: never a subset, of the true holder set.
+    _nest_holders: dict[int, set[int]] = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.nranks < 1:
             raise ValueError(f"nranks must be >= 1, got {self.nranks}")
+        for rank, rank_blocks in self.blocks.items():
+            for nest_id in rank_blocks:
+                self._nest_holders.setdefault(nest_id, set()).add(rank)
 
     def put(self, rank: int, nest_id: int, block: np.ndarray, rect: Rect) -> None:
         if not 0 <= rank < self.nranks:
@@ -76,6 +87,7 @@ class RankStore:
                 f"block shape {block.shape} does not match rect {rect}"
             )
         self.blocks.setdefault(rank, {})[nest_id] = (block, rect)
+        self._nest_holders.setdefault(nest_id, set()).add(rank)
 
     def get(self, rank: int, nest_id: int) -> tuple[np.ndarray, Rect]:
         try:
@@ -87,20 +99,35 @@ class RankStore:
         """Free every rank's storage of a deleted nest; returns blocks freed.
 
         Validation: any nest id is acceptable — unknown ids free nothing
-        and report 0 blocks.
+        and report 0 blocks.  Costs O(ranks holding the nest), not
+        O(all ranks) — the holder index says who to visit.
         """
         n = 0
-        for rank_blocks in self.blocks.values():
-            if nest_id in rank_blocks:
-                del rank_blocks[nest_id]
+        for rank in self._nest_holders.pop(nest_id, ()):
+            rank_blocks = self.blocks.get(rank)
+            if rank_blocks is not None and rank_blocks.pop(nest_id, None) is not None:
                 n += 1
         return n
 
     def holders(self, nest_id: int) -> list[int]:
-        """Ranks currently holding a block of ``nest_id``."""
-        return sorted(
-            rank for rank, nb in self.blocks.items() if nest_id in nb
+        """Ranks currently holding a block of ``nest_id``.
+
+        O(ranks holding the nest) via the holder index; stale index
+        entries (blocks deleted behind the store's back) are filtered
+        out and pruned.
+
+        Validation: any nest id is acceptable — an unknown id simply
+        holds no blocks and returns the empty list.
+        """
+        ranks = self._nest_holders.get(nest_id)
+        if not ranks:
+            return []
+        live = sorted(
+            rank for rank in ranks if nest_id in self.blocks.get(rank, {})
         )
+        if len(live) != len(ranks):
+            self._nest_holders[nest_id] = set(live)
+        return live
 
     def memory_bytes(self, rank: int) -> int:
         """Bytes of nest state held by ``rank`` (for memory accounting)."""
@@ -288,19 +315,23 @@ def _move_blocks_vector(
     old_decomp: BlockDecomposition,
     new_decomp: BlockDecomposition,
 ) -> None:
-    """Broadcast-intersection data movement (the fast path).
+    """Merged-segment data movement (the fast path).
 
-    All ``n_old × n_new`` block intersections come from one broadcast
-    clip; only the genuinely overlapping pairs are then copied, each as
-    one slab slice.  Bit-for-bit the same store state as the reference
-    path — the same bytes land in the same destination blocks.
+    Both decompositions split the *same* ``nx x ny`` nest, so merging the
+    old and new split boundaries per axis yields elementary segments each
+    lying inside exactly one old and one new block — and, because no cut
+    can fall strictly inside an old∩new intersection, each (x-segment,
+    y-segment) product *is* one overlapping pair's full intersection.
+    That enumerates exactly the overlapping pairs in O(active blocks +
+    overlaps), with no ``n_old × n_new`` work.  Bit-for-bit the same
+    store state as the reference path — the same bytes land in the same
+    destination blocks.
     """
     new_rect = new.rect_of(nest_id)
     old_rect = old.rect_of(nest_id)
     new_ranks = new.grid.rank_grid(new_rect).ravel()
     old_ranks = old.grid.rank_grid(old_rect).ravel()
     nx0, nx1, ny0, ny1 = _block_bounds(new_decomp)
-    ox0, ox1, oy0, oy1 = _block_bounds(old_decomp)
 
     # Stage 1: receivers allocate their new blocks.
     incoming: dict[int, tuple[np.ndarray, Rect]] = {}
@@ -310,29 +341,63 @@ def _move_blocks_vector(
         )
         incoming[int(new_ranks[k])] = (np.empty((rect.h, rect.w)), rect)
 
-    # Stage 2: one (n_old, n_new) clip finds every intersecting pair.
-    ix0 = np.maximum(ox0[:, None], nx0[None, :])
-    ix1 = np.minimum(ox1[:, None], nx1[None, :])
-    iy0 = np.maximum(oy0[:, None], ny0[None, :])
-    iy1 = np.minimum(oy1[:, None], ny1[None, :])
-    oi, ni = np.nonzero((ix1 > ix0) & (iy1 > iy0))
-    for o, r in zip(oi.tolist(), ni.tolist()):
-        src_block, src_rect = store.get(int(old_ranks[o]), nest_id)
-        dst_block, dst_rect = incoming[int(new_ranks[r])]
-        x0, x1 = int(ix0[o, r]), int(ix1[o, r])
-        y0, y1 = int(iy0[o, r]), int(iy1[o, r])
-        dst_block[
-            y0 - dst_rect.y0 : y1 - dst_rect.y0,
-            x0 - dst_rect.x0 : x1 - dst_rect.x0,
-        ] = src_block[
-            y0 - src_rect.y0 : y1 - src_rect.y0,
-            x0 - src_rect.x0 : x1 - src_rect.x0,
-        ]
+    # Stage 2: per-axis elementary segments -> (old block, new block) pairs.
+    # searchsorted(..., "right") - 1 maps a segment start to the block it
+    # lies in; repeated bounds (zero-width blocks) resolve to the last
+    # block starting there, which is the only one with any width.
+    oxb, oyb = old_decomp.x_bounds, old_decomp.y_bounds
+    nxb, nyb = new_decomp.x_bounds, new_decomp.y_bounds
+    xcuts = np.union1d(oxb, nxb)
+    ycuts = np.union1d(oyb, nyb)
+    xo = np.searchsorted(oxb, xcuts[:-1], "right") - 1
+    xn = np.searchsorted(nxb, xcuts[:-1], "right") - 1
+    yo = np.searchsorted(oyb, ycuts[:-1], "right") - 1
+    yn = np.searchsorted(nyb, ycuts[:-1], "right") - 1
+    w_old, w_new = old_rect.w, new_rect.w
+    for yk in range(ycuts.size - 1):
+        y0, y1 = int(ycuts[yk]), int(ycuts[yk + 1])
+        o_row = int(yo[yk]) * w_old
+        n_row = int(yn[yk]) * w_new
+        for xk in range(xcuts.size - 1):
+            src_block, src_rect = store.get(
+                int(old_ranks[o_row + int(xo[xk])]), nest_id
+            )
+            dst_block, dst_rect = incoming[int(new_ranks[n_row + int(xn[xk])])]
+            x0, x1 = int(xcuts[xk]), int(xcuts[xk + 1])
+            dst_block[
+                y0 - dst_rect.y0 : y1 - dst_rect.y0,
+                x0 - dst_rect.x0 : x1 - dst_rect.x0,
+            ] = src_block[
+                y0 - src_rect.y0 : y1 - src_rect.y0,
+                x0 - src_rect.x0 : x1 - src_rect.x0,
+            ]
 
     # Stage 3: free old blocks, install new ones.
     store.drop_nest(nest_id)
     for rank, (block, rect) in incoming.items():
         store.put(rank, nest_id, block, rect)
+
+
+def _gather_nest_reference(
+    store: RankStore, nest_id: int, nx: int, ny: int
+) -> np.ndarray:
+    """The scalar gather walk: write-then-verify every block region."""
+    out = np.full((ny, nx), np.nan)
+    covered = 0
+    for rank in store.holders(nest_id):
+        block, rect = store.get(rank, nest_id)
+        region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
+        if not np.all(np.isnan(region)):
+            raise ValueError(
+                f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
+            )
+        out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
+        covered += rect.area
+    if covered != nx * ny or np.isnan(out).any():
+        raise ValueError(
+            f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
+        )
+    return out
 
 
 def gather_nest(
@@ -346,54 +411,27 @@ def gather_nest(
     check_kernels(kernels)
     with get_recorder().span("dataplane.gather", nest=nest_id):
         if kernels == "reference":
-            out = np.full((ny, nx), np.nan)
-            covered = 0
-            for rank in store.holders(nest_id):
-                block, rect = store.get(rank, nest_id)
-                region = out[rect.y0 : rect.y1, rect.x0 : rect.x1]
-                if not np.all(np.isnan(region)):
-                    raise ValueError(
-                        f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
-                    )
-                out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
-                covered += rect.area
-            if covered != nx * ny or np.isnan(out).any():
-                raise ValueError(
-                    f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
-                )
-            return out
-        # Vector path: block disjointness is verified by one broadcast
-        # rectangle-overlap test instead of re-reading every written region,
-        # then each block lands with one slab assignment.  Same errors as
-        # the reference path, blaming the same rank.
-        holders = store.holders(nest_id)
-        pairs = [store.get(rank, nest_id) for rank in holders]
-        x0 = np.array([r.x0 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
-        x1 = np.array([r.x1 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
-        y0 = np.array([r.y0 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
-        y1 = np.array([r.y1 for _, r in pairs], dtype=np.int64).reshape(-1, 1)
-        overlap = (
-            (np.minimum(x1, x1.T) > np.maximum(x0, x0.T))
-            & (np.minimum(y1, y1.T) > np.maximum(y0, y0.T))
-        )
-        clash = np.nonzero(np.tril(overlap, k=-1))[0]
-        if clash.size:
-            # The reference walk blames the later block in holder order.
-            rank = holders[int(clash.min())]
-            rect = pairs[int(clash.min())][1]
-            raise ValueError(
-                f"nest {nest_id}: rank {rank}'s block {rect} overlaps another block"
-            )
+            return _gather_nest_reference(store, nest_id, nx, ny)
+        # Vector path: optimistically assemble in one pass — O(active
+        # blocks), no pairwise overlap test — and accept when the
+        # coverage count and the absence of NaN holes prove the tiling
+        # exact.  Any discrepancy (overlap implies a hole, so the checks
+        # catch it) re-runs the reference walk on the untouched store,
+        # reproducing the exact same diagnostics blaming the same rank.
+        pairs = [
+            store.get(rank, nest_id) for rank in store.holders(nest_id)
+        ]
         out = np.full((ny, nx), np.nan)
         covered = 0
-        for block, rect in pairs:
-            out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
-            covered += rect.area
-        if covered != nx * ny or np.isnan(out).any():
-            raise ValueError(
-                f"nest {nest_id}: blocks cover {covered} of {nx * ny} points"
-            )
-        return out
+        try:
+            for block, rect in pairs:
+                out[rect.y0 : rect.y1, rect.x0 : rect.x1] = block
+                covered += rect.area
+        except ValueError:
+            return _gather_nest_reference(store, nest_id, nx, ny)
+        if covered == nx * ny and not np.isnan(out).any():
+            return out
+        return _gather_nest_reference(store, nest_id, nx, ny)
 
 
 # -- self-healing execution (repro.faults) ------------------------------

@@ -20,7 +20,7 @@ from repro.core.redistribution import RedistributionPlan, plan_redistribution
 from repro.core.strategy import ReallocationStrategy
 from repro.kernels import DEFAULT_KERNELS, check_kernels
 from repro.mpisim.costmodel import CostModel
-from repro.mpisim.netsim import NetworkSimulator
+from repro.mpisim.netsim import LinkLoadState, NetworkSimulator
 from repro.obs import AuditTrail, get_flight_recorder, get_recorder
 from repro.perfmodel.exectime import ExecTimePredictor
 from repro.topology.machines import MachineSpec
@@ -59,6 +59,7 @@ class ProcessorReallocator:
         cost: CostModel | None = None,
         flow_level: bool = False,
         kernels: str = DEFAULT_KERNELS,
+        route_cache_size: int | None = None,
     ) -> None:
         from repro.grid.procgrid import ProcessorGrid
 
@@ -68,7 +69,17 @@ class ProcessorReallocator:
         self.cost = cost or CostModel.for_machine(machine)
         self.grid = ProcessorGrid(*machine.grid)
         self.kernels = check_kernels(kernels)
-        self.simulator = NetworkSimulator(machine.mapping, self.cost, kernels=kernels)
+        # route_cache_size=None sizes the cache from the machine preset
+        # (see repro.mpisim.netsim.default_route_cache_size)
+        self.simulator = NetworkSimulator(
+            machine.mapping,
+            self.cost,
+            kernels=kernels,
+            route_cache_size=route_cache_size,
+        )
+        #: live per-link wire load, maintained by message-set deltas at
+        #: every adaptation point (O(churned nests), not O(machine))
+        self.link_state = LinkLoadState(self.simulator)
         self.flow_level = flow_level
         self.allocation: Allocation | None = None
         self.nest_sizes: dict[int, tuple[int, int]] = {}
@@ -125,6 +136,7 @@ class ProcessorReallocator:
                         self.cost,
                         self.simulator,
                         self.flow_level,
+                        link_state=self.link_state,
                     )
         for nid in sorted(new_alloc.rects):
             rect = new_alloc.rects[nid]
@@ -203,6 +215,10 @@ class ProcessorReallocator:
                 raise ValueError(
                     f"dead rank {rank} outside current grid [0, {self.grid.nprocs})"
                 )
+        # The pre-failure wire picture is void — the grid shrinks and every
+        # surviving nest re-lands; the next plan repopulates the state from
+        # its own message sets, restoring the retained-nests invariant.
+        self.link_state.clear()
         return recover_from_rank_failure(
             self,
             dead,

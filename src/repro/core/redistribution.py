@@ -25,7 +25,7 @@ from repro.mpisim.alltoallv import (
     predict_alltoallv_time,
 )
 from repro.mpisim.costmodel import CostModel
-from repro.mpisim.netsim import NetworkSimulator
+from repro.mpisim.netsim import LinkLoadState, NetworkSimulator
 from repro.obs import get_flight_recorder, get_recorder
 from repro.perfmodel.redisttime import measure_redistribution_time
 from repro.sanitize.hooks import get_sanitizer
@@ -89,6 +89,7 @@ def plan_redistribution(
     simulator: NetworkSimulator | None = None,
     flow_level: bool = False,
     kernels: str = DEFAULT_KERNELS,
+    link_state: LinkLoadState | None = None,
 ) -> RedistributionPlan:
     """Plan and cost the redistribution from ``old`` to ``new``.
 
@@ -100,6 +101,14 @@ def plan_redistribution(
     ``kernels`` selects the network-accounting implementation when no
     ``simulator`` is supplied (a passed-in simulator keeps its own mode);
     both modes yield bit-identical plans (:mod:`repro.kernels`).
+
+    ``link_state`` (optional) is a live
+    :class:`~repro.mpisim.netsim.LinkLoadState` to maintain by deltas:
+    deleted nests' contributions are retired and each retained nest's is
+    replaced by this plan's messages, so after the call the state holds
+    exactly this adaptation point's wire traffic without any full
+    recomputation.  The sanitizer (when armed) cross-checks the
+    incremental state against a from-scratch rebuild.
     """
     check_kernels(kernels)
     simulator = simulator or NetworkSimulator(machine.mapping, cost, kernels=kernels)
@@ -152,7 +161,15 @@ def plan_redistribution(
         network_bytes=all_msgs.total_bytes,
         per_nest_predicted=per_nest_predicted,
     )
+    if link_state is not None:
+        with recorder.span("redist.link_state", n_moves=len(moves)):
+            for nid in sorted(set(old.rects) - set(new.rects)):
+                link_state.retire(nid)
+            for nid, msgs in zip(retained, per_nest_msgs):
+                link_state.update(nid, msgs)
     sanitizer = get_sanitizer()
     if sanitizer.enabled:
         sanitizer.after_plan(plan, nest_sizes)
+        if link_state is not None:
+            sanitizer.after_link_state(link_state)
     return plan

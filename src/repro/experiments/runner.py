@@ -375,11 +375,19 @@ def _feed_ledger(
     mapping = realloc.machine.mapping
     for move in plan.moves:
         ledger.add_messages(move.messages, mapping)
-    all_msgs = MessageSet.concat([m.messages for m in plan.moves])
-    if len(all_msgs):
-        link, load, contributions = realloc.simulator.busiest_link_contributions(
-            all_msgs
-        )
+    n_messages = sum(len(m.messages) for m in plan.moves)
+    if n_messages:
+        link_state = getattr(realloc, "link_state", None)
+        if link_state is not None:
+            # The reallocator's step just delta-updated the state to hold
+            # exactly this plan's message sets, so the busiest-link query
+            # is O(links) + the crossing keys — no concat, no re-route.
+            link, load, contributions = link_state.busiest_link_contributions()
+        else:
+            all_msgs = MessageSet.concat([m.messages for m in plan.moves])
+            link, load, contributions = realloc.simulator.busiest_link_contributions(
+                all_msgs
+            )
         ledger.add_busiest_link(load, contributions)
         sanitizer = get_sanitizer()
         if sanitizer.enabled:

@@ -12,6 +12,27 @@ aggregation).  Each ships in two implementations:
   kept as the readable oracle the equivalence suite checks the fast path
   against (see ``tests/test_kernels_equivalence.py``).
 
+**Incremental vs rebuild.** The large-machine scaling work adds a third
+axis: stateful kernels that maintain results by *deltas* instead of
+recomputing them — :class:`~repro.mpisim.netsim.LinkLoadState` applies
+per-adaptation message-set retire/update deltas to a live per-link load
+array, and :class:`~repro.mpisim.ledger.PairByteAccumulator` accumulates
+sparse COO pair-byte chunks with amortised compaction.  The policy for
+every such kernel:
+
+* the incremental path must keep a **from-scratch rebuild twin** (e.g.
+  ``LinkLoadState.rebuild``) that recomputes the same result with no
+  retained state, and the two must agree **bit-for-bit** — message byte
+  counts are integer-valued float64, so sums and subtractions are exact
+  in any order;
+* the sanitizer cross-checks live state against its rebuild at every
+  adaptation point (``linkstate.conservation``), and the property-based
+  churn suite drives both through nest birth/merge/split/decay and rank
+  failure;
+* within each path the ``vector``/``reference`` mode switch still
+  applies, so the equivalence matrix is (incremental | rebuild) x
+  (vector | reference), all four corners identical.
+
 The switch is threaded from
 :class:`~repro.experiments.runner.ExperimentContext` through the
 reallocator, simulator, data plane and analysis layers, so a whole

@@ -27,8 +27,18 @@ from repro.mpisim.alltoallv import (
     predict_alltoallv_time,
     hop_bytes,
 )
-from repro.mpisim.netsim import NetworkSimulator
-from repro.mpisim.ledger import CommLedger, SkewSummary, format_ledger, gini
+from repro.mpisim.netsim import (
+    LinkLoadState,
+    NetworkSimulator,
+    default_route_cache_size,
+)
+from repro.mpisim.ledger import (
+    CommLedger,
+    PairByteAccumulator,
+    SkewSummary,
+    format_ledger,
+    gini,
+)
 from repro.mpisim.collectives import (
     CollectiveSchedule,
     schedule_concurrent,
@@ -46,7 +56,10 @@ __all__ = [
     "predict_alltoallv_time",
     "hop_bytes",
     "NetworkSimulator",
+    "LinkLoadState",
+    "default_route_cache_size",
     "CommLedger",
+    "PairByteAccumulator",
     "SkewSummary",
     "format_ledger",
     "gini",

@@ -25,7 +25,168 @@ import numpy as np
 from repro.mpisim.alltoallv import MessageSet
 from repro.topology.mapping import ProcessMapping
 
-__all__ = ["CommLedger", "SkewSummary", "gini", "format_ledger"]
+__all__ = ["CommLedger", "PairByteAccumulator", "SkewSummary", "gini", "format_ledger"]
+
+
+class PairByteAccumulator:
+    """Sparse ``(src, dst) → bytes`` accounting: COO appends, lazy compaction.
+
+    The previous dict-of-tuples pair table cost one Python dict entry per
+    *distinct pair ever seen* and one hashed update per pair per collective
+    — at 64k ranks a single adaptation can touch hundreds of thousands of
+    pairs, so both the memory and the per-step time scaled with ranks², not
+    with the traffic.  This accumulator is the scipy COO/CSR idiom instead:
+    :meth:`add_pairs` appends raw coordinate chunks (``int64`` keys
+    ``src * nranks + dst``, float64 byte counts) in O(1) per chunk, and
+    reads trigger a compaction (``np.unique`` + weighted ``np.bincount``)
+    amortised against the pending volume.  Everything scales with the
+    *touched* pairs.
+
+    Exactness: message byte counts are integer-valued float64, so the
+    grouped bincount sums equal the old dict's incremental additions
+    bit-for-bit, in any accumulation order.
+
+    The read API is mapping-shaped (``items``/``values``/``get``/``[]``/
+    ``==`` against a plain dict) so ledger consumers did not have to
+    change.
+    """
+
+    def __init__(self, nranks: int, compact_threshold: int = 1024) -> None:
+        if nranks < 1:
+            raise ValueError(f"nranks must be >= 1, got {nranks}")
+        if compact_threshold < 1:
+            raise ValueError(
+                f"compact_threshold must be >= 1, got {compact_threshold}"
+            )
+        self.nranks = nranks
+        self._compact_threshold = compact_threshold
+        #: compacted state: sorted unique pair keys and their byte totals
+        self._keys = np.empty(0, dtype=np.int64)
+        self._vals = np.empty(0, dtype=np.float64)
+        #: pending COO chunks not yet folded into the compacted arrays
+        self._pending_keys: list[np.ndarray] = []
+        self._pending_vals: list[np.ndarray] = []
+        self._pending_n = 0
+        self.n_compactions = 0
+
+    # -- writes ----------------------------------------------------------
+
+    def add_pairs(self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray) -> None:
+        """Append one chunk of per-pair byte counts (parallel arrays)."""
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        vals = np.asarray(nbytes, dtype=np.float64)
+        if not (src.shape == dst.shape == vals.shape):
+            raise ValueError("src/dst/nbytes must have equal shape")
+        if src.size == 0:
+            return
+        if src.min() < 0 or src.max() >= self.nranks:
+            raise ValueError(f"src ranks outside [0, {self.nranks})")
+        if dst.min() < 0 or dst.max() >= self.nranks:
+            raise ValueError(f"dst ranks outside [0, {self.nranks})")
+        self._pending_keys.append(src * self.nranks + dst)
+        self._pending_vals.append(vals)
+        self._pending_n += src.size
+        # Amortise: compact when the pending volume outgrows both the floor
+        # and the compacted core, so total compaction work stays linear.
+        if self._pending_n > max(self._compact_threshold, self._keys.size):
+            self._compact()
+
+    def add_pair(self, src: int, dst: int, nbytes: float) -> None:
+        """Append a single pair's byte count."""
+        self.add_pairs(
+            np.array([src], dtype=np.int64),
+            np.array([dst], dtype=np.int64),
+            np.array([nbytes], dtype=np.float64),
+        )
+
+    def _compact(self) -> None:
+        """Fold every pending chunk into the sorted compacted arrays."""
+        if not self._pending_keys:
+            return
+        keys = np.concatenate([self._keys, *self._pending_keys])
+        vals = np.concatenate([self._vals, *self._pending_vals])
+        self._pending_keys.clear()
+        self._pending_vals.clear()
+        self._pending_n = 0
+        uniq, inv = np.unique(keys, return_inverse=True)
+        self._keys = uniq
+        self._vals = np.bincount(inv, weights=vals, minlength=len(uniq))
+        self.n_compactions += 1
+
+    # -- reads (all compact first) ---------------------------------------
+
+    def arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """``(src, dst, bytes)`` parallel arrays, sorted by (src, dst)."""
+        self._compact()
+        return self._keys // self.nranks, self._keys % self.nranks, self._vals
+
+    def __len__(self) -> int:
+        self._compact()
+        return int(self._keys.size)
+
+    def total(self) -> float:
+        """Sum of all byte counts (exact: integer-valued terms)."""
+        self._compact()
+        return float(self._vals.sum())
+
+    def get(self, pair: tuple[int, int], default: float = 0.0) -> float:
+        self._compact()
+        key = int(pair[0]) * self.nranks + int(pair[1])
+        idx = int(np.searchsorted(self._keys, key))
+        if idx < self._keys.size and int(self._keys[idx]) == key:
+            return float(self._vals[idx])
+        return default
+
+    def __getitem__(self, pair: tuple[int, int]) -> float:
+        sentinel = float("nan")
+        value = self.get(pair, sentinel)
+        if value != value:  # NaN sentinel: pair absent
+            raise KeyError(pair)
+        return value
+
+    def __contains__(self, pair: object) -> bool:
+        if not (isinstance(pair, tuple) and len(pair) == 2):
+            return False
+        self._compact()
+        key = int(pair[0]) * self.nranks + int(pair[1])
+        idx = int(np.searchsorted(self._keys, key))
+        return idx < self._keys.size and int(self._keys[idx]) == key
+
+    def keys(self) -> list[tuple[int, int]]:
+        src, dst, _ = self.arrays()
+        return list(zip(src.tolist(), dst.tolist()))
+
+    def values(self) -> np.ndarray:
+        """Byte totals in (src, dst) key order."""
+        self._compact()
+        return self._vals
+
+    def items(self) -> list[tuple[tuple[int, int], float]]:
+        src, dst, vals = self.arrays()
+        return list(zip(zip(src.tolist(), dst.tolist()), vals.tolist()))
+
+    def to_dict(self) -> dict[tuple[int, int], float]:
+        return dict(self.items())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, PairByteAccumulator):
+            return self.to_dict() == other.to_dict()
+        if isinstance(other, dict):
+            return self.to_dict() == other
+        return NotImplemented
+
+    def top(self, n: int) -> list[tuple[tuple[int, int], float]]:
+        """The ``n`` heaviest pairs, bytes descending, ties toward the
+        lexicographically smallest pair (key order == tuple order)."""
+        self._compact()
+        if n <= 0 or self._keys.size == 0:
+            return []
+        order = np.lexsort((self._keys, -self._vals))[:n]
+        return [
+            ((int(k) // self.nranks, int(k) % self.nranks), float(v))
+            for k, v in zip(self._keys[order], self._vals[order])
+        ]
 
 
 def gini(values: np.ndarray) -> float:
@@ -109,10 +270,10 @@ class CommLedger:
         #: bytes re-sent after a timed-out round, attributed to the sender
         #: (a subset of :attr:`sent` — retries are also counted there)
         self.retried = np.zeros(nranks, dtype=np.float64)
-        #: bytes exchanged per (src, dst) rank pair
-        self.pair_bytes: dict[tuple[int, int], float] = {}
+        #: bytes exchanged per (src, dst) rank pair (sparse, COO-compacted)
+        self.pair_bytes = PairByteAccumulator(nranks)
         #: bytes each pair pushed through the busiest link, per observation
-        self.busiest_pair_bytes: dict[tuple[int, int], float] = {}
+        self.busiest_pair_bytes = PairByteAccumulator(nranks)
         #: summed load of the busiest link across observations
         self.busiest_link_load = 0.0
         self.n_messages = 0
@@ -133,17 +294,9 @@ class CommLedger:
         if mapping is not None:
             hops = mapping.rank_hops(messages.src, messages.dst).astype(np.float64)
             np.add.at(self.hop_bytes, messages.src, hops * messages.nbytes)
-        # Compact to unique pairs before touching the dict: the bincount sums
-        # are exact (message sizes are integer-valued float64) and the loop
-        # shrinks from n messages to the distinct (src, dst) pairs.
-        keys = messages.src.astype(np.int64) * self.nranks + messages.dst.astype(
-            np.int64
-        )
-        uniq, inv = np.unique(keys, return_inverse=True)
-        sums = np.bincount(inv, weights=messages.nbytes)
-        for key, b in zip(uniq.tolist(), sums.tolist()):
-            pair = (key // self.nranks, key % self.nranks)
-            self.pair_bytes[pair] = self.pair_bytes.get(pair, 0.0) + b
+        # Raw COO append; the accumulator compacts lazily, so per-collective
+        # cost is O(messages) with no per-pair Python work at all.
+        self.pair_bytes.add_pairs(messages.src, messages.dst, messages.nbytes)
 
     def add_retry(self, messages: MessageSet) -> None:
         """Attribute one retried round's bytes to the sending ranks.
@@ -165,10 +318,12 @@ class CommLedger:
         :meth:`~repro.mpisim.netsim.NetworkSimulator.busiest_link_contributions`).
         """
         self.busiest_link_load += float(link_load)
-        for pair, nbytes in contributions.items():
-            self.busiest_pair_bytes[pair] = (
-                self.busiest_pair_bytes.get(pair, 0.0) + float(nbytes)
-            )
+        if contributions:
+            n = len(contributions)
+            src = np.fromiter((p[0] for p in contributions), dtype=np.int64, count=n)
+            dst = np.fromiter((p[1] for p in contributions), dtype=np.int64, count=n)
+            vals = np.fromiter(contributions.values(), dtype=np.float64, count=n)
+            self.busiest_pair_bytes.add_pairs(src, dst, vals)
 
     # -- digests --------------------------------------------------------
 
@@ -186,8 +341,7 @@ class CommLedger:
 
     def top_pairs(self, n: int = 10) -> list[tuple[tuple[int, int], float]]:
         """The ``n`` heaviest rank pairs by total bytes, descending."""
-        ranked = sorted(self.pair_bytes.items(), key=lambda kv: (-kv[1], kv[0]))
-        return ranked[:n]
+        return self.pair_bytes.top(n)
 
     def busiest_link_shares(self, n: int = 10) -> list[tuple[tuple[int, int], float]]:
         """Rank pairs' shares of the accumulated busiest-link load.
@@ -197,10 +351,10 @@ class CommLedger:
         """
         if self.busiest_link_load <= 0.0:
             return []
-        ranked = sorted(
-            self.busiest_pair_bytes.items(), key=lambda kv: (-kv[1], kv[0])
-        )
-        return [(pair, b / self.busiest_link_load) for pair, b in ranked[:n]]
+        return [
+            (pair, b / self.busiest_link_load)
+            for pair, b in self.busiest_pair_bytes.top(n)
+        ]
 
     def to_dict(self) -> dict[str, object]:
         """JSON-ready digest (summaries + top pairs, not the raw arrays)."""

@@ -47,10 +47,25 @@ from repro.mpisim.costmodel import CostModel
 from repro.obs import get_recorder
 from repro.topology.mapping import ProcessMapping
 
-__all__ = ["NetworkSimulator"]
+__all__ = ["NetworkSimulator", "LinkLoadState", "default_route_cache_size"]
 
 #: placeholder slice while assembling mixed warm/cold route batches
 _EMPTY_ROUTE = np.empty(0, dtype=np.int64)
+
+
+def default_route_cache_size(nranks: int) -> int:
+    """Route-cache capacity derived from the machine size.
+
+    The historical fixed ``1 << 16`` was tuned for <= 1024-rank presets;
+    at 16k-64k ranks a single adaptation touches more distinct pairs than
+    that, so the FIFO thrashes and every step re-routes from scratch.
+    Scale with the rank count (a rank's redistribution partners are a
+    bounded neighbourhood, ~4 pairs/rank covers the observed working
+    sets) but cap the growth so the cache itself stays bounded in memory.
+    """
+    if nranks <= 0:
+        raise ValueError(f"nranks must be positive, got {nranks}")
+    return min(max(1 << 16, 4 * nranks), 1 << 20)
 
 
 class NetworkSimulator:
@@ -65,7 +80,7 @@ class NetworkSimulator:
         self,
         mapping: ProcessMapping,
         cost: CostModel,
-        route_cache_size: int = 1 << 16,
+        route_cache_size: int | None = None,
         adaptive_routing: bool = False,
         kernels: str = DEFAULT_KERNELS,
     ) -> None:
@@ -73,6 +88,8 @@ class NetworkSimulator:
         self.topology = mapping.topology
         self.cost = cost
         self.kernels = check_kernels(kernels)
+        if route_cache_size is None:
+            route_cache_size = default_route_cache_size(mapping.nranks)
         # Static adaptive routing: vary the torus dimension order per
         # endpoint pair (deterministic hash) to spread link load.  Only
         # meaningful on topologies exposing route_ordered (tori/meshes).
@@ -379,6 +396,14 @@ class NetworkSimulator:
         DMA directions), so an endpoint pays for the *larger* of its
         outgoing and incoming volumes, not their sum.
         """
+        if self.kernels == "reference":
+            return self._endpoint_overhead_reference(messages, include_floor)
+        return self._endpoint_overhead_vector(messages, include_floor)
+
+    def _endpoint_overhead_reference(
+        self, messages: MessageSet, include_floor: bool = True
+    ) -> float:
+        """Dense oracle: one slot per rank of the whole machine."""
         out_msgs = np.zeros(self.mapping.nranks, dtype=np.int64)
         in_msgs = np.zeros(self.mapping.nranks, dtype=np.int64)
         np.add.at(out_msgs, messages.src, 1)
@@ -400,6 +425,49 @@ class NetworkSimulator:
             )
             for rank, factor in self.rank_slowdown.items():
                 per_rank[rank] *= factor
+            return float(per_rank.max()) + floor
+        worst_msgs = int(np.maximum(out_msgs, in_msgs).max())
+        worst_bytes = float(np.maximum(out_bytes, in_bytes).max())
+        return self.cost.alpha * worst_msgs + self.cost.soft_beta * worst_bytes + floor
+
+    def _endpoint_overhead_vector(
+        self, messages: MessageSet, include_floor: bool = True
+    ) -> float:
+        """Sparse fast path: accounts only the ranks the messages touch.
+
+        Untouched ranks contribute exactly zero to every maximum (counts
+        and byte sums are non-negative, the slowdown factors only scale
+        values that are already zero there), so compacting to the touched
+        ranks is bit-identical to the dense oracle — the per-rank sums
+        accumulate the same integer-valued float64 terms.
+        """
+        n = len(messages)
+        if n == 0:  # matches the dense oracle's all-zero maxima
+            return (
+                self.cost.collective_floor(self.mapping.nranks)
+                if include_floor
+                else 0.0
+            )
+        ranks = np.concatenate((messages.src, messages.dst)).astype(np.int64)
+        uniq, inv = np.unique(ranks, return_inverse=True)
+        out_inv, in_inv = inv[:n], inv[n:]
+        k = len(uniq)
+        out_msgs = np.bincount(out_inv, minlength=k)
+        in_msgs = np.bincount(in_inv, minlength=k)
+        out_bytes = np.bincount(out_inv, weights=messages.nbytes, minlength=k)
+        in_bytes = np.bincount(in_inv, weights=messages.nbytes, minlength=k)
+        floor = (
+            self.cost.collective_floor(self.mapping.nranks) if include_floor else 0.0
+        )
+        if self.rank_slowdown:
+            per_rank = (
+                self.cost.alpha * np.maximum(out_msgs, in_msgs)
+                + self.cost.soft_beta * np.maximum(out_bytes, in_bytes)
+            )
+            for rank, factor in self.rank_slowdown.items():
+                idx = int(np.searchsorted(uniq, rank))
+                if idx < k and uniq[idx] == rank:
+                    per_rank[idx] *= factor
             return float(per_rank.max()) + floor
         worst_msgs = int(np.maximum(out_msgs, in_msgs).max())
         worst_bytes = float(np.maximum(out_bytes, in_bytes).max())
@@ -574,3 +642,189 @@ class NetworkSimulator:
             np.add.at(consumed, linc[gone], rates[finc[gone]])
             residual = np.maximum(bw - consumed, 0.0)
         return rates
+
+
+class LinkLoadState:
+    """Live per-link load state maintained by message-set *deltas*.
+
+    At full-machine scale (``bgl-64k``: 393216 directed links) rebuilding
+    the link-load picture from every nest's messages at every adaptation
+    point is the dominant cost — yet between two adaptation points only
+    the churned nests' message sets change.  This class keeps one dense
+    ``loads`` array (float64, one slot per directed link — ~3 MB at 64k
+    ranks) plus the per-key contribution that produced it, and applies
+    each adaptation as a delta: :meth:`retire` subtracts a departed key's
+    contribution, :meth:`update` swaps a changed key's old contribution
+    for its new one.
+
+    Exactness: message byte counts are integer-valued float64, so every
+    per-link total is an exact integer and add/subtract round-trips to
+    exactly zero — the incremental ``loads`` is *bit-identical* to a
+    from-scratch rebuild, which :meth:`rebuild` provides as the oracle
+    (the sanitizer compares the two after every plan).
+
+    Keys are nest ids; the state after an adaptation step holds exactly
+    the retained nests' redistribution message sets, so
+    :meth:`busiest_link_contributions` returns the same
+    ``(link, load, {pair: bytes})`` triple as routing the concatenation
+    of all active sets through
+    :meth:`NetworkSimulator.busiest_link_contributions` — without ever
+    materialising the concatenation.
+    """
+
+    def __init__(self, simulator: NetworkSimulator) -> None:
+        self.simulator = simulator
+        self.loads = np.zeros(simulator.topology.nlinks, dtype=np.float64)
+        self._links: dict[int, np.ndarray] = {}  # key -> sorted loaded link ids
+        self._vals: dict[int, np.ndarray] = {}  # key -> per-link byte totals
+        self._messages: dict[int, MessageSet] = {}
+
+    # -- bookkeeping -----------------------------------------------------
+
+    @property
+    def active_keys(self) -> list[int]:
+        """The tracked keys (nest ids), sorted."""
+        return sorted(self._messages)
+
+    def messages_for(self, key: int) -> MessageSet:
+        """The message set currently charged under ``key``."""
+        return self._messages[key]
+
+    def clear(self) -> None:
+        """Drop every contribution (back to an idle wire)."""
+        self.loads.fill(0.0)
+        self._links.clear()
+        self._vals.clear()
+        self._messages.clear()
+
+    def _contribution(self, messages: MessageSet) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted link ids, byte totals)`` of one message set."""
+        if self.simulator.kernels == "reference":
+            ref = self.simulator._link_loads_reference(messages)
+            links = np.fromiter(sorted(ref), dtype=np.int64, count=len(ref))
+            vals = np.fromiter(
+                (ref[int(link)] for link in links), dtype=np.float64, count=len(ref)
+            )
+            return links, vals
+        return self.simulator._link_load_arrays(messages)
+
+    def update(self, key: int, messages: MessageSet) -> None:
+        """Charge ``key`` with ``messages``, replacing any prior charge."""
+        self.retire(key)
+        links, vals = self._contribution(messages)
+        self._links[key] = links
+        self._vals[key] = vals
+        self._messages[key] = messages
+        self.loads[links] += vals
+
+    def retire(self, key: int) -> None:
+        """Remove ``key``'s contribution; a no-op for unknown keys."""
+        links = self._links.pop(key, None)
+        if links is None:
+            return
+        self.loads[links] -= self._vals.pop(key)
+        del self._messages[key]
+
+    # -- queries ---------------------------------------------------------
+
+    def rebuild(self) -> np.ndarray:
+        """From-scratch recomputation of :attr:`loads` (the oracle twin).
+
+        Routes every active message set again and sums.  The incremental
+        array must equal this bit-for-bit; the sanitizer checks it does.
+        """
+        if self.simulator.kernels == "reference":
+            return self._rebuild_reference()
+        return self._rebuild_vector()
+
+    def _rebuild_reference(self) -> np.ndarray:
+        loads = np.zeros_like(self.loads)
+        for key in sorted(self._messages):
+            ref = self.simulator._link_loads_reference(self._messages[key])
+            for link, nbytes in ref.items():
+                loads[link] += nbytes
+        return loads
+
+    def _rebuild_vector(self) -> np.ndarray:
+        loads = np.zeros_like(self.loads)
+        for key in sorted(self._messages):
+            links, vals = self.simulator._link_load_arrays(self._messages[key])
+            loads[links] += vals
+        return loads
+
+    def busiest_link_contributions(
+        self,
+    ) -> tuple[int, float, dict[tuple[int, int], float]]:
+        """The most loaded link across every active key, and who loads it.
+
+        Same contract as
+        :meth:`NetworkSimulator.busiest_link_contributions` over the
+        concatenation of all active message sets — ``(-1, 0.0, {})``
+        when nothing is on the wire, ties toward the smallest link id —
+        but the scan is O(links) on the live array and only the keys
+        whose routes cross the busiest link are revisited (cache-hot).
+        """
+        if not self._messages:
+            return -1, 0.0, {}
+        busiest = int(np.argmax(self.loads))
+        load = float(self.loads[busiest])
+        if load <= 0.0:
+            return -1, 0.0, {}
+        if self.simulator.kernels == "reference":
+            contributions = self._busiest_contributions_reference(busiest)
+        else:
+            contributions = self._busiest_contributions_vector(busiest)
+        return busiest, load, contributions
+
+    def _busiest_contributions_reference(
+        self, busiest: int
+    ) -> dict[tuple[int, int], float]:
+        """Per-pair bytes through ``busiest``, by walking every route."""
+        contributions: dict[tuple[int, int], float] = {}
+        if busiest < 0:
+            return contributions
+        for key in sorted(self._messages):
+            messages = self._messages[key]
+            routes = self.simulator._routes_reference(messages)
+            for route, s, d, nbytes in zip(
+                routes, messages.src, messages.dst, messages.nbytes
+            ):
+                if busiest in route:
+                    pair = (int(s), int(d))
+                    contributions[pair] = contributions.get(pair, 0.0) + float(nbytes)
+        return contributions
+
+    def _busiest_contributions_vector(
+        self, busiest: int
+    ) -> dict[tuple[int, int], float]:
+        """Per-pair bytes through ``busiest``, revisiting only the keys
+        whose sorted link arrays contain it (membership by bisection)."""
+        contributions: dict[tuple[int, int], float] = {}
+        if busiest < 0:
+            return contributions
+        nranks = self.simulator.mapping.nranks
+        for key in sorted(self._messages):
+            slinks = self._links[key]
+            idx = int(np.searchsorted(slinks, busiest))
+            if idx >= slinks.size or int(slinks[idx]) != busiest:
+                continue
+            messages = self._messages[key]
+            links, offsets = self.simulator.routes_csr(messages)
+            msg_of = np.repeat(
+                np.arange(len(messages), dtype=np.int64), np.diff(offsets)
+            )
+            touching = np.unique(msg_of[links == busiest])
+            pair_keys = (
+                messages.src[touching].astype(np.int64) * nranks
+                + messages.dst[touching].astype(np.int64)
+            )
+            uniq_pairs, pair_inv = np.unique(pair_keys, return_inverse=True)
+            pair_bytes = np.bincount(
+                pair_inv,
+                weights=messages.nbytes.astype(np.float64)[touching],
+                minlength=len(uniq_pairs),
+            )
+            for pk, nbytes in zip(uniq_pairs.tolist(), pair_bytes.tolist()):
+                pair = (pk // nranks, pk % nranks)
+                contributions[pair] = contributions.get(pair, 0.0) + nbytes
+        return contributions

@@ -34,6 +34,16 @@ Every phase runs under a kernel mode (:mod:`repro.kernels`): ``"vector"``
 is recorded in the result header; the committed baseline is generated with
 the *reference* kernels so a default run shows the vectorisation delta.
 
+A second suite, ``scale`` (``repro bench --suite scale``), times the
+large-machine scaling story instead: steady-state adaptation steps —
+incremental link-load deltas included — at a fixed nest count across
+machine presets from 1k to 64k ranks (``scale.ranks_*``, time vs ranks),
+at a fixed 4096-rank preset across nest counts (``scale.nests_*``, time
+vs nests), and sparse pair-byte ledger accounting (``scale.ledger_pairs``,
+quick: 4k ranks, full: 64k).  Quick mode stops at 4096 ranks (the CI
+``scale-smoke`` gate); ``--route-cache-size`` overrides the
+preset-derived route-cache sizing for its simulators.
+
 This module lives in ``repro.obs`` and is therefore allowed to read raw
 clocks (reprolint R007); every other module must report time through
 spans instead.  Heavyweight imports happen inside the phase setups so
@@ -65,9 +75,11 @@ if TYPE_CHECKING:
 __all__ = [
     "BENCH_SCHEMA",
     "DEFAULT_BASELINE_PATH",
+    "SCALE_BASELINE_PATH",
     "BenchPhase",
     "BenchResult",
     "bench_phases",
+    "scale_phases",
     "git_describe",
     "run_bench",
     "format_bench",
@@ -78,11 +90,29 @@ __all__ = [
 #: fields so compared baselines are provably like-for-like
 BENCH_SCHEMA = 2
 DEFAULT_BASELINE_PATH = "BENCH_baseline.json"
+#: scale-suite results are a different machine ladder — never the same
+#: file as the default-suite baseline, or a suiteless `repro bench
+#: --suite scale` would silently clobber the CI perf gate's reference
+SCALE_BASELINE_PATH = "BENCH_scale_baseline.json"
 
 #: pinned inputs — changing any of these invalidates existing baselines
 _BENCH_SEED = 2005
 _FULL_MACHINE = "bgl-1024"
 _QUICK_MACHINE = "bgl-256"
+
+#: the scale suite's machine ladder (time vs ranks at a fixed nest count);
+#: quick mode stops at 4096 ranks so the CI smoke gate stays fast
+_SCALE_RANK_MACHINES = (
+    ("1k", "bgl-1024"),
+    ("4k", "bgl-4096"),
+    ("16k", "bgl-16k"),
+    ("64k", "bgl-64k"),
+)
+_SCALE_QUICK_RANK_MACHINES = _SCALE_RANK_MACHINES[:2]
+_SCALE_FIXED_NESTS = 6
+#: time vs nests at a fixed machine
+_SCALE_NEST_MACHINE = "bgl-4096"
+_SCALE_NEST_COUNTS = (8, 32)
 
 
 @dataclass(frozen=True)
@@ -631,6 +661,127 @@ def bench_phases() -> tuple[BenchPhase, ...]:
 
 
 # ---------------------------------------------------------------------------
+# the scale suite (large-machine scaling curves)
+# ---------------------------------------------------------------------------
+
+
+def _scale_nests(n: int, phase: int) -> dict[int, tuple[int, int]]:
+    """Pinned churn for one adaptation step (``phase`` alternates 0/1).
+
+    Every 4th nest id is replaced across phases (a delete + a create per
+    toggle) and the survivors change size, so each timed step retires and
+    re-lands nests through the full plan + link-state delta path.
+    """
+    nests: dict[int, tuple[int, int]] = {}
+    for i in range(n):
+        nid = i + 1000 * phase if i % 4 == 0 else i
+        nests[nid] = (
+            48 + 6 * ((i + phase) % 5),
+            48 + 6 * ((i + 2 * phase) % 5),
+        )
+    return nests
+
+
+def _scale_step_setup(
+    machine_name: str, n_nests: int, route_cache_size: int | None
+) -> Callable[[bool, str], Callable[[], object]]:
+    """One steady-state adaptation step on ``machine_name``.
+
+    The reallocator is warmed through an initial step in setup; each
+    timed call is one full adaptation point (weights, diffusion
+    strategy, redistribution plan, incremental link-load deltas) under
+    the pinned churn of :func:`_scale_nests`.
+    """
+
+    def setup(quick: bool, kernels: str) -> Callable[[], object]:
+        from repro.core import DiffusionStrategy, ProcessorReallocator
+        from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+        from repro.topology import MACHINES
+
+        machine = MACHINES[machine_name]
+        predictor = ExecTimePredictor(ProfileTable(ExecutionOracle()))
+        realloc = ProcessorReallocator(
+            machine,
+            DiffusionStrategy(),
+            predictor,
+            kernels=kernels,
+            route_cache_size=route_cache_size,
+        )
+        realloc.step(_scale_nests(n_nests, 0))
+        state = {"phase": 0}
+
+        def run() -> object:
+            state["phase"] ^= 1
+            result = realloc.step(_scale_nests(n_nests, state["phase"]))
+            return result.plan.measured_time if result.plan else 0.0
+
+        return run
+
+    return setup
+
+
+def _setup_scale_ledger(quick: bool, kernels: str) -> Callable[[], object]:
+    import numpy as np
+
+    from repro.mpisim.ledger import PairByteAccumulator
+    from repro.util.rng import make_rng
+
+    nranks = 4096 if quick else 65536
+    n_pairs = 40_000 if quick else 160_000
+    chunk = 4000
+    rng = make_rng(_BENCH_SEED)
+    src = rng.integers(0, nranks, size=n_pairs, dtype=np.int64)
+    dst = rng.integers(0, nranks, size=n_pairs, dtype=np.int64)
+    nbytes = 8.0 * rng.integers(1, 4096, size=n_pairs, dtype=np.int64)
+    slices = [slice(k, k + chunk) for k in range(0, n_pairs, chunk)]
+
+    def run() -> object:
+        acc = PairByteAccumulator(nranks)
+        for sl in slices:
+            acc.add_pairs(src[sl], dst[sl], nbytes[sl])
+        return len(acc), acc.total(), len(acc.top(10))
+
+    return run
+
+
+def scale_phases(
+    quick: bool = False, route_cache_size: int | None = None
+) -> tuple[BenchPhase, ...]:
+    """The large-machine scaling suite.
+
+    ``scale.ranks_*`` holds the nest count fixed and walks the machine
+    ladder (per-adaptation time vs ranks must grow sub-linearly);
+    ``scale.nests_*`` holds the machine fixed and scales the nest count;
+    ``scale.ledger_pairs`` times sparse pair-byte accounting alone.
+    """
+    rank_machines = _SCALE_QUICK_RANK_MACHINES if quick else _SCALE_RANK_MACHINES
+    phases = [
+        BenchPhase(
+            f"scale.ranks_{tag}",
+            f"steady-state adaptation step, {_SCALE_FIXED_NESTS} nests, {name}",
+            _scale_step_setup(name, _SCALE_FIXED_NESTS, route_cache_size),
+        )
+        for tag, name in rank_machines
+    ]
+    phases.extend(
+        BenchPhase(
+            f"scale.nests_{n}",
+            f"steady-state adaptation step, {n} nests, {_SCALE_NEST_MACHINE}",
+            _scale_step_setup(_SCALE_NEST_MACHINE, n, route_cache_size),
+        )
+        for n in _SCALE_NEST_COUNTS
+    )
+    phases.append(
+        BenchPhase(
+            "scale.ledger_pairs",
+            "sparse pair-byte accumulation + top-k (quick: 4k ranks, full: 64k)",
+            _setup_scale_ledger,
+        )
+    )
+    return tuple(phases)
+
+
+# ---------------------------------------------------------------------------
 # harness
 # ---------------------------------------------------------------------------
 
@@ -641,6 +792,8 @@ def run_bench(
     phases: Iterable[str] | None = None,
     progress: Callable[[str], None] | None = None,
     kernels: str = DEFAULT_KERNELS,
+    suite: str = "default",
+    route_cache_size: int | None = None,
 ) -> BenchResult:
     """Run the suite and aggregate per-phase wall-clock stats.
 
@@ -648,14 +801,37 @@ def run_bench(
     ``repeats`` times.  ``phases`` selects a subset by name; unknown
     names raise ``ValueError``.  ``kernels`` selects the hot-kernel
     implementation (:mod:`repro.kernels`) for every phase and is recorded
-    in the result header.
+    in the result header.  ``suite`` picks ``"default"`` (the pinned
+    hot-path baseline) or ``"scale"`` (the large-machine scaling
+    curves); ``route_cache_size`` overrides the preset-derived route
+    cache of the scale suite's simulators and is rejected elsewhere so
+    it can never silently do nothing.
     """
     check_kernels(kernels)
     if repeats is None:
         repeats = 3 if quick else 5
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
-    catalogue = {p.name: p for p in bench_phases()}
+    if suite == "default":
+        if route_cache_size is not None:
+            raise ValueError(
+                "route_cache_size only applies to the scale suite "
+                "(the default suite sizes caches from the machine preset)"
+            )
+        suite_phases = bench_phases()
+        machine = _QUICK_MACHINE if quick else _FULL_MACHINE
+    elif suite == "scale":
+        if route_cache_size is not None and route_cache_size < 1:
+            raise ValueError(
+                f"route_cache_size must be >= 1, got {route_cache_size}"
+            )
+        suite_phases = scale_phases(quick, route_cache_size)
+        machine = "scale"
+    else:
+        raise ValueError(
+            f"unknown bench suite {suite!r}; known: ('default', 'scale')"
+        )
+    catalogue = {p.name: p for p in suite_phases}
     if phases is None:
         selected = list(catalogue.values())
     else:
@@ -683,7 +859,7 @@ def run_bench(
         repeats=repeats,
         quick=quick,
         unix_time=time.time(),
-        machine=_QUICK_MACHINE if quick else _FULL_MACHINE,
+        machine=machine,
         git_describe=git_describe(),
         kernels=kernels,
     )

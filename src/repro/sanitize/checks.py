@@ -283,6 +283,32 @@ class Sanitizer(SanitizerHook):
                 f"reported link load {link_load}",
             )
 
+    def after_link_state(self, link_state: Any) -> None:
+        """Incremental link-load state vs its from-scratch rebuild.
+
+        The deltas are exact (integer-valued float64 byte counts), so the
+        live array must match a rebuild *bit-for-bit* and never dip below
+        zero — any drift means a contribution was double-applied or a
+        retired key leaked.
+        """
+        self._ran("linkstate.conservation")
+        loads = link_state.loads
+        if bool((loads < 0).any()):
+            worst = float(loads.min())
+            self._violate(
+                "linkstate.conservation",
+                f"incremental link loads dipped negative (min {worst})",
+            )
+        rebuilt = link_state.rebuild()
+        if not np.array_equal(loads, rebuilt):
+            diff = np.abs(loads - rebuilt)
+            bad = int((diff > 0).sum())
+            self._violate(
+                "linkstate.conservation",
+                f"incremental link loads differ from rebuild on {bad} links "
+                f"(max delta {float(diff.max())})",
+            )
+
     def audit_store(
         self, store: Any, nest_sizes: dict[int, tuple[int, int]]
     ) -> None:
@@ -308,13 +334,13 @@ class Sanitizer(SanitizerHook):
                 "ledger.totals",
                 f"total sent {sent} != total received {received}",
             )
-        pair_total = float(sum(ledger.pair_bytes.values()))
+        pair_total = float(ledger.pair_bytes.total())
         if not math.isclose(pair_total, sent, rel_tol=1e-9, abs_tol=1e-6):
             self._violate(
                 "ledger.totals",
                 f"per-pair bytes {pair_total} != per-rank sent {sent}",
             )
-        busiest_total = float(sum(ledger.busiest_pair_bytes.values()))
+        busiest_total = float(ledger.busiest_pair_bytes.total())
         if not math.isclose(
             busiest_total, ledger.busiest_link_load, rel_tol=1e-6, abs_tol=1e-6
         ):

@@ -78,6 +78,9 @@ class SanitizerHook:
     ) -> None:
         """After the netsim reported the busiest link's per-pair split."""
 
+    def after_link_state(self, link_state: Any) -> None:
+        """After incremental link-load deltas were applied for one plan."""
+
     def after_recovery(
         self, store: Any, nest_sizes: dict[int, tuple[int, int]], retained: list[int]
     ) -> None:

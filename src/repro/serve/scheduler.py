@@ -85,6 +85,11 @@ class SchedulerConfig:
     #: service that shed everything could never recover — enable it where
     #: a load balancer retries elsewhere (and in chaos campaigns)
     shed_when_degraded: bool = False
+    #: hibernate sessions PAUSED for more than this many store ticks
+    #: (one tick per completed fleet step — a logical clock, not wall
+    #: time); their fixtures are dropped and re-materialise by replay on
+    #: resume.  ``None`` disables the sweep.
+    hibernate_ttl: int | None = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -106,6 +111,10 @@ class SchedulerConfig:
         if self.admission_high_water < 1:
             raise ValueError(
                 f"admission_high_water must be >= 1, got {self.admission_high_water}"
+            )
+        if self.hibernate_ttl is not None and self.hibernate_ttl < 0:
+            raise ValueError(
+                f"hibernate_ttl must be >= 0 or None, got {self.hibernate_ttl}"
             )
 
 
@@ -412,6 +421,14 @@ class SessionScheduler:
                     await asyncio.to_thread(session.advance)
                 self.steps_run += 1
                 self.health.record_ok()
+                self.store.tick()
+                if self.config.hibernate_ttl is not None:
+                    # sweep off the event loop: hibernation drops fixtures
+                    # and replays nothing, so it is cheap, but it does take
+                    # each candidate's session lock
+                    await asyncio.to_thread(
+                        self.store.hibernate_idle, self.config.hibernate_ttl
+                    )
                 break
             except SessionKilled:
                 # the session already transitioned to FAILED

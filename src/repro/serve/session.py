@@ -224,27 +224,40 @@ class Session:
         self.transitions: list[_Transition] = []
         #: called after every transition (the store journals through this)
         self.observer: Callable[[Session, _Transition], None] | None = None
+        #: the live-streaming surface: subscribe to follow this session's
+        #: flight events as they happen (zero overhead while nobody does).
+        #: Created once so subscribers survive hibernation.
+        self.tap = FlightTap()
+        self._flight_capacity = flight_capacity
+        self._build_fixtures()
+        self._stepper: WorkloadStepper | None = None
+        self._injector: FaultInjector | None = None
+        self._stalls: dict[int, float] = {}  # chaos: step index -> extra seconds
+        self._hibernated = False
+        self._hibernated_steps = 0
+        self._lock = threading.Lock()
+
+    def _build_fixtures(self) -> None:
+        """(Re)create every per-session fixture from the spec.
+
+        Called at construction and again by :meth:`hibernate`: fixture
+        contents are derived deterministically from the spec, so the
+        re-materialising replay rebuilds them identically.
+        """
         # -- per-session fixtures: nothing here is shared across sessions
         self.recorder = InMemoryRecorder()
-        self.flight = FlightRecorder(capacity=flight_capacity)
-        #: the live-streaming surface: subscribe to follow this session's
-        #: flight events as they happen (zero overhead while nobody does)
-        self.tap = FlightTap()
+        self.flight = FlightRecorder(capacity=self._flight_capacity)
         self.flight.attach_tap(self.tap)
         self.audit = AuditTrail()
-        machine = MACHINES[spec.machine]
+        machine = MACHINES[self.spec.machine]
         self.ledger = CommLedger(machine.ncores)
         self.context = ExperimentContext(
             machine,
             recorder=self.recorder,
             audit=self.audit,
             ledger=self.ledger,
-            kernels=spec.kernels,
+            kernels=self.spec.kernels,
         )
-        self._stepper: WorkloadStepper | None = None
-        self._injector: FaultInjector | None = None
-        self._stalls: dict[int, float] = {}  # chaos: step index -> extra seconds
-        self._lock = threading.Lock()
 
     # -- introspection --------------------------------------------------
 
@@ -264,7 +277,15 @@ class Session:
 
     @property
     def steps_completed(self) -> int:
-        return self._stepper.next_step if self._stepper is not None else 0
+        if self._stepper is not None:
+            return self._stepper.next_step
+        return self._hibernated_steps
+
+    @property
+    def hibernated(self) -> bool:
+        """Whether the simulation state is currently dropped (see
+        :meth:`hibernate`)."""
+        return self._hibernated
 
     @property
     def decision_latencies(self) -> list[float]:
@@ -291,6 +312,8 @@ class Session:
         }
         if self.error:
             snap["error"] = self.error
+        if self._hibernated:
+            snap["hibernated"] = True
         if self._stepper is not None and self._stepper.metrics:
             snap["measured_redist_total"] = float(
                 sum(m.measured_redist for m in self._stepper.metrics)
@@ -340,6 +363,69 @@ class Session:
                 f"session {self.session_id}: cannot resume from {self.state.value}"
             )
         self._transition(SessionState.RUNNING)
+
+    def hibernate(self) -> bool:
+        """Drop a PAUSED session's simulation state to reclaim memory.
+
+        Only the spec, lifecycle history and completed-step count
+        survive; the stepper (with its reallocator, route caches and
+        link state), telemetry rings and ledger are all released.  The
+        next :meth:`advance` after :meth:`resume` re-materialises
+        everything by deterministically replaying the completed steps
+        from the spec — same decisions, same metrics, same flight
+        payloads, because the spec is the whole input of a session.
+        Returns ``True`` when state was actually dropped (``False`` for
+        a session that never built a stepper or is already hibernated).
+        Raises :class:`SessionError` outside PAUSED.
+        """
+        with self._lock:
+            if self.state is not SessionState.PAUSED:
+                raise SessionError(
+                    f"session {self.session_id}: can only hibernate a "
+                    f"paused session, not {self.state.value}"
+                )
+            if self._stepper is None:
+                return False
+            self._hibernated_steps = self._stepper.next_step
+            self._stepper = None
+            self._hibernated = True
+            self._build_fixtures()
+            self.flight.emit("session.hibernate", step=self._hibernated_steps)
+            log.debug(
+                "session %s hibernated at step %d",
+                self.session_id,
+                self._hibernated_steps,
+            )
+            return True
+
+    def _rematerialize(self) -> WorkloadStepper:
+        """Rebuild the stepper by replaying the hibernated steps.
+
+        Called under the session lock from :meth:`advance`.  Replays
+        ``_hibernated_steps`` adaptation points through fresh fixtures;
+        the replay is bit-identical to the original run (seeded
+        workload, seeded execution noise), so the stepper, recorder,
+        ledger and flight payloads land exactly where hibernation found
+        them.
+        """
+        target = self._hibernated_steps
+        stepper = WorkloadStepper(
+            self._build_workload(),
+            self._build_strategy(),
+            self.context,
+            exec_noise_seed=_exec_noise_seed(self.spec.seed),
+        )
+        self._stepper = stepper
+        with use_flight_recorder(self.flight):
+            for _ in range(target):
+                stepper.advance()
+        self._hibernated = False
+        self._hibernated_steps = 0
+        self.flight.emit("session.rematerialize", step=target)
+        log.debug(
+            "session %s re-materialised through step %d", self.session_id, target
+        )
+        return stepper
 
     def fail(self, reason: str) -> None:
         """Force the session into FAILED (idempotent once terminal)."""
@@ -438,7 +524,8 @@ class Session:
                     f"{self.state.value} session"
                 )
             stepper = self._stepper
-            assert stepper is not None
+            if stepper is None:
+                stepper = self._rematerialize()
             stall = self._stalls.pop(stepper.next_step, 0.0)
             if stall > 0:
                 # a fresh Event is never set: wait() is a plain interruptible

@@ -39,6 +39,7 @@ from pathlib import Path
 from repro.serve.session import (
     ScenarioSpec,
     Session,
+    SessionError,
     SessionState,
     _Transition,
 )
@@ -79,6 +80,15 @@ class SessionStore:
         self.evicted = 0
         #: truncated trailing journal lines skipped by the last recovery
         self.journal_skipped_lines = 0
+        #: the store's monotonic idle clock: one tick per completed fleet
+        #: adaptation point (never wall time — reprolint R007), advanced
+        #: by the scheduler via :meth:`tick`
+        self.ticks = 0
+        #: sessions hibernated by :meth:`hibernate_idle` over the lifetime
+        self.hibernated_total = 0
+        #: session id -> tick at which it entered PAUSED (maintained by
+        #: the transition observer; read by :meth:`hibernate_idle`)
+        self._idle_since: dict[str, int] = {}
 
     # -- queries ---------------------------------------------------------
 
@@ -136,9 +146,55 @@ class SessionStore:
         """Drop a session from the store (its journal history remains)."""
         with self._lock:
             session = self._sessions.pop(session_id, None)
+            self._idle_since.pop(session_id, None)
         if session is None:
             raise KeyError(f"no such session: {session_id!r}")
         return session
+
+    # -- idle hibernation -------------------------------------------------
+
+    def tick(self) -> int:
+        """Advance the idle clock by one beat; returns the new tick count.
+
+        The scheduler calls this once per completed adaptation point, so
+        "idle for N ticks" means "paused while the fleet made N steps of
+        progress" — a deterministic logical clock, never wall time.
+        """
+        with self._lock:
+            self.ticks += 1
+            return self.ticks
+
+    def hibernate_idle(self, ttl: int) -> list[str]:
+        """Hibernate every session PAUSED for more than ``ttl`` ticks.
+
+        Their simulation state is dropped (:meth:`Session.hibernate`);
+        the sessions stay registered and re-materialise deterministically
+        on their next post-resume advance.  Returns the ids hibernated,
+        sorted.  A session that resumed between the candidate scan and
+        the hibernate call is skipped, not an error.
+        """
+        if ttl < 0:
+            raise ValueError(f"ttl must be >= 0, got {ttl}")
+        with self._lock:
+            now = self.ticks
+            candidates = [
+                (sid, self._sessions[sid])
+                for sid, since in self._idle_since.items()
+                if now - since > ttl and sid in self._sessions
+            ]
+        hibernated: list[str] = []
+        for sid, session in candidates:
+            try:
+                dropped = session.hibernate()
+            except SessionError:
+                continue  # resumed (or failed) under our feet
+            # one sweep per idle spell: resuming re-pauses re-arm the timer
+            self._idle_since.pop(sid, None)
+            if dropped:
+                hibernated.append(sid)
+                log.info("hibernated idle session %s (ttl %d ticks)", sid, ttl)
+        self.hibernated_total += len(hibernated)
+        return sorted(hibernated)
 
     def _evict_one_locked(self) -> None:
         """Evict the oldest terminal session; raise if none is evictable."""
@@ -157,6 +213,13 @@ class SessionStore:
     # -- journal ---------------------------------------------------------
 
     def _on_transition(self, session: Session, record: _Transition) -> None:
+        # idle bookkeeping first (plain dict ops — no store lock here, the
+        # caller already holds the session lock and hibernate_idle takes
+        # the locks in the opposite order)
+        if record.state == SessionState.PAUSED.value:
+            self._idle_since[session.session_id] = self.ticks
+        else:
+            self._idle_since.pop(session.session_id, None)
         self._append_journal(
             {
                 "op": "state",

@@ -25,13 +25,17 @@ from repro.topology.torus import Torus3D
 
 __all__ = ["MachineSpec", "blue_gene_l", "fist_cluster", "MACHINES"]
 
-#: Blue Gene/L partition shapes by core count (midplane = 8x8x16).
+#: Blue Gene/L partition shapes by core count (midplane = 8x8x16; the
+#: full machine is 64 racks = 32x32x64).
 _BGL_TORI: dict[int, tuple[int, int, int]] = {
     64: (4, 4, 4),
     128: (4, 4, 8),
     256: (8, 8, 4),
     512: (8, 8, 8),
     1024: (8, 8, 16),
+    4096: (16, 16, 16),
+    16384: (16, 32, 32),
+    65536: (32, 32, 64),
 }
 
 #: Logical 2D process grids (Px, Py) used by the weather model, chosen
@@ -43,6 +47,9 @@ _GRIDS: dict[int, tuple[int, int]] = {
     256: (16, 16),
     512: (16, 32),
     1024: (32, 32),
+    4096: (64, 64),
+    16384: (128, 128),
+    65536: (256, 256),
 }
 
 
@@ -130,6 +137,9 @@ def _machines() -> dict[str, MachineSpec]:
         "bgl-256": blue_gene_l(256),
         "bgl-512": blue_gene_l(512),
         "bgl-1024": blue_gene_l(1024),
+        "bgl-4096": blue_gene_l(4096),
+        "bgl-16k": blue_gene_l(16384),
+        "bgl-64k": blue_gene_l(65536),
         "fist-256": fist_cluster(256),
     }
 

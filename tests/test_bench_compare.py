@@ -216,7 +216,13 @@ class TestCliBenchCompare:
 
     def _patch_run(self, monkeypatch, medians, quick=True):
         def fake_run_bench(
-            quick=False, repeats=None, phases=None, progress=None, kernels="vector"
+            quick=False,
+            repeats=None,
+            phases=None,
+            progress=None,
+            kernels="vector",
+            suite="default",
+            route_cache_size=None,
         ):
             return _result(medians, quick=quick)
 

@@ -32,6 +32,29 @@ class TestParser:
         )
         assert args.quick and args.repeats == 2 and args.phases == ["tree.scratch"]
 
+    def test_bench_scale_args(self):
+        args = build_parser().parse_args(
+            ["bench", "--quick", "--suite", "scale", "--route-cache-size", "4096"]
+        )
+        assert args.suite == "scale" and args.route_cache_size == 4096
+        default = build_parser().parse_args(["bench", "--quick"])
+        assert default.suite == "default" and default.route_cache_size is None
+
+    def test_bench_scale_default_output_is_scale_baseline(
+        self, tmp_path, monkeypatch, capsys
+    ):
+        # a suiteless scale run must never clobber BENCH_baseline.json
+        monkeypatch.chdir(tmp_path)
+        assert (
+            main(
+                ["bench", "--quick", "--suite", "scale",
+                 "--phases", "scale.ledger_pairs", "--repeats", "1"]
+            )
+            == 0
+        )
+        assert (tmp_path / "BENCH_scale_baseline.json").exists()
+        assert not (tmp_path / "BENCH_baseline.json").exists()
+
 
 class TestCommands:
     def test_table1(self, capsys):

@@ -359,3 +359,109 @@ class TestPDAEquivalence:
     def test_aggregate_empty(self):
         assert aggregate_summaries([], 200.0, kernels="vector") == []
         assert aggregate_summaries([], 200.0, kernels="reference") == []
+
+
+class TestStatefulChurnEquivalence:
+    """Drive full reallocators through randomized nest churn.
+
+    One ``ProcessorReallocator`` per kernel mode walks an identical drawn
+    sequence of adaptation points — nest births, deaths, growth/decay
+    (the observable effect of merges and splits) and an optional rank
+    failure — and after every step the incremental ``LinkLoadState`` must
+    equal its from-scratch ``rebuild()`` oracle bit-for-bit, both modes
+    must agree bit-for-bit, and the live state's busiest-link answer must
+    match brute-force routing of the concatenated plan messages.
+    """
+
+    @staticmethod
+    def _make_reallocators():
+        from repro.core import DiffusionStrategy, ProcessorReallocator
+        from repro.perfmodel import ExecTimePredictor, ExecutionOracle, ProfileTable
+
+        return {
+            mode: ProcessorReallocator(
+                MACHINES["bgl-256"],
+                DiffusionStrategy(),
+                ExecTimePredictor(ProfileTable(ExecutionOracle())),
+                kernels=mode,
+            )
+            for mode in ("vector", "reference")
+        }
+
+    def _churn(self, data, nests, next_id, step):
+        nests = dict(nests)
+        for nid in sorted(nests):
+            action = data.draw(
+                st.sampled_from(("keep", "keep", "decay", "grow", "die")),
+                label=f"step{step}.nest{nid}",
+            )
+            if action == "die" and len(nests) > 1:
+                del nests[nid]
+            elif action == "decay":
+                nx, ny = nests[nid]
+                nests[nid] = (max(6, nx - 10), max(6, ny - 8))
+            elif action == "grow":
+                nx, ny = nests[nid]
+                nests[nid] = (min(96, nx + 12), min(96, ny + 6))
+        for _ in range(data.draw(st.integers(0, 2), label=f"step{step}.births")):
+            nests[next_id] = (
+                data.draw(st.integers(8, 64), label=f"step{step}.nx{next_id}"),
+                data.draw(st.integers(8, 64), label=f"step{step}.ny{next_id}"),
+            )
+            next_id += 1
+        return nests, next_id
+
+    @given(data=st.data())
+    @settings(max_examples=10, deadline=None)
+    def test_link_state_and_plans_under_churn(self, data):
+        reallocs = self._make_reallocators()
+        nests = {1: (40, 40), 2: (30, 50), 3: (24, 24)}
+        next_id = 4
+        n_steps = data.draw(st.integers(3, 5), label="n_steps")
+        fail_at = data.draw(st.integers(1, n_steps - 1), label="fail_at")
+        inject_failure = data.draw(st.booleans(), label="inject_failure")
+        for step in range(n_steps):
+            if inject_failure and step == fail_at:
+                nprocs = reallocs["vector"].grid.nprocs
+                dead = data.draw(st.integers(0, nprocs - 1), label="dead_rank")
+                for realloc in reallocs.values():
+                    realloc.handle_rank_failure([dead])
+                    # the wire picture is void after a failure
+                    assert realloc.link_state.active_keys == []
+                    assert not realloc.link_state.loads.any()
+                assert (
+                    reallocs["vector"].grid.nprocs
+                    == reallocs["reference"].grid.nprocs
+                )
+            nests, next_id = self._churn(data, nests, next_id, step)
+            results = {m: r.step(dict(nests)) for m, r in reallocs.items()}
+
+            rv, rr = results["vector"], results["reference"]
+            assert rv.allocation.rects == rr.allocation.rects
+            assert (rv.plan is None) == (rr.plan is None)
+            if rv.plan is not None:
+                assert rv.plan.measured_time == rr.plan.measured_time
+                assert rv.plan.predicted_time == rr.plan.predicted_time
+                assert rv.plan.network_bytes == rr.plan.network_bytes
+                assert rv.plan.hop_bytes_total == rr.plan.hop_bytes_total
+                assert rv.plan.retained_nests == rr.plan.retained_nests
+
+            for mode, realloc in reallocs.items():
+                state = realloc.link_state
+                # incremental state vs from-scratch oracle: bit-identical
+                assert np.array_equal(state.loads, state.rebuild())
+                plan = results[mode].plan
+                if plan is None:
+                    continue
+                assert state.active_keys == sorted(plan.retained_nests)
+                all_msgs = MessageSet.concat([m.messages for m in plan.moves])
+                if len(all_msgs):
+                    expect = realloc.simulator.busiest_link_contributions(all_msgs)
+                    got = state.busiest_link_contributions()
+                    assert got[0] == expect[0]
+                    assert got[1] == expect[1]
+                    assert got[2] == expect[2]
+            assert np.array_equal(
+                reallocs["vector"].link_state.loads,
+                reallocs["reference"].link_state.loads,
+            )

@@ -4,6 +4,8 @@ and the route-cache counters / busiest-link breakdown it feeds on.
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.mpisim import (
     CommLedger,
@@ -308,3 +310,100 @@ class TestCommSkewReport:
             assert float(ledger.hop_bytes.sum()) > 0.0
         assert "Gini" in report.text
         assert "scratch" in report.text and "diffusion" in report.text
+
+
+class TestPairByteAccumulator:
+    """The sparse COO accumulator against a plain-dict oracle."""
+
+    @staticmethod
+    def _make(nranks=16, compact_threshold=8):
+        from repro.mpisim.ledger import PairByteAccumulator
+
+        return PairByteAccumulator(nranks, compact_threshold=compact_threshold)
+
+    def test_validation(self):
+        from repro.mpisim.ledger import PairByteAccumulator
+
+        with pytest.raises(ValueError):
+            PairByteAccumulator(0)
+        with pytest.raises(ValueError):
+            PairByteAccumulator(8, compact_threshold=0)
+
+    def test_empty(self):
+        acc = self._make()
+        assert len(acc) == 0
+        assert acc.total() == 0.0
+        assert acc.to_dict() == {}
+        assert acc.top(5) == []
+        assert (0, 1) not in acc
+        assert acc.get((0, 1)) == 0.0
+        with pytest.raises(KeyError):
+            acc[(0, 1)]
+
+    def test_mapping_api_matches_dict(self):
+        acc = self._make()
+        acc.add_pair(0, 1, 8.0)
+        acc.add_pair(2, 3, 16.0)
+        acc.add_pair(0, 1, 8.0)
+        expect = {(0, 1): 16.0, (2, 3): 16.0}
+        assert acc.to_dict() == expect
+        assert acc == expect
+        assert sorted(acc.keys()) == sorted(expect)
+        assert acc[(0, 1)] == 16.0
+        assert (2, 3) in acc
+        assert (3, 2) not in acc
+        assert acc.total() == 32.0
+        assert len(acc) == 2
+
+    def test_top_orders_by_bytes_then_pair(self):
+        acc = self._make()
+        acc.add_pair(5, 1, 8.0)
+        acc.add_pair(0, 2, 8.0)
+        acc.add_pair(1, 4, 24.0)
+        assert acc.top(2) == [((1, 4), 24.0), ((0, 2), 8.0)]
+        assert acc.top(0) == []
+        assert acc.top(10) == [((1, 4), 24.0), ((0, 2), 8.0), ((5, 1), 8.0)]
+
+    @given(data=st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_dict_oracle_under_random_streams(self, data):
+        nranks = data.draw(st.integers(2, 24), label="nranks")
+        threshold = data.draw(st.sampled_from((1, 4, 64)), label="threshold")
+        acc = self._make(nranks, compact_threshold=threshold)
+        oracle: dict[tuple[int, int], float] = {}
+        n_chunks = data.draw(st.integers(1, 6), label="n_chunks")
+        for c in range(n_chunks):
+            n = data.draw(st.integers(0, 30), label=f"chunk{c}.n")
+            src = data.draw(
+                st.lists(st.integers(0, nranks - 1), min_size=n, max_size=n),
+                label=f"chunk{c}.src",
+            )
+            dst = data.draw(
+                st.lists(st.integers(0, nranks - 1), min_size=n, max_size=n),
+                label=f"chunk{c}.dst",
+            )
+            words = data.draw(
+                st.lists(st.integers(1, 512), min_size=n, max_size=n),
+                label=f"chunk{c}.words",
+            )
+            nbytes = np.asarray(words, dtype=np.float64) * 8.0
+            acc.add_pairs(
+                np.asarray(src, dtype=np.int64),
+                np.asarray(dst, dtype=np.int64),
+                nbytes,
+            )
+            for s, d, b in zip(src, dst, nbytes):
+                oracle[(s, d)] = oracle.get((s, d), 0.0) + b
+            # interleave reads with appends: compaction must be transparent
+            if data.draw(st.booleans(), label=f"chunk{c}.read"):
+                assert acc.total() == sum(oracle.values())
+        assert acc.to_dict() == oracle
+        assert acc == oracle
+        assert len(acc) == len(oracle)
+        assert acc.total() == sum(oracle.values())
+        expect_top = sorted(oracle.items(), key=lambda kv: (-kv[1], kv[0]))[:10]
+        assert acc.top(10) == expect_top
+        for pair, val in oracle.items():
+            assert pair in acc
+            assert acc[pair] == val
+            assert acc.get(pair) == val

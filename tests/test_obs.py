@@ -451,6 +451,50 @@ class TestBench:
         }
         assert required <= {p.name for p in bench_phases()}
 
+    def test_scale_suite_catalogue(self):
+        from repro.obs.bench import scale_phases
+
+        quick = {p.name for p in scale_phases(quick=True)}
+        full = {p.name for p in scale_phases(quick=False)}
+        # the quick ladder stops at 4k ranks; the full one climbs to 64k
+        assert {"scale.ranks_1k", "scale.ranks_4k"} <= quick
+        assert "scale.ranks_64k" not in quick
+        assert {
+            "scale.ranks_1k",
+            "scale.ranks_4k",
+            "scale.ranks_16k",
+            "scale.ranks_64k",
+            "scale.nests_8",
+            "scale.nests_32",
+            "scale.ledger_pairs",
+        } <= full
+
+    def test_scale_suite_runs_and_tags_machine(self, tmp_path):
+        from repro.obs.bench import run_bench, write_baseline
+
+        result = run_bench(
+            quick=True, repeats=1, suite="scale", phases=["scale.ledger_pairs"]
+        )
+        assert set(result.phases) == {"scale.ledger_pairs"}
+        # scale results are tagged so compare never mixes them with the
+        # default single-machine suite
+        payload = json.loads(
+            write_baseline(result, tmp_path / "scale.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert payload["machine"] == "scale"
+
+    def test_suite_and_route_cache_validation(self):
+        from repro.obs.bench import run_bench
+
+        with pytest.raises(ValueError, match="suite"):
+            run_bench(quick=True, suite="nope")
+        with pytest.raises(ValueError, match="route"):
+            run_bench(quick=True, route_cache_size=4096)  # default suite
+        with pytest.raises(ValueError, match="route"):
+            run_bench(quick=True, suite="scale", route_cache_size=0)
+
 
 class TestExporterEdgeCases:
     """Exporters must not choke on empty, unclosed or span-free recorders."""

@@ -489,3 +489,137 @@ class TestSupervisedScheduler:
             if s.state is not SessionState.DONE
         ]
         assert len(parked) <= 1
+
+
+def _sim_signature(session: Session):
+    """Flight signature restricted to simulation events: lifecycle
+    (``session.*``) events legitimately differ between a straight run and
+    a hibernated one."""
+    return flight_signature(
+        [e for e in session.events() if not e.kind.startswith("session.")]
+    )
+
+
+class TestHibernation:
+    """Idle-session hibernation: drop fixtures, replay them back."""
+
+    def test_hibernate_requires_paused(self):
+        session = Session("h1", ScenarioSpec(steps=3))
+        with pytest.raises(SessionError, match="can only hibernate"):
+            session.hibernate()  # PENDING
+        session.advance()
+        with pytest.raises(SessionError, match="can only hibernate"):
+            session.hibernate()  # RUNNING
+        session.pause()
+        assert session.hibernate() is True
+        assert session.hibernate() is False  # already dropped: no-op
+
+    def test_hibernate_drops_and_flags_state(self):
+        session = Session("h2", ScenarioSpec(steps=4, seed=5))
+        session.advance()
+        session.advance()
+        session.pause()
+        assert session.hibernate() is True
+        assert session.hibernated
+        assert session._stepper is None
+        assert session.steps_completed == 2  # survives the drop
+        snap = session.snapshot()
+        assert snap["hibernated"] is True
+        assert snap["steps_completed"] == 2
+
+    def test_resume_rematerializes_bit_identically(self):
+        spec = ScenarioSpec(steps=6, seed=17)
+        twin = Session("straight", spec)
+        twin.run_to_completion()
+
+        session = Session("hib", spec)
+        session.advance()
+        session.advance()
+        session.advance()
+        session.pause()
+        session.hibernate()
+        session.resume()
+        session.run_to_completion()
+
+        assert session.state is SessionState.DONE
+        assert not session.hibernated
+        assert session.steps_completed == twin.steps_completed
+        assert _sim_signature(session) == _sim_signature(twin)
+        assert session.snapshot().get("measured_redist_total") == twin.snapshot().get(
+            "measured_redist_total"
+        )
+        kinds = [e.kind for e in session.events()]
+        assert "session.rematerialize" in kinds
+
+    def test_hibernate_twice_along_the_way(self):
+        spec = ScenarioSpec(steps=5, seed=23)
+        twin = Session("straight", spec)
+        twin.run_to_completion()
+
+        session = Session("hib2", spec)
+        for stop in (1, 3):
+            while session.steps_completed < stop:
+                session.advance()
+            session.pause()
+            assert session.hibernate() is True
+            session.resume()
+        session.run_to_completion()
+        assert _sim_signature(session) == _sim_signature(twin)
+
+    def test_store_ttl_sweep(self):
+        store = SessionStore()
+        idle = store.create(ScenarioSpec(steps=4, seed=1))
+        busy = store.create(ScenarioSpec(steps=4, seed=2))
+        idle.advance()
+        idle.pause()
+        busy.advance()
+        # not yet past the TTL: paused at tick 0, ttl 2 needs > 2 ticks
+        for _ in range(2):
+            store.tick()
+        assert store.hibernate_idle(2) == []
+        store.tick()
+        assert store.hibernate_idle(2) == [idle.session_id]
+        assert idle.hibernated
+        assert not busy.hibernated  # RUNNING sessions are never candidates
+        assert store.hibernated_total == 1
+        # one sweep per idle spell: the timer is disarmed until a re-pause
+        store.tick()
+        assert store.hibernate_idle(0) == []
+        idle.resume()
+        idle.advance()
+        idle.pause()  # re-arms the idle timer at the current tick
+        store.tick()
+        assert store.hibernate_idle(0) == [idle.session_id]
+        assert store.hibernated_total == 2
+        idle.resume()
+        idle.run_to_completion()
+        assert idle.state is SessionState.DONE
+
+    def test_store_ttl_validation(self):
+        store = SessionStore()
+        with pytest.raises(ValueError, match="ttl"):
+            store.hibernate_idle(-1)
+
+    def test_scheduler_config_validation(self):
+        with pytest.raises(ValueError):
+            SchedulerConfig(hibernate_ttl=-1)
+        assert SchedulerConfig(hibernate_ttl=None).hibernate_ttl is None
+        assert SchedulerConfig(hibernate_ttl=0).hibernate_ttl == 0
+
+    def test_scheduler_sweeps_idle_sessions(self):
+        store = SessionStore()
+        idle = store.create(ScenarioSpec(steps=6, seed=3))
+        idle.advance()
+        idle.pause()
+        for i in range(4):
+            store.create(ScenarioSpec(steps=2, seed=10 + i))
+        scheduler = SessionScheduler(
+            store, SchedulerConfig(workers=2, hibernate_ttl=0)
+        )
+        asyncio.run(scheduler.run_until_drained())
+        assert idle.hibernated
+        assert store.hibernated_total == 1
+        # the hibernated session still resumes and finishes cleanly
+        idle.resume()
+        idle.run_to_completion()
+        assert idle.state is SessionState.DONE

@@ -233,7 +233,15 @@ class TestMappings:
 
 class TestMachines:
     def test_presets_exist(self):
-        assert set(MACHINES) == {"bgl-256", "bgl-512", "bgl-1024", "fist-256"}
+        assert set(MACHINES) == {
+            "bgl-256",
+            "bgl-512",
+            "bgl-1024",
+            "bgl-4096",
+            "bgl-16k",
+            "bgl-64k",
+            "fist-256",
+        }
 
     def test_bgl_1024(self):
         m = blue_gene_l(1024)
